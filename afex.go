@@ -1,0 +1,169 @@
+// Package afex is the public API of the AFEX reproduction: automated,
+// fitness-guided fault-injection testing of black-box systems, after
+// "Fast Black-Box Testing of System Recovery Code" (Banabic & Candea,
+// EuroSys 2012).
+//
+// # Overview
+//
+// AFEX explores a fault space — the cross product of a fault injector's
+// parameters (which library call to fail, with which error, at which call
+// number, during which test) — searching for the faults with the highest
+// impact on a system under test. Instead of exhaustive or random
+// sampling, it uses a fitness-guided algorithm (stochastic beam search
+// with per-axis sensitivity analysis, Gaussian attribute mutation, and
+// aging) that learns the structure of the fault space from the impact of
+// past injections. Results are de-duplicated into redundancy clusters by
+// comparing injection-point stack traces, scored for reproducibility, and
+// ranked by severity.
+//
+// # Quick start
+//
+//	target, _ := afex.Target("coreutils")
+//	space := afex.SpaceFor(target, 19, 0, 2)
+//	res, err := afex.Explore(afex.Options{
+//	    Target:     target,
+//	    Space:      space,
+//	    Algorithm:  afex.FitnessGuided,
+//	    Iterations: 250,
+//	})
+//	fmt.Print(res.Report(10))
+//
+// The building blocks are exported for custom setups: define a fault
+// space in the description language (ParseSpace), bring your own system
+// under test (a prog.Program), or run the explorer distributed across
+// machines (package rpcnode via the Cluster helpers).
+package afex
+
+import (
+	"afex/internal/core"
+	"afex/internal/dsl"
+	"afex/internal/explore"
+	"afex/internal/faultspace"
+	"afex/internal/prog"
+	"afex/internal/quality"
+	"afex/internal/targets"
+	"afex/internal/trace"
+)
+
+// Algorithm names accepted by Options.Algorithm.
+const (
+	// FitnessGuided is Algorithm 1 of the paper: the adaptive search.
+	FitnessGuided = "fitness"
+	// Random samples the space uniformly without replacement.
+	Random = "random"
+	// Exhaustive enumerates the whole space in order.
+	Exhaustive = "exhaustive"
+	// Genetic is the generational GA baseline the paper's authors tried
+	// first and abandoned as inefficient (§3); it is provided so that
+	// comparison can be reproduced.
+	Genetic = "genetic"
+)
+
+// Re-exported core types. The type aliases keep one set of documentation
+// and let advanced callers drop down to the internal packages' richer
+// surface without conversions.
+type (
+	// Options configures an exploration session.
+	Options = core.Config
+	// Result is a completed session's result set.
+	Result = core.ResultSet
+	// Record is one executed fault-injection test.
+	Record = core.Record
+	// Snapshot is the running tally handed to Stop conditions.
+	Snapshot = core.Snapshot
+	// ImpactOptions scores outcomes (points per new basic block, per
+	// failure, per crash, per hang).
+	ImpactOptions = core.ImpactConfig
+	// ExploreOptions tunes the fitness-guided algorithm.
+	ExploreOptions = explore.Config
+	// Space is a union of fault subspaces.
+	Space = faultspace.Union
+	// Fault is a point in a fault space.
+	Fault = faultspace.Fault
+	// Point addresses a fault within a Space.
+	Point = faultspace.Point
+	// System is a runnable system under test (a program model).
+	System = prog.Program
+	// Outcome is what executing one fault-injection test observed.
+	Outcome = prog.Outcome
+	// RelevanceModel is a statistical environment model for practical-
+	// relevance weighting (§7.5).
+	RelevanceModel = quality.RelevanceModel
+	// SuiteProfile is a fault-free profiling run of a target's suite.
+	SuiteProfile = trace.SuiteProfile
+)
+
+// Explore runs one fault-exploration session.
+func Explore(opts Options) (*Result, error) { return core.Run(opts) }
+
+// DefaultImpact returns the paper's suggested impact scoring: 1 point per
+// newly covered basic block, 10 per failed test, 20 per crash, 15 per
+// hang (§6.4).
+func DefaultImpact() ImpactOptions { return core.DefaultImpact() }
+
+// Target returns one of the built-in synthetic targets: "coreutils",
+// "mysqld", "httpd", "mongo-v0.8" or "mongo-v2.0".
+func Target(name string) (*System, error) { return targets.ByName(name) }
+
+// TargetNames lists the built-in targets.
+func TargetNames() []string { return targets.Names() }
+
+// Profile runs the target's whole test suite with call tracing and no
+// injection — the ltrace step of the fault-space definition methodology.
+func Profile(target *System) *SuiteProfile { return trace.Profile(target) }
+
+// SpaceFor builds the target's fault space per the paper's methodology:
+// testID × the nFuncs most-called libc functions × callNumber in
+// [callLo, callHi] (callLo 0 includes an explicit no-injection point).
+func SpaceFor(target *System, nFuncs, callLo, callHi int) *Space {
+	return Profile(target).BuildSpace(nFuncs, callLo, callHi)
+}
+
+// DetailedSpaceFor builds a Fig. 4-style fault space with explicit errno
+// and retval axes: one subspace per function, each carrying exactly the
+// error returns that function's fault profile allows. Use it when the
+// target's error handling switches on errno (EINTR retried, EIO fatal)
+// and the flat testID × function × callNumber space would blur that.
+func DetailedSpaceFor(target *System, nFuncs, callLo, callHi int) *Space {
+	return Profile(target).BuildDetailedSpace(nFuncs, callLo, callHi)
+}
+
+// PairSpaceFor builds a two-fault space for the target: testID ×
+// (function, callNumber) × (function2, callNumber2), both call axes
+// including the no-injection point 0. Pair exploration triggers
+// retry-exhaustion bugs — recovery code that survives one fault but not
+// a second on the same path — that no single-fault scan can reach. The
+// space grows quadratically; keep nFuncs and callHi small.
+func PairSpaceFor(target *System, nFuncs, callHi int) *Space {
+	return Profile(target).BuildPairSpace(nFuncs, callHi)
+}
+
+// ParseSpace parses a fault space description in the Fig. 3 language:
+//
+//	function : { malloc, calloc, realloc }
+//	errno : { ENOMEM }
+//	retval : { 0 }
+//	callNumber : [ 1 , 100 ] ;
+//
+// Subspaces are separated by ";"; see package dsl for the grammar.
+func ParseSpace(description string) (*Space, error) {
+	d, err := dsl.Parse(description)
+	if err != nil {
+		return nil, err
+	}
+	return d.Build(), nil
+}
+
+// Paper75Model returns the statistical environment model used in the
+// paper's §7.5 experiment (malloc 40%, file operations 50% combined,
+// opendir/chdir 10% combined).
+func Paper75Model() *RelevanceModel { return quality.Paper75Model() }
+
+// TopPerformanceFaults searches for the faults that degrade the target's
+// throughput the most (the §6 "top-50 worst faults performance-wise"
+// target) and returns the top k records by impact alongside the full
+// result set. perfWeight scales the work-loss component relative to the
+// failure scoring.
+func TopPerformanceFaults(opts Options, perfWeight float64, k int) ([]Record, *Result, error) {
+	return core.TopPerformanceFaults(opts, perfWeight, k)
+}

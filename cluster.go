@@ -1,0 +1,40 @@
+package afex
+
+import (
+	"afex/internal/explore"
+	"afex/internal/rpcnode"
+)
+
+// Distributed-mode re-exports (§6.1/§7.7): an explorer served over TCP
+// with node managers pulling tests from it. See package rpcnode for the
+// protocol details.
+type (
+	// Coordinator wraps an explorer behind the cluster RPC service.
+	Coordinator = rpcnode.Coordinator
+	// CoordinatorServer is a listening coordinator.
+	CoordinatorServer = rpcnode.Server
+	// Manager is a remote node manager.
+	Manager = rpcnode.Manager
+	// ClusterStats summarizes a distributed session.
+	ClusterStats = rpcnode.Stats
+)
+
+// NewCoordinator wraps a fitness-guided explorer over space for
+// distributed execution. budget caps the number of executed tests
+// (0 = until the space is exhausted); impact == nil selects the default
+// scoring.
+func NewCoordinator(space *Space, cfg ExploreOptions, budget int) *Coordinator {
+	return rpcnode.NewCoordinator(space, explore.NewFitnessGuided(space, cfg), budget, nil)
+}
+
+// ServeCoordinator starts serving the coordinator on addr ("host:port";
+// ":0" picks an ephemeral port, see CoordinatorServer.Addr).
+func ServeCoordinator(addr string, c *Coordinator) (*CoordinatorServer, error) {
+	return rpcnode.Serve(addr, c)
+}
+
+// DialManager connects a node manager (with its local copy of the
+// target) to a coordinator.
+func DialManager(addr, id string, target *System) (*Manager, error) {
+	return rpcnode.Dial(addr, id, target)
+}

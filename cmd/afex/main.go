@@ -1,0 +1,274 @@
+// Command afex is the AFEX command-line interface: explore a target's
+// fault space, replay a specific scenario, profile a target, or serve /
+// join a distributed exploration cluster.
+//
+// Usage:
+//
+//	afex explore --target mysqld [--algorithm fitness] [--iterations 1000]
+//	             [--seed 1] [--feedback] [--workers 4] [--funcs 19]
+//	             [--call-lo 1] [--call-hi 100] [--top 10] [--repro]
+//	afex replay  --target mysqld --scenario "testID 5 function read errno EIO retval -1 callNumber 3"
+//	afex profile --target coreutils [--funcs 19]
+//	afex serve   --target coreutils --addr :7070 [--iterations 500]
+//	afex worker  --target coreutils --addr host:7070 --id mgr01
+//	afex targets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"afex"
+	"afex/internal/dsl"
+	"afex/internal/inject"
+	"afex/internal/prog"
+	"afex/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "explore":
+		err = cmdExplore(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
+	case "targets":
+		for _, n := range afex.TargetNames() {
+			fmt.Println(n)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "afex: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "afex:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `afex — automated fault exploration (EuroSys 2012 reproduction)
+
+commands:
+  explore   search a target's fault space for high-impact faults
+  replay    re-inject one scenario and report its outcome
+  profile   run the suite under tracing; print the fault-space description
+  serve     run an exploration coordinator for remote node managers
+  worker    join a coordinator as a node manager
+  targets   list built-in targets`)
+}
+
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	targetName := fs.String("target", "coreutils", "target system under test")
+	algorithm := fs.String("algorithm", afex.FitnessGuided, "fitness | random | exhaustive | genetic")
+	iterations := fs.Int("iterations", 250, "number of tests to execute (0 = until exhausted)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	feedback := fs.Bool("feedback", false, "enable redundancy feedback (§7.4)")
+	workers := fs.Int("workers", 1, "concurrent node managers")
+	nFuncs := fs.Int("funcs", 19, "function-axis size")
+	callLo := fs.Int("call-lo", 1, "callNumber axis lower bound (0 adds a no-injection point)")
+	callHi := fs.Int("call-hi", 10, "callNumber axis upper bound")
+	top := fs.Int("top", 10, "top-K faults to print")
+	repro := fs.Bool("repro", false, "print generated reproduction scripts for cluster representatives")
+	pairs := fs.Bool("pairs", false, "explore two-fault scenarios (quadratic space; keep --funcs/--call-hi small)")
+	errnoAxis := fs.Bool("errno-axis", false, "use a detailed space with per-function errno/retval axes (Fig. 4 style)")
+	precisionTrials := fs.Int("precision-trials", 0, "re-run each representative this many times and report impact precision")
+	out := fs.String("out", "", "write the full result tree (report, TSV, clusters, repro scripts, per-test logs) to this directory")
+	budget := fs.Duration("time-budget", 0, "stop after this much wall clock (0 = no limit)")
+	verbose := fs.Bool("verbose", false, "log progress every 100 tests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target, err := afex.Target(*targetName)
+	if err != nil {
+		return err
+	}
+	var space *afex.Space
+	switch {
+	case *pairs:
+		space = afex.PairSpaceFor(target, *nFuncs, *callHi)
+	case *errnoAxis:
+		space = afex.DetailedSpaceFor(target, *nFuncs, *callLo, *callHi)
+	default:
+		space = afex.SpaceFor(target, *nFuncs, *callLo, *callHi)
+	}
+	opts := afex.Options{
+		Target:     target,
+		Space:      space,
+		Algorithm:  *algorithm,
+		Iterations: *iterations,
+		Workers:    *workers,
+		Feedback:   *feedback,
+		TimeBudget: *budget,
+		Explore:    afex.ExploreOptions{Seed: *seed},
+	}
+	if *verbose {
+		opts.Progress = func(s afex.Snapshot) {
+			fmt.Fprintf(os.Stderr, "progress: executed=%d injected=%d failed=%d crashed=%d coverage=%.1f%%\n",
+				s.Executed, s.Injected, s.Failed, s.Crashed, 100*s.Coverage)
+		}
+	}
+	res, err := afex.Explore(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report(*top))
+	if *out != "" {
+		if err := res.WriteDir(*out); err != nil {
+			return err
+		}
+		fmt.Printf("full results written to %s\n", *out)
+	}
+	if *precisionTrials > 0 {
+		fmt.Printf("impact precision of cluster representatives (%d trials each):\n", *precisionTrials)
+		for _, rec := range res.MeasurePrecision(target, afex.DefaultImpact(), *precisionTrials) {
+			fmt.Printf("  precision=%8v  %s\n", rec.Precision, rec.Scenario)
+		}
+	}
+	if *repro {
+		for _, rec := range res.Representatives() {
+			fmt.Println()
+			fmt.Print(res.ReproScript(rec))
+		}
+	}
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	targetName := fs.String("target", "", "target system under test")
+	scenario := fs.String("scenario", "", "scenario in the wire format, e.g. \"testID 3 function read callNumber 2\"")
+	trials := fs.Int("trials", 1, "number of re-runs (impact precision uses >1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *targetName == "" || *scenario == "" {
+		return fmt.Errorf("replay requires --target and --scenario")
+	}
+	target, err := afex.Target(*targetName)
+	if err != nil {
+		return err
+	}
+	sc, err := dsl.ParseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	var plugin inject.Plugin
+	pt, plan, err := plugin.Convert(sc)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *trials; i++ {
+		out := prog.Run(target, pt.TestID, plan)
+		fmt.Printf("run %d: injected=%v failed=%v crashed=%v hung=%v coverage=%.2f%%\n",
+			i+1, out.Injected, out.Failed, out.Crashed, out.Hung, 100*out.Coverage(target))
+		if out.CrashID != "" {
+			fmt.Printf("  crash identity: %s\n", out.CrashID)
+		}
+		for _, fr := range out.InjectionStack {
+			fmt.Printf("  %s\n", fr)
+		}
+	}
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	targetName := fs.String("target", "coreutils", "target system under test")
+	nFuncs := fs.Int("funcs", 19, "function-axis size")
+	callLo := fs.Int("call-lo", 1, "callNumber axis lower bound")
+	callHi := fs.Int("call-hi", 10, "callNumber axis upper bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target, err := afex.Target(*targetName)
+	if err != nil {
+		return err
+	}
+	sp := afex.Profile(target)
+	fmt.Printf("# %s: %d tests, baseline coverage %.2f%%, %d distinct libc functions\n",
+		target.Name, sp.Tests, 100*sp.Coverage, len(sp.TotalCalls))
+	fmt.Printf("# fault space description (Fig. 3 language):\n")
+	fmt.Print(sp.BuildDescription(*nFuncs, *callLo, *callHi).String())
+	fmt.Printf("# fault profiles (callsite analyzer):\n")
+	fmt.Print(trace.FaultProfileReport(sp.TopFunctions(*nFuncs)))
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	targetName := fs.String("target", "coreutils", "target system under test")
+	addr := fs.String("addr", ":7070", "listen address")
+	iterations := fs.Int("iterations", 500, "test budget (0 = until exhausted)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	nFuncs := fs.Int("funcs", 19, "function-axis size")
+	callLo := fs.Int("call-lo", 1, "callNumber axis lower bound")
+	callHi := fs.Int("call-hi", 10, "callNumber axis upper bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target, err := afex.Target(*targetName)
+	if err != nil {
+		return err
+	}
+	space := afex.SpaceFor(target, *nFuncs, *callLo, *callHi)
+	coord := afex.NewCoordinator(space, afex.ExploreOptions{Seed: *seed}, *iterations)
+	srv, err := afex.ServeCoordinator(*addr, coord)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("coordinator serving %s exploration on %s (budget %d tests)\n", target.Name, srv.Addr(), *iterations)
+	fmt.Println("press Ctrl-C to stop; stats are printed when the budget is reached")
+	// Poll until the budget is consumed.
+	for {
+		time.Sleep(200 * time.Millisecond)
+		st := coord.Snapshot()
+		if *iterations > 0 && st.Executed >= *iterations {
+			fmt.Printf("done: executed=%d injected=%d failed=%d crashed=%d hung=%d\n",
+				st.Executed, st.Injected, st.Failed, st.Crashed, st.Hung)
+			for id, n := range st.PerManager {
+				fmt.Printf("  %s executed %d\n", id, n)
+			}
+			return nil
+		}
+	}
+}
+
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	targetName := fs.String("target", "coreutils", "target system under test (must match the coordinator's)")
+	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
+	id := fs.String("id", "worker", "manager identity reported to the coordinator")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target, err := afex.Target(*targetName)
+	if err != nil {
+		return err
+	}
+	mgr, err := afex.DialManager(*addr, *id, target)
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+	n, err := mgr.RunUntilDone()
+	fmt.Printf("%s executed %d tests\n", *id, n)
+	return err
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The command functions are exercised directly; they print to stdout,
+// which the test harness captures.
+
+func TestCmdExplore(t *testing.T) {
+	if err := cmdExplore([]string{
+		"--target", "coreutils", "--iterations", "40", "--call-lo", "0", "--call-hi", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdExploreWritesOutputTree(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	if err := cmdExplore([]string{
+		"--target", "httpd", "--iterations", "60", "--out", dir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "report.txt")); err != nil {
+		t.Errorf("report.txt missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results.tsv")); err != nil {
+		t.Errorf("results.tsv missing: %v", err)
+	}
+}
+
+func TestCmdExplorePairsAndErrno(t *testing.T) {
+	if err := cmdExplore([]string{
+		"--target", "coreutils", "--iterations", "30", "--pairs", "--funcs", "4", "--call-hi", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExplore([]string{
+		"--target", "coreutils", "--iterations", "30", "--errno-axis",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdExploreUnknownTarget(t *testing.T) {
+	if err := cmdExplore([]string{"--target", "nope"}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestCmdReplay(t *testing.T) {
+	if err := cmdReplay([]string{
+		"--target", "mysqld",
+		"--scenario", "testID 0 function read callNumber 3",
+		"--trials", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdReplay([]string{"--target", "mysqld"}); err == nil {
+		t.Fatal("missing scenario accepted")
+	}
+	if err := cmdReplay([]string{
+		"--target", "mysqld", "--scenario", "odd token count here x",
+	}); err == nil {
+		t.Fatal("malformed scenario accepted")
+	}
+}
+
+func TestCmdProfile(t *testing.T) {
+	if err := cmdProfile([]string{"--target", "httpd", "--funcs", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdWorkerBadAddress(t *testing.T) {
+	if err := cmdWorker([]string{"--target", "coreutils", "--addr", "127.0.0.1:1"}); err == nil {
+		t.Fatal("dial to a closed port should fail")
+	}
+}

@@ -1,0 +1,71 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation section against the synthetic targets and prints them in the
+// paper's layout, annotated with the expected shape. EXPERIMENTS.md is
+// the curated record of one such run.
+//
+// Usage:
+//
+//	benchtab [--seed 1] [--reps 3] [--scale 1.0] [--only table3,fig8]
+//	         [--skip-slow]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"afex/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	reps := flag.Int("reps", 3, "repetitions to average stochastic experiments over")
+	scale := flag.Float64("scale", 1.0, "iteration budget multiplier (use <1 for a quick pass)")
+	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig8,table4,table5,table6,fig9,scale,ablation")
+	skipSlow := flag.Bool("skip-slow", false, "skip the slowest experiments (table1, scale)")
+	flag.Parse()
+
+	o := experiments.Opts{Seed: *seed, Reps: *reps, Scale: *scale}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(key string) bool {
+		if len(want) > 0 {
+			return want[key]
+		}
+		if *skipSlow && (key == "table1" || key == "scale") {
+			return false
+		}
+		return true
+	}
+
+	ran := 0
+	show := func(key string, gen func() fmt.Stringer) {
+		if !sel(key) {
+			return
+		}
+		ran++
+		fmt.Println(gen().String())
+	}
+
+	show("fig1", func() fmt.Stringer { return experiments.Fig1(o) })
+	show("table1", func() fmt.Stringer { return experiments.Table1(o) })
+	show("table2", func() fmt.Stringer { return experiments.Table2(o) })
+	show("table3", func() fmt.Stringer { return experiments.Table3(o) })
+	show("fig8", func() fmt.Stringer { return experiments.Fig8(o) })
+	show("table4", func() fmt.Stringer { return experiments.Table4(o) })
+	show("table5", func() fmt.Stringer { return experiments.Table5(o) })
+	show("table6", func() fmt.Stringer { return experiments.Table6(o) })
+	show("fig9", func() fmt.Stringer { return experiments.Fig9(o) })
+	show("scale", func() fmt.Stringer { return experiments.Scalability(o, nil, 0, 0) })
+	show("ablation", func() fmt.Stringer { return experiments.Ablations(o) })
+
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "benchtab: nothing selected (check --only values)")
+		os.Exit(2)
+	}
+}

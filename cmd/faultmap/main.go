@@ -1,0 +1,63 @@
+// Command faultmap renders a Fig. 1-style fault-space map for any built-in
+// target: rows are tests, columns are libc functions, and a '#' marks a
+// ⟨test, function⟩ pair where failing the callNumber-th call to the
+// function makes the test fail ('@' marks a crash). The visible striping
+// is the fault-space structure the AFEX search algorithm exploits.
+//
+// Usage:
+//
+//	faultmap [--target coreutils] [--module ls] [--funcs 19] [--call 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"afex"
+	"afex/internal/inject"
+	"afex/internal/libc"
+	"afex/internal/prog"
+)
+
+func main() {
+	targetName := flag.String("target", "coreutils", "target system under test")
+	module := flag.String("module", "", "restrict rows to tests of this module (e.g. \"ls\")")
+	nFuncs := flag.Int("funcs", 19, "number of functions (columns)")
+	call := flag.Int("call", 1, "call number to fail")
+	flag.Parse()
+
+	target, err := afex.Target(*targetName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultmap:", err)
+		os.Exit(1)
+	}
+	sp := afex.Profile(target)
+	funcs := sp.TopFunctions(*nFuncs)
+
+	fmt.Printf("fault map of %s (call #%d; '#' test failure, '@' crash, '.' no failure)\n", target.Name, *call)
+	for j, fn := range funcs {
+		fmt.Printf("  col %2d: %s\n", j, fn)
+	}
+	for t, tc := range target.TestSuite {
+		if *module != "" && !strings.Contains(tc.Name, "/"+*module+"-") {
+			continue
+		}
+		row := make([]byte, len(funcs))
+		for j, fn := range funcs {
+			prof := libc.Lookup(fn)
+			plan := inject.Single(inject.Fault{Function: fn, CallNumber: *call, Err: prof.Errors[0]})
+			out := prog.Run(target, t, plan)
+			switch {
+			case out.Injected && out.Crashed:
+				row[j] = '@'
+			case out.Injected && out.Failed:
+				row[j] = '#'
+			default:
+				row[j] = '.'
+			}
+		}
+		fmt.Printf("%-28s %s\n", tc.Name, row)
+	}
+}

@@ -1,0 +1,70 @@
+package afex_test
+
+import (
+	"fmt"
+
+	"afex"
+)
+
+// ExampleExplore demonstrates the minimal exploration workflow on the
+// built-in coreutils target. Sessions are deterministic for a fixed
+// seed, so the output is stable.
+func ExampleExplore() {
+	target, _ := afex.Target("coreutils")
+	space := afex.SpaceFor(target, 19, 0, 2)
+	res, _ := afex.Explore(afex.Options{
+		Target:     target,
+		Space:      space,
+		Algorithm:  afex.FitnessGuided,
+		Iterations: 100,
+		Explore:    afex.ExploreOptions{Seed: 7},
+	})
+	fmt.Println("space:", space.Size())
+	fmt.Println("executed:", res.Executed)
+	fmt.Println("found failures:", res.Failed > 10)
+	// Output:
+	// space: 1653
+	// executed: 100
+	// found failures: true
+}
+
+// ExampleParseSpace shows the Fig. 3 fault-space description language:
+// a union of two subspaces, sets in braces, intervals in brackets.
+func ExampleParseSpace() {
+	space, err := afex.ParseSpace(`
+        mem_faults
+        function : { malloc, calloc, realloc }
+        errno : { ENOMEM }
+        retval : { 0 }
+        callNumber : [ 1 , 100 ] ;
+
+        io_faults
+        function : { read }
+        errno : { EINTR }
+        retVal : { -1 }
+        callNumber : [ 1 , 50 ] ;
+    `)
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	fmt.Println("subspaces:", len(space.Spaces))
+	fmt.Println("total faults:", space.Size())
+	// Output:
+	// subspaces: 2
+	// total faults: 350
+}
+
+// ExampleProfile shows the fault-space definition methodology: profile
+// the suite (the ltrace step), then derive the explorable space.
+func ExampleProfile() {
+	target, _ := afex.Target("httpd")
+	sp := afex.Profile(target)
+	fmt.Println("tests:", sp.Tests)
+	fmt.Println("baseline failures:", sp.FailedBaseline)
+	fmt.Println("Φ_Apache:", sp.BuildSpace(19, 1, 10).Size())
+	// Output:
+	// tests: 58
+	// baseline failures: 0
+	// Φ_Apache: 11020
+}

@@ -1,0 +1,66 @@
+// Quickstart: explore the coreutils target's fault space with the
+// fitness-guided algorithm and print the session report.
+//
+// This is the smallest complete AFEX workflow:
+//
+//  1. pick a system under test,
+//  2. derive its fault space by profiling (the ltrace methodology of §7),
+//  3. explore with a budget of 250 tests,
+//  4. read the ranked, clustered results.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"afex"
+)
+
+func main() {
+	target, err := afex.Target("coreutils")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// testID × 19 most-called libc functions × callNumber {0,1,2}
+	// (0 = no injection), the paper's Φ_coreutils of 1,653 faults.
+	space := afex.SpaceFor(target, 19, 0, 2)
+	fmt.Printf("exploring %s: %d tests, fault space of %d points\n\n",
+		target.Name, len(target.TestSuite), space.Size())
+
+	res, err := afex.Explore(afex.Options{
+		Target:     target,
+		Space:      space,
+		Algorithm:  afex.FitnessGuided,
+		Iterations: 250,
+		Explore:    afex.ExploreOptions{Seed: 42},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Report(5))
+
+	// Compare against uniform random sampling with the same budget.
+	rnd, err := afex.Explore(afex.Options{
+		Target:     target,
+		Space:      space,
+		Algorithm:  afex.Random,
+		Iterations: 250,
+		Explore:    afex.ExploreOptions{Seed: 42},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitness-guided found %d failure-inducing faults; random found %d (%.1fx)\n",
+		res.Failed, rnd.Failed, float64(res.Failed)/float64(max(1, rnd.Failed)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

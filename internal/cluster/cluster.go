@@ -1,0 +1,156 @@
+// Package cluster implements AFEX's result-quality machinery around
+// redundancy (§5, §7.4): Levenshtein edit distance between the stack
+// traces captured at injection points, equivalence classes ("redundancy
+// clusters") of faults whose traces are closer than a threshold, and the
+// online feedback weight that steers exploration away from scenarios that
+// re-trigger manifestations of the same underlying bug.
+package cluster
+
+import "sort"
+
+// Levenshtein returns the edit distance between two stack traces,
+// computed over whole frames (not characters): the minimum number of
+// frame insertions, deletions and substitutions turning a into b. Frame
+// granularity is what makes the distance meaningful for call stacks —
+// a one-frame difference deep in the stack costs 1 regardless of how long
+// the frame strings are.
+func Levenshtein(a, b []string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Similarity maps edit distance to [0,1]: 1 for identical traces, 0 for
+// completely unrelated ones. This is the linear scale of §7.4 ("100%
+// similarity ends up zero-ing the fitness, while 0% similarity leaves
+// the fitness unmodified").
+func Similarity(a, b []string) float64 {
+	la, lb := len(a), len(b)
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+// Set maintains redundancy clusters incrementally. Each added stack is
+// either absorbed by the nearest existing cluster (distance to its
+// representative ≤ Threshold) or founds a new one.
+type Set struct {
+	// Threshold is the maximum edit distance (in frames) for two traces
+	// to land in the same cluster.
+	Threshold int
+	clusters  []Cluster
+	// all retains every added stack for exact max-similarity queries.
+	all [][]string
+}
+
+// Cluster is one redundancy equivalence class.
+type Cluster struct {
+	// Representative is the first stack that founded the cluster; AFEX
+	// reports one representative test per cluster for inclusion in
+	// regression suites (§6).
+	Representative []string
+	// Members lists the ids (caller-assigned, e.g. test record indices)
+	// of all faults in the class.
+	Members []int
+}
+
+// NewSet returns a Set with the given frame-distance threshold. A
+// threshold of 0 clusters only identical traces.
+func NewSet(threshold int) *Set {
+	return &Set{Threshold: threshold}
+}
+
+// Len returns the number of clusters.
+func (s *Set) Len() int { return len(s.clusters) }
+
+// Clusters returns the clusters, largest first. The returned slice is a
+// copy; members alias the internal storage.
+func (s *Set) Clusters() []Cluster {
+	out := append([]Cluster(nil), s.clusters...)
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i].Members) > len(out[j].Members) })
+	return out
+}
+
+// Add inserts the stack with caller id and returns the cluster index it
+// joined and whether it founded a new cluster.
+func (s *Set) Add(id int, stack []string) (clusterID int, isNew bool) {
+	s.all = append(s.all, stack)
+	best, bestDist := -1, int(^uint(0)>>1)
+	for i := range s.clusters {
+		d := Levenshtein(stack, s.clusters[i].Representative)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best >= 0 && bestDist <= s.Threshold {
+		s.clusters[best].Members = append(s.clusters[best].Members, id)
+		return best, false
+	}
+	s.clusters = append(s.clusters, Cluster{
+		Representative: append([]string(nil), stack...),
+		Members:        []int{id},
+	})
+	return len(s.clusters) - 1, true
+}
+
+// MaxSimilarity returns the highest similarity between stack and any
+// stack previously added, or 0 if none has been added. This is the
+// feedback signal: fitness is scaled by (1 - MaxSimilarity), so a
+// scenario identical to a known one contributes nothing and a novel one
+// keeps its full fitness.
+func (s *Set) MaxSimilarity(stack []string) float64 {
+	best := 0.0
+	for _, other := range s.all {
+		if sim := Similarity(stack, other); sim > best {
+			best = sim
+			if best >= 1 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// FeedbackWeight maps a similarity in [0,1] to the fitness multiplier of
+// §7.4's linear scale.
+func FeedbackWeight(similarity float64) float64 {
+	if similarity < 0 {
+		return 1
+	}
+	if similarity > 1 {
+		return 0
+	}
+	return 1 - similarity
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"a"}, nil, 1},
+		{nil, []string{"a", "b"}, 2},
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, 0},
+		{[]string{"a", "b", "c"}, []string{"a", "x", "c"}, 1},
+		{[]string{"a", "b"}, []string{"a", "b", "c"}, 1},
+		{[]string{"a", "b", "c"}, []string{"c", "b", "a"}, 2},
+		{[]string{"x", "y"}, []string{"p", "q", "r"}, 3},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func genStack(raw []uint8) []string {
+	out := make([]string, 0, len(raw)%6)
+	for i := 0; i < len(raw)%6 && i < len(raw); i++ {
+		out = append(out, fmt.Sprintf("f%d", raw[i]%4))
+	}
+	return out
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	// Symmetry and identity.
+	if err := quick.Check(func(ra, rb []uint8) bool {
+		a, b := genStack(ra), genStack(rb)
+		d := Levenshtein(a, b)
+		if d != Levenshtein(b, a) {
+			return false
+		}
+		if len(a) == len(b) {
+			eq := true
+			for i := range a {
+				if a[i] != b[i] {
+					eq = false
+					break
+				}
+			}
+			if eq && d != 0 {
+				return false
+			}
+		}
+		// Bounds: |len(a)-len(b)| ≤ d ≤ max(len(a),len(b)).
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(a)
+		if len(b) > hi {
+			hi = len(b)
+		}
+		return d >= lo && d <= hi
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Triangle inequality.
+	if err := quick.Check(func(ra, rb, rc []uint8) bool {
+		a, b, c := genStack(ra), genStack(rb), genStack(rc)
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	if s := Similarity([]string{"a"}, []string{"a"}); s != 1 {
+		t.Errorf("identical similarity = %v", s)
+	}
+	if s := Similarity([]string{"a", "b"}, []string{"x", "y"}); s != 0 {
+		t.Errorf("disjoint similarity = %v", s)
+	}
+	if s := Similarity(nil, nil); s != 1 {
+		t.Errorf("empty-vs-empty similarity = %v, want 1", s)
+	}
+	if s := Similarity([]string{"a", "b", "c", "d"}, []string{"a", "b", "c", "x"}); s != 0.75 {
+		t.Errorf("3/4 similarity = %v", s)
+	}
+}
+
+func TestSetClustersCloseStacks(t *testing.T) {
+	s := NewSet(1)
+	id0, new0 := s.Add(0, []string{"main", "io", "read:b1"})
+	id1, new1 := s.Add(1, []string{"main", "io", "read:b2"})  // 1 frame away
+	id2, new2 := s.Add(2, []string{"main", "net", "recv:b9"}) // 2 frames away
+	if !new0 || id0 != 0 {
+		t.Errorf("first add: id=%d new=%v", id0, new0)
+	}
+	if new1 || id1 != id0 {
+		t.Errorf("near stack founded new cluster: id=%d new=%v", id1, new1)
+	}
+	if !new2 || id2 == id0 {
+		t.Errorf("far stack joined cluster: id=%d new=%v", id2, new2)
+	}
+	if s.Len() != 2 {
+		t.Errorf("cluster count = %d, want 2", s.Len())
+	}
+}
+
+func TestSetZeroThresholdExactOnly(t *testing.T) {
+	s := NewSet(0)
+	s.Add(0, []string{"a", "b"})
+	if _, isNew := s.Add(1, []string{"a", "b"}); isNew {
+		t.Error("identical stack founded a new cluster")
+	}
+	if _, isNew := s.Add(2, []string{"a", "c"}); !isNew {
+		t.Error("different stack absorbed at threshold 0")
+	}
+}
+
+func TestSetClustersSortedBySize(t *testing.T) {
+	s := NewSet(0)
+	s.Add(0, []string{"x"})
+	s.Add(1, []string{"y"})
+	s.Add(2, []string{"y"})
+	s.Add(3, []string{"y"})
+	cl := s.Clusters()
+	if len(cl) != 2 || len(cl[0].Members) != 3 || cl[0].Representative[0] != "y" {
+		t.Errorf("clusters = %+v", cl)
+	}
+}
+
+func TestMaxSimilarity(t *testing.T) {
+	s := NewSet(1)
+	if got := s.MaxSimilarity([]string{"a"}); got != 0 {
+		t.Errorf("empty set similarity = %v", got)
+	}
+	s.Add(0, []string{"a", "b", "c", "d"})
+	if got := s.MaxSimilarity([]string{"a", "b", "c", "d"}); got != 1 {
+		t.Errorf("exact match similarity = %v", got)
+	}
+	if got := s.MaxSimilarity([]string{"a", "b", "c", "x"}); got != 0.75 {
+		t.Errorf("similarity = %v, want 0.75", got)
+	}
+}
+
+func TestFeedbackWeight(t *testing.T) {
+	cases := map[float64]float64{0: 1, 0.25: 0.75, 1: 0, -3: 1, 7: 0}
+	for sim, want := range cases {
+		if got := FeedbackWeight(sim); got != want {
+			t.Errorf("FeedbackWeight(%v) = %v, want %v", sim, got, want)
+		}
+	}
+}
+
+func TestRepresentativeIsCopied(t *testing.T) {
+	s := NewSet(0)
+	stack := []string{"a", "b"}
+	s.Add(0, stack)
+	stack[0] = "mutated"
+	if s.Clusters()[0].Representative[0] != "a" {
+		t.Error("representative aliases the caller's slice")
+	}
+}

@@ -1,0 +1,40 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"afex/internal/cluster"
+)
+
+// ExampleSet shows redundancy clustering over injection-point stack
+// traces: two manifestations of the same bug (stacks one frame apart)
+// share a cluster, a different code path founds a new one.
+func ExampleSet() {
+	s := cluster.NewSet(1)
+
+	_, new1 := s.Add(0, []string{"server!boot", "myisam!mi_create", "close:b2418"})
+	_, new2 := s.Add(1, []string{"server!boot", "myisam!mi_create", "close:b2419"})
+	_, new3 := s.Add(2, []string{"server!boot", "net!accept_loop", "recv:b91"})
+
+	fmt.Println("first founds a cluster:", new1)
+	fmt.Println("near-duplicate absorbed:", !new2)
+	fmt.Println("different path founds another:", new3)
+	fmt.Println("clusters:", s.Len())
+	// Output:
+	// first founds a cluster: true
+	// near-duplicate absorbed: true
+	// different path founds another: true
+	// clusters: 2
+}
+
+// ExampleLevenshtein computes the frame-level edit distance the
+// clustering is built on.
+func ExampleLevenshtein() {
+	a := []string{"main", "io", "read"}
+	b := []string{"main", "net", "read"}
+	fmt.Println(cluster.Levenshtein(a, b))
+	fmt.Println(cluster.Similarity(a, b))
+	// Output:
+	// 1
+	// 0.6666666666666667
+}

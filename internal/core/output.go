@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WriteDir materializes the session's output as a directory tree, the
+// way the AFEX prototype presents results to developers (§6.4 step 8:
+// "AFEX produces tables with measurements for each test ... and creates
+// a folder for each test, containing logs, core dumps, or any other
+// output produced during the test"):
+//
+//	dir/
+//	  report.txt          — the session synopsis (Report)
+//	  results.tsv         — one row per executed test
+//	  clusters.txt        — redundancy clusters with representatives
+//	  repro/NNNN.sh       — generated reproduction script per failure-
+//	                        cluster representative
+//	  tests/NNNN/log.txt  — per-test log for every failure-inducing test
+//
+// The directory is created if missing; existing files are overwritten.
+func (r *ResultSet) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "report.txt"), []byte(r.Report(20)), 0o644); err != nil {
+		return err
+	}
+	if err := r.writeTSV(filepath.Join(dir, "results.tsv")); err != nil {
+		return err
+	}
+	if err := r.writeClusters(filepath.Join(dir, "clusters.txt")); err != nil {
+		return err
+	}
+	reproDir := filepath.Join(dir, "repro")
+	if err := os.MkdirAll(reproDir, 0o755); err != nil {
+		return err
+	}
+	for _, rec := range r.Representatives() {
+		name := filepath.Join(reproDir, fmt.Sprintf("%04d.sh", rec.ID))
+		if err := os.WriteFile(name, []byte(r.ReproScript(rec)), 0o755); err != nil {
+			return err
+		}
+	}
+	testsDir := filepath.Join(dir, "tests")
+	for _, rec := range r.Records {
+		if !rec.Outcome.Injected || !rec.Outcome.Failed {
+			continue
+		}
+		d := filepath.Join(testsDir, fmt.Sprintf("%04d", rec.ID))
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(d, "log.txt"), []byte(r.testLog(rec)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTSV writes one row per executed test: the measurement table of
+// §6.4 step 8.
+func (r *ResultSet) writeTSV(path string) error {
+	var b strings.Builder
+	b.WriteString("id\ttestID\tscenario\tinjected\tfailed\tcrashed\thung\timpact\tfitness\tcluster\trelevance\tprecision\tnew_blocks\n")
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, "%d\t%d\t%s\t%v\t%v\t%v\t%v\t%.3f\t%.3f\t%d\t%.4f\t%v\t%d\n",
+			rec.ID, rec.TestID, rec.Scenario,
+			rec.Outcome.Injected, rec.Outcome.Failed, rec.Outcome.Crashed, rec.Outcome.Hung,
+			rec.Impact, rec.Fitness, rec.Cluster, rec.Relevance, rec.Precision, rec.NewBlocks)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// writeClusters writes the redundancy map: the "map, clustered by the
+// degree of redundancy" of §6.
+func (r *ResultSet) writeClusters(path string) error {
+	var b strings.Builder
+	b.WriteString("Redundancy clusters among failure-inducing tests\n")
+	b.WriteString("(one representative per cluster belongs in a regression suite)\n\n")
+	for i, cl := range r.FailureClusters() {
+		fmt.Fprintf(&b, "cluster %d — %d member(s)\n", i, len(cl.Members))
+		fmt.Fprintf(&b, "  representative stack:\n")
+		for _, fr := range cl.Representative {
+			fmt.Fprintf(&b, "    %s\n", fr)
+		}
+		members := append([]int(nil), cl.Members...)
+		sort.Ints(members)
+		fmt.Fprintf(&b, "  members:")
+		for _, m := range members {
+			fmt.Fprintf(&b, " #%d", m)
+		}
+		b.WriteString("\n\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// testLog renders the per-test log folder content.
+func (r *ResultSet) testLog(rec Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario:  %s\n", rec.Scenario)
+	fmt.Fprintf(&b, "plan:      %s\n", rec.Plan)
+	fmt.Fprintf(&b, "outcome:   injected=%v failed=%v crashed=%v hung=%v\n",
+		rec.Outcome.Injected, rec.Outcome.Failed, rec.Outcome.Crashed, rec.Outcome.Hung)
+	if rec.Outcome.CrashID != "" {
+		fmt.Fprintf(&b, "crash id:  %s\n", rec.Outcome.CrashID)
+	}
+	fmt.Fprintf(&b, "impact:    %.3f (fitness %.3f)\n", rec.Impact, rec.Fitness)
+	fmt.Fprintf(&b, "cluster:   %d\n", rec.Cluster)
+	if len(rec.Outcome.InjectionStack) > 0 {
+		b.WriteString("stack at injection point:\n")
+		for _, fr := range rec.Outcome.InjectionStack {
+			fmt.Fprintf(&b, "  %s\n", fr)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteDir(t *testing.T) {
+	res, err := Run(Config{Target: sessionTarget(), Space: sessionSpace(), Algorithm: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	report, err := os.ReadFile(filepath.Join(dir, "report.txt"))
+	if err != nil || !strings.Contains(string(report), "AFEX session report") {
+		t.Errorf("report.txt: %v", err)
+	}
+	tsv, err := os.ReadFile(filepath.Join(dir, "results.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(tsv)), "\n")
+	if len(lines) != 1+res.Executed {
+		t.Errorf("results.tsv has %d lines, want header + %d", len(lines), res.Executed)
+	}
+	clusters, err := os.ReadFile(filepath.Join(dir, "clusters.txt"))
+	if err != nil || !strings.Contains(string(clusters), "cluster 0") {
+		t.Errorf("clusters.txt: %v", err)
+	}
+	repros, err := filepath.Glob(filepath.Join(dir, "repro", "*.sh"))
+	if err != nil || len(repros) != res.UniqueFailures {
+		t.Errorf("repro scripts = %d, want %d", len(repros), res.UniqueFailures)
+	}
+	logs, err := filepath.Glob(filepath.Join(dir, "tests", "*", "log.txt"))
+	if err != nil || len(logs) != res.Failed {
+		t.Errorf("test logs = %d, want %d", len(logs), res.Failed)
+	}
+	for _, lg := range logs {
+		body, _ := os.ReadFile(lg)
+		if !strings.Contains(string(body), "scenario:") {
+			t.Errorf("log %s malformed", lg)
+		}
+	}
+}
+
+func TestTimeBudgetStopsSession(t *testing.T) {
+	// A tiny wall-clock budget stops the session long before the huge
+	// iteration budget does.
+	res, err := Run(Config{
+		Target:     sessionTarget(),
+		Space:      sessionSpace(),
+		Algorithm:  "exhaustive",
+		TimeBudget: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed >= 16 {
+		t.Errorf("time budget ignored: executed %d", res.Executed)
+	}
+	if res.Executed == 0 {
+		t.Error("at least one test should run before the deadline check")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var snaps []Snapshot
+	_, err := Run(Config{
+		Target:        sessionTarget(),
+		Space:         sessionSpace(),
+		Algorithm:     "exhaustive",
+		Progress:      func(s Snapshot) { snaps = append(snaps, s) },
+		ProgressEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 { // 16 executed / every 5 → at 5, 10, 15
+		t.Fatalf("progress called %d times, want 3", len(snaps))
+	}
+	if snaps[0].Executed != 5 || snaps[2].Executed != 15 {
+		t.Errorf("snapshots = %+v", snaps)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"afex/internal/faultspace"
+	"afex/internal/inject"
+	"afex/internal/prog"
+)
+
+// perfTarget has a long busy path; a tolerated early fault on a Retry
+// loop costs nothing, while a clean early failure abandons most of the
+// work — a pure throughput degradation.
+func perfTarget() *prog.Program {
+	p := &prog.Program{
+		Name: "perf",
+		Routines: map[string]*prog.Routine{
+			"serve": {Name: "serve", Module: "m", Ops: []prog.Op{
+				{Func: "accept", OnError: CleanRecoveryBehavior(), Block: 1, RecoveryBlock: 2},
+				{Func: "read", Repeat: 4, OnError: prog.Tolerate, Block: 3},
+				{Func: "write", Repeat: 4, OnError: prog.Tolerate, Block: 4},
+				{Func: "send", Repeat: 4, OnError: prog.Tolerate, Block: 5},
+			}},
+		},
+		TestSuite: []prog.Test{{Name: "t", Script: []string{"serve"}}},
+		NumBlocks: 5,
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CleanRecoveryBehavior exists to keep the literal above readable.
+func CleanRecoveryBehavior() prog.Behavior { return prog.CleanRecovery }
+
+func TestPerfScoreMeasuresWorkLoss(t *testing.T) {
+	target := perfTarget()
+	score := PerfScore(target, ImpactConfig{Failed: 10, Crash: 20, Hang: 15}, 100)
+
+	// Fault-free run: full work, no loss beyond rounding.
+	clean := prog.Run(target, 0, inject.Plan{})
+	if got := score(clean, 0, inject.Plan{}, 0); got != 0 {
+		t.Errorf("clean run scored %v, want 0", got)
+	}
+
+	// Early accept failure abandons the whole request loop: failure
+	// points + a large work-loss component.
+	plan := inject.Single(inject.Fault{Function: "accept", CallNumber: 1})
+	out := prog.Run(target, 0, plan)
+	got := score(out, 0, plan, 0)
+	if got <= 10+50 {
+		t.Errorf("early failure scored %v, want 10 failure points + most of the 100 perf weight", got)
+	}
+
+	// A tolerated late fault (last send) costs almost no work.
+	latePlan := inject.Single(inject.Fault{Function: "send", CallNumber: 4})
+	lateOut := prog.Run(target, 0, latePlan)
+	lateScore := score(lateOut, 0, latePlan, 0)
+	if lateScore >= got/2 {
+		t.Errorf("late tolerated fault scored %v vs early failure %v; perf metric not discriminating", lateScore, got)
+	}
+}
+
+func TestTopPerformanceFaults(t *testing.T) {
+	target := perfTarget()
+	space := faultspace.NewUnion(faultspace.New("s",
+		faultspace.IntAxis("testID", 0, 0),
+		faultspace.SetAxis("function", "accept", "read", "write", "send"),
+		faultspace.IntAxis("callNumber", 1, 4),
+	))
+	top, res, err := TopPerformanceFaults(Config{
+		Target:    target,
+		Space:     space,
+		Algorithm: "exhaustive",
+	}, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != space.Size() {
+		t.Fatalf("executed %d", res.Executed)
+	}
+	if len(top) != 3 {
+		t.Fatalf("top = %d records", len(top))
+	}
+	// The worst performance fault must be the accept failure (abandons
+	// everything).
+	if fn := top[0].Plan.Faults[0].Function; fn != "accept" {
+		t.Errorf("worst perf fault = %s, want accept", fn)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Impact > top[i-1].Impact {
+			t.Error("top list not sorted by impact")
+		}
+	}
+}

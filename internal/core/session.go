@@ -1,0 +1,651 @@
+// Package core wires AFEX together: an explorer (package explore)
+// produces fault-injection candidates, node managers execute them against
+// a system under test (package prog) through the injector (package
+// inject), sensors measure impact, and the results are clustered, scored
+// and ranked (packages cluster, quality).
+//
+// The architecture mirrors §6: the explorer is the main control point;
+// node managers are workers that convert fault descriptions to injector
+// configuration (via inject.Plugin), run the test scripts, and report a
+// single aggregated impact value back. Tests are independent, so the
+// session enjoys "embarrassing parallelism" — the Workers knob runs that
+// many managers concurrently.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"afex/internal/cluster"
+	"afex/internal/dsl"
+	"afex/internal/explore"
+	"afex/internal/faultspace"
+	"afex/internal/inject"
+	"afex/internal/prog"
+	"afex/internal/quality"
+)
+
+// ImpactConfig scores an outcome the way §6.4 step 3 suggests:
+// "allocate scores to each event of interest, such as 1 point for each
+// newly covered basic block, 10 points for each hang bug found, 20
+// points for each crash".
+type ImpactConfig struct {
+	// PerNewBlock is the score per basic block not covered by any earlier
+	// test in this session.
+	PerNewBlock float64
+	// Failed is the score when the injected fault makes the test fail.
+	Failed float64
+	// Crash is the score for a process crash.
+	Crash float64
+	// Hang is the score for a hang.
+	Hang float64
+	// Relevance optionally weighs the impact by the statistical
+	// environment model (§7.5): the measured impact is multiplied by the
+	// normalized probability of the failed function's fault class.
+	Relevance *quality.RelevanceModel
+	// Score, if non-nil, replaces the additive scoring entirely: it
+	// receives the outcome, the count of newly covered blocks, the armed
+	// plan and the test id, and returns the impact. Sessions with an
+	// explicit search target use it to encode that target (e.g. "a
+	// malloc fault that fails an ln test is what we are looking for").
+	// Relevance still applies on top.
+	Score func(out prog.Outcome, newBlocks int, plan inject.Plan, testID int) float64
+}
+
+// DefaultImpact returns the scoring used throughout the evaluation.
+func DefaultImpact() ImpactConfig {
+	return ImpactConfig{PerNewBlock: 1, Failed: 10, Crash: 20, Hang: 15}
+}
+
+// Config describes one fault-exploration session.
+type Config struct {
+	// Target is the system under test.
+	Target *prog.Program
+	// Space is the fault space to explore.
+	Space *faultspace.Union
+	// Algorithm selects the explorer: "fitness", "random", "exhaustive".
+	Algorithm string
+	// Explore tunes the fitness-guided algorithm (ignored by the
+	// baselines except for Seed).
+	Explore explore.Config
+	// Iterations caps the number of tests executed. Zero means run until
+	// the explorer exhausts the space or Stop fires.
+	Iterations int
+	// Workers is the number of concurrent node managers; 0 or 1 runs the
+	// fully deterministic sequential loop.
+	Workers int
+	// Feedback enables the §7.4 result-quality feedback loop: the
+	// fitness of a new result is weighted by (1 - max similarity) to all
+	// previously seen injection stacks.
+	Feedback bool
+	// ClusterThreshold is the maximum Levenshtein distance (frames)
+	// within a redundancy cluster. Default 1.
+	ClusterThreshold int
+	// Impact scores outcomes; zero value selects DefaultImpact.
+	Impact ImpactConfig
+	// Stop, if non-nil, is evaluated after every executed test; returning
+	// true ends the session (the "search target" of §6).
+	Stop func(Snapshot) bool
+	// TimeBudget, if positive, ends the session after this much wall
+	// clock ("the tester can choose to stop the tests after some
+	// specified amount of time", §6.4).
+	TimeBudget time.Duration
+	// Progress, if non-nil, receives a snapshot every ProgressEvery
+	// executed tests (default 100) — the progress log of §6.4 step 7.
+	Progress      func(Snapshot)
+	ProgressEvery int
+	// Observe, if non-nil, is called with every completed record (under
+	// the session lock, before Stop). It lets callers implement search
+	// targets over record contents, e.g. "stop once these exact faults
+	// have been executed".
+	Observe func(Record)
+}
+
+// Snapshot is the running tally handed to Stop conditions and progress
+// logs.
+type Snapshot struct {
+	Executed    int
+	Injected    int
+	Failed      int
+	Crashed     int
+	Hung        int
+	NewCrashIDs int
+	Coverage    float64
+}
+
+// Record is one executed fault-injection test.
+type Record struct {
+	// ID is the execution index within the session.
+	ID int
+	// Point is the fault's coordinates in the space.
+	Point faultspace.Point
+	// Scenario is the wire-format fault description sent to the manager.
+	Scenario string
+	// TestID is the target test that was run.
+	TestID int
+	// Plan is the armed injection plan.
+	Plan inject.Plan
+	// Outcome is what the sensors observed.
+	Outcome prog.Outcome
+	// NewBlocks counts basic blocks this test covered first.
+	NewBlocks int
+	// Impact is the measured impact IS(φ).
+	Impact float64
+	// Fitness is the (possibly feedback-weighted) value the explorer
+	// learned from.
+	Fitness float64
+	// Cluster is the redundancy cluster id among failure-inducing
+	// records, or -1.
+	Cluster int
+	// Relevance is the fault's probability of occurring in the modelled
+	// environment (§5 "Practical Relevance"), when the session has a
+	// relevance model; 0 otherwise.
+	Relevance float64
+	// Precision is the impact precision 1/Var over repeated trials,
+	// filled by MeasurePrecision; 0 until measured. +Inf means the
+	// impact is perfectly reproducible.
+	Precision float64
+}
+
+// ResultSet is the output of a session (§6.3): the records, aggregate
+// statistics, redundancy clusters, and operational synopsis.
+type ResultSet struct {
+	Target    string
+	Algorithm string
+	SpaceSize int
+
+	Records []Record
+
+	Executed int
+	Injected int
+	Failed   int
+	Crashed  int
+	Hung     int
+
+	// UniqueFailures and UniqueCrashes count redundancy clusters among
+	// failure- and crash-inducing records (distinct stack traces at the
+	// injection point, §7.4).
+	UniqueFailures int
+	UniqueCrashes  int
+	// CrashIDs counts occurrences of each distinct planted/derived crash
+	// identity — the ground-truth "how many real bugs did we find".
+	CrashIDs map[string]int
+
+	// Coverage is the fraction of the target's basic blocks covered by
+	// the session's runs; RecoveryCoverage the fraction of recovery
+	// blocks.
+	Coverage         float64
+	RecoveryCoverage float64
+
+	// Sensitivities is the fitness-guided explorer's final normalized
+	// per-axis sensitivity (nil for the baselines).
+	Sensitivities []float64
+
+	// Elapsed is the wall-clock duration of the session.
+	Elapsed time.Duration
+
+	failClusters  *cluster.Set
+	crashClusters *cluster.Set
+}
+
+// session carries the mutable state shared by managers.
+type session struct {
+	cfg      Config
+	explorer explore.Explorer
+	plugin   inject.Plugin
+	axes     []string
+
+	mu sync.Mutex
+	// pending counts candidates handed out but not yet reported, so the
+	// parallel session does not overshoot Iterations.
+	pending       int
+	covered       map[int]struct{}
+	recovered     map[int]struct{}
+	recoverySet   map[int]struct{}
+	allStacks     *cluster.Set
+	failClusters  *cluster.Set
+	crashClusters *cluster.Set
+	res           *ResultSet
+	stopped       bool
+	deadline      time.Time
+}
+
+// Run executes a fault-exploration session and returns its results.
+func Run(cfg Config) (*ResultSet, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("core: Config.Target is nil")
+	}
+	if cfg.Space == nil || cfg.Space.Size() == 0 {
+		return nil, fmt.Errorf("core: Config.Space is nil or empty")
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "fitness"
+	}
+	ex := explore.New(cfg.Algorithm, cfg.Space, cfg.Explore)
+	if ex == nil {
+		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
+	}
+	if cfg.ClusterThreshold == 0 {
+		cfg.ClusterThreshold = 1
+	}
+	if cfg.Impact.PerNewBlock == 0 && cfg.Impact.Failed == 0 && cfg.Impact.Crash == 0 &&
+		cfg.Impact.Hang == 0 && cfg.Impact.Relevance == nil && cfg.Impact.Score == nil {
+		cfg.Impact = DefaultImpact()
+	}
+
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 100
+	}
+	s := &session{
+		cfg:           cfg,
+		explorer:      ex,
+		covered:       make(map[int]struct{}),
+		recovered:     make(map[int]struct{}),
+		recoverySet:   recoveryBlocks(cfg.Target),
+		allStacks:     cluster.NewSet(cfg.ClusterThreshold),
+		failClusters:  cluster.NewSet(cfg.ClusterThreshold),
+		crashClusters: cluster.NewSet(cfg.ClusterThreshold),
+		res: &ResultSet{
+			Target:    cfg.Target.Name,
+			Algorithm: cfg.Algorithm,
+			SpaceSize: cfg.Space.Size(),
+			CrashIDs:  make(map[string]int),
+		},
+	}
+	if len(cfg.Space.Spaces) > 0 {
+		for _, a := range cfg.Space.Spaces[0].Axes {
+			s.axes = append(s.axes, a.Name)
+		}
+	}
+
+	start := time.Now()
+	if cfg.TimeBudget > 0 {
+		s.deadline = start.Add(cfg.TimeBudget)
+	}
+	workers := cfg.Workers
+	if workers <= 1 {
+		s.runSequential()
+	} else {
+		s.runParallel(workers)
+	}
+	s.res.Elapsed = time.Since(start)
+
+	if fg, ok := ex.(*explore.FitnessGuided); ok && len(cfg.Space.Spaces) > 0 {
+		s.res.Sensitivities = fg.Sensitivities(0)
+	}
+	s.res.UniqueFailures = s.failClusters.Len()
+	s.res.UniqueCrashes = s.crashClusters.Len()
+	if cfg.Target.NumBlocks > 0 {
+		s.res.Coverage = float64(len(s.covered)) / float64(cfg.Target.NumBlocks)
+	}
+	if len(s.recoverySet) > 0 {
+		s.res.RecoveryCoverage = float64(len(s.recovered)) / float64(len(s.recoverySet))
+	}
+	s.res.failClusters = s.failClusters
+	s.res.crashClusters = s.crashClusters
+	return s.res, nil
+}
+
+func recoveryBlocks(p *prog.Program) map[int]struct{} {
+	set := make(map[int]struct{})
+	for _, r := range p.Routines {
+		for _, op := range r.Ops {
+			if op.RecoveryBlock != 0 {
+				set[op.RecoveryBlock] = struct{}{}
+			}
+		}
+	}
+	return set
+}
+
+func (s *session) runSequential() {
+	for {
+		if s.cfg.Iterations > 0 && s.res.Executed >= s.cfg.Iterations {
+			return
+		}
+		c, ok := s.explorer.Next()
+		if !ok {
+			return
+		}
+		rec, outcome := s.execute(c)
+		if stop := s.report(c, rec, outcome); stop {
+			return
+		}
+	}
+}
+
+func (s *session) runParallel(workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s.mu.Lock()
+				if s.stopped || (s.cfg.Iterations > 0 && s.res.Executed+s.pending >= s.cfg.Iterations) {
+					s.mu.Unlock()
+					return
+				}
+				c, ok := s.explorer.Next()
+				if ok {
+					s.pending++
+				}
+				s.mu.Unlock()
+				if !ok {
+					return
+				}
+				rec, outcome := s.execute(c)
+				if stop := s.report(c, rec, outcome); stop {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// execute runs one candidate on a node manager: convert the scenario to
+// injector configuration, run the test, observe the outcome. No shared
+// state is touched, so it runs outside the session lock.
+func (s *session) execute(c explore.Candidate) (Record, prog.Outcome) {
+	scenario := dsl.ScenarioFor(s.cfg.Space, c.Point)
+	pt, plan, err := s.plugin.Convert(scenario)
+	if err != nil {
+		// A scenario the injector cannot express is a hole in practice:
+		// record a zero-impact run. (With spaces built by package trace
+		// this cannot happen; custom spaces may include e.g. functions
+		// the injector lacks.)
+		return Record{
+			Point:    c.Point,
+			Scenario: dsl.FormatScenario(scenario, s.axes),
+		}, prog.Outcome{}
+	}
+	outcome := prog.Run(s.cfg.Target, pt.TestID, plan)
+	return Record{
+		Point:    c.Point,
+		Scenario: dsl.FormatScenario(scenario, s.axes),
+		TestID:   pt.TestID,
+		Plan:     plan,
+	}, outcome
+}
+
+// report folds an executed test back into shared state and the explorer.
+// It returns true when the session should stop.
+func (s *session) report(c explore.Candidate, rec Record, outcome prog.Outcome) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending > 0 {
+		s.pending--
+	}
+
+	rec.ID = s.res.Executed
+	rec.Outcome = outcome
+	rec.Cluster = -1
+
+	// Coverage accounting: count blocks first covered by this run.
+	for b := range outcome.Blocks {
+		if _, seen := s.covered[b]; !seen {
+			s.covered[b] = struct{}{}
+			rec.NewBlocks++
+		}
+		if _, isRec := s.recoverySet[b]; isRec {
+			s.recovered[b] = struct{}{}
+		}
+	}
+
+	// Impact metric.
+	im := s.cfg.Impact
+	var impact float64
+	if im.Score != nil {
+		impact = im.Score(outcome, rec.NewBlocks, rec.Plan, rec.TestID)
+	} else {
+		impact = im.PerNewBlock * float64(rec.NewBlocks)
+		if outcome.Injected {
+			if outcome.Crashed {
+				impact += im.Crash
+			} else if outcome.Hung {
+				impact += im.Hang
+			} else if outcome.Failed {
+				impact += im.Failed
+			}
+		}
+	}
+	if im.Relevance != nil && len(rec.Plan.Faults) > 0 {
+		rec.Relevance = im.Relevance.Weight(rec.Plan.Faults[0].Function)
+		impact *= rec.Relevance
+	}
+	rec.Impact = impact
+
+	// Result-quality feedback (§7.4): scale fitness by dissimilarity to
+	// everything seen so far, then remember this stack.
+	rec.Fitness = impact
+	if outcome.Injected {
+		if s.cfg.Feedback {
+			sim := s.allStacks.MaxSimilarity(outcome.InjectionStack)
+			rec.Fitness = impact * cluster.FeedbackWeight(sim)
+		}
+		s.allStacks.Add(rec.ID, outcome.InjectionStack)
+	}
+
+	// Tally and cluster.
+	s.res.Executed++
+	if outcome.Injected {
+		s.res.Injected++
+	}
+	if outcome.Injected && outcome.Failed {
+		s.res.Failed++
+		id, _ := s.failClusters.Add(rec.ID, outcome.InjectionStack)
+		rec.Cluster = id
+		if outcome.Crashed {
+			s.res.Crashed++
+			s.crashClusters.Add(rec.ID, outcome.InjectionStack)
+			if outcome.CrashID != "" {
+				s.res.CrashIDs[outcome.CrashID]++
+			}
+		}
+		if outcome.Hung {
+			s.res.Hung++
+		}
+	}
+	s.res.Records = append(s.res.Records, rec)
+
+	s.explorer.Report(c, rec.Impact, rec.Fitness)
+
+	if s.cfg.Observe != nil {
+		s.cfg.Observe(rec)
+	}
+	if s.cfg.Progress != nil && s.res.Executed%s.cfg.ProgressEvery == 0 {
+		s.cfg.Progress(s.snapshotLocked())
+	}
+	if s.cfg.Stop != nil && s.cfg.Stop(s.snapshotLocked()) {
+		s.stopped = true
+		return true
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.stopped = true
+		return true
+	}
+	return s.stopped
+}
+
+func (s *session) snapshotLocked() Snapshot {
+	cov := 0.0
+	if s.cfg.Target.NumBlocks > 0 {
+		cov = float64(len(s.covered)) / float64(s.cfg.Target.NumBlocks)
+	}
+	return Snapshot{
+		Executed:    s.res.Executed,
+		Injected:    s.res.Injected,
+		Failed:      s.res.Failed,
+		Crashed:     s.res.Crashed,
+		Hung:        s.res.Hung,
+		NewCrashIDs: len(s.res.CrashIDs),
+		Coverage:    cov,
+	}
+}
+
+// FailedAt reports whether the i-th executed test was a failure-inducing
+// injection (used by the cumulative curves of Fig. 8).
+func (r *ResultSet) FailedAt(i int) bool {
+	if i < 0 || i >= len(r.Records) {
+		return false
+	}
+	out := r.Records[i].Outcome
+	return out.Injected && out.Failed
+}
+
+// RankBySeverity returns the records sorted by impact, highest first —
+// the ranking AFEX presents to developers (§1: "ranks them by severity").
+func (r *ResultSet) RankBySeverity() []Record {
+	out := append([]Record(nil), r.Records...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Impact > out[j].Impact })
+	return out
+}
+
+// FailureClusters returns the redundancy clusters among failure-inducing
+// records, largest first.
+func (r *ResultSet) FailureClusters() []cluster.Cluster {
+	if r.failClusters == nil {
+		return nil
+	}
+	return r.failClusters.Clusters()
+}
+
+// CrashClusters returns the redundancy clusters among crash-inducing
+// records, largest first.
+func (r *ResultSet) CrashClusters() []cluster.Cluster {
+	if r.crashClusters == nil {
+		return nil
+	}
+	return r.crashClusters.Clusters()
+}
+
+// Representatives returns one record per failure cluster — the tests
+// worth promoting into a regression suite (§6: "Representatives of each
+// redundancy cluster can thus be directly assembled into regression test
+// suites").
+func (r *ResultSet) Representatives() []Record {
+	var out []Record
+	for _, cl := range r.FailureClusters() {
+		if len(cl.Members) == 0 {
+			continue
+		}
+		out = append(out, r.Records[cl.Members[0]])
+	}
+	return out
+}
+
+// MeasurePrecision re-runs each failure-cluster representative trials
+// times against the target and fills its Precision field (§5: "AFEX runs
+// the same test n times and computes the variance of the fault's impact
+// across the n trials; the impact precision is 1/Var"). It returns the
+// measured representatives. The program models are deterministic, so the
+// typical result is +Inf — exactly the reproducible failures the paper
+// says developers should debug first; a stochastic target would yield
+// finite values.
+//
+// Impact per trial is scored with the same configuration the session
+// used, minus coverage novelty (which is session state, not a property
+// of the fault).
+func (r *ResultSet) MeasurePrecision(target *prog.Program, im ImpactConfig, trials int) []Record {
+	if trials <= 1 {
+		trials = 2
+	}
+	reps := r.Representatives()
+	for i := range reps {
+		rec := &reps[i]
+		impacts := make([]float64, trials)
+		for t := 0; t < trials; t++ {
+			out := prog.Run(target, rec.TestID, rec.Plan)
+			v := 0.0
+			if im.Score != nil {
+				v = im.Score(out, 0, rec.Plan, rec.TestID)
+			} else if out.Injected {
+				switch {
+				case out.Crashed:
+					v = im.Crash
+				case out.Hung:
+					v = im.Hang
+				case out.Failed:
+					v = im.Failed
+				}
+			}
+			impacts[t] = v
+		}
+		rec.Precision = quality.Precision(impacts)
+		// Reflect the measurement into the session record too.
+		if rec.ID >= 0 && rec.ID < len(r.Records) {
+			r.Records[rec.ID].Precision = rec.Precision
+		}
+	}
+	return reps
+}
+
+// ReproScript renders a generated, self-contained reproduction script for
+// a record (§6.3 "Test Suites"). The script replays the exact scenario
+// through the afex CLI.
+func (r *ResultSet) ReproScript(rec Record) string {
+	var b strings.Builder
+	b.WriteString("#!/bin/sh\n")
+	fmt.Fprintf(&b, "# AFEX-generated reproduction: %s, scenario #%d\n", r.Target, rec.ID)
+	fmt.Fprintf(&b, "# outcome: failed=%v crashed=%v hung=%v impact=%.1f\n",
+		rec.Outcome.Failed, rec.Outcome.Crashed, rec.Outcome.Hung, rec.Impact)
+	if len(rec.Outcome.InjectionStack) > 0 {
+		fmt.Fprintf(&b, "# stack at injection point:\n")
+		for _, fr := range rec.Outcome.InjectionStack {
+			fmt.Fprintf(&b, "#   %s\n", fr)
+		}
+	}
+	fmt.Fprintf(&b, "exec afex replay --target %s --scenario %q\n", r.Target, rec.Scenario)
+	return b.String()
+}
+
+// Report renders the operational synopsis of §6.3: search setup, counts,
+// coverage, cluster summary and the top faults by severity.
+func (r *ResultSet) Report(topK int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AFEX session report\n")
+	fmt.Fprintf(&b, "  target        %s\n", r.Target)
+	fmt.Fprintf(&b, "  algorithm     %s\n", r.Algorithm)
+	fmt.Fprintf(&b, "  fault space   %d points\n", r.SpaceSize)
+	fmt.Fprintf(&b, "  tests         %d executed, %d injected\n", r.Executed, r.Injected)
+	fmt.Fprintf(&b, "  failures      %d (%d unique)\n", r.Failed, r.UniqueFailures)
+	fmt.Fprintf(&b, "  crashes       %d (%d unique), hangs %d\n", r.Crashed, r.UniqueCrashes, r.Hung)
+	fmt.Fprintf(&b, "  coverage      %.2f%% (recovery code %.2f%%)\n", 100*r.Coverage, 100*r.RecoveryCoverage)
+	fmt.Fprintf(&b, "  elapsed       %v\n", r.Elapsed.Round(time.Millisecond))
+	if len(r.CrashIDs) > 0 {
+		ids := make([]string, 0, len(r.CrashIDs))
+		for id := range r.CrashIDs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(&b, "  distinct crash identities:\n")
+		for _, id := range ids {
+			fmt.Fprintf(&b, "    %-48s ×%d\n", id, r.CrashIDs[id])
+		}
+	}
+	if r.Sensitivities != nil {
+		fmt.Fprintf(&b, "  axis sensitivities: ")
+		for i, v := range r.Sensitivities {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%.2f", v)
+		}
+		b.WriteString("\n")
+	}
+	ranked := r.RankBySeverity()
+	if topK > len(ranked) {
+		topK = len(ranked)
+	}
+	if topK > 0 {
+		fmt.Fprintf(&b, "  top %d faults by severity:\n", topK)
+		for _, rec := range ranked[:topK] {
+			fmt.Fprintf(&b, "    impact=%7.1f cluster=%3d %s\n", rec.Impact, rec.Cluster, rec.Scenario)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"afex/internal/explore"
+	"afex/internal/faultspace"
+	"afex/internal/inject"
+	"afex/internal/prog"
+)
+
+// sessionTarget builds a small deterministic target with one failing
+// region: tests 2 and 3 fail when read call 1 or 2 is injected; test 3's
+// second routine crashes when write call 1 fails.
+func sessionTarget() *prog.Program {
+	p := &prog.Program{
+		Name: "sess",
+		Routines: map[string]*prog.Routine{
+			"ok": {Name: "ok", Module: "good", Ops: []prog.Op{
+				{Func: "read", Repeat: 2, OnError: prog.Tolerate, Block: 1},
+				{Func: "write", OnError: prog.Tolerate, Block: 2},
+			}},
+			"frail": {Name: "frail", Module: "bad", Ops: []prog.Op{
+				{Func: "read", Repeat: 2, OnError: prog.Propagate, Block: 3, RecoveryBlock: 4},
+			}},
+			"crashy": {Name: "crashy", Module: "bad", Ops: []prog.Op{
+				{Func: "write", OnError: prog.UncheckedCrash, Block: 5, CrashID: "sess-crash"},
+			}},
+		},
+		TestSuite: []prog.Test{
+			{Name: "t0", Script: []string{"ok"}},
+			{Name: "t1", Script: []string{"ok"}},
+			{Name: "t2", Script: []string{"frail"}},
+			{Name: "t3", Script: []string{"frail", "crashy"}},
+		},
+		NumBlocks: 5,
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func sessionSpace() *faultspace.Union {
+	return faultspace.NewUnion(faultspace.New("s",
+		faultspace.IntAxis("testID", 0, 3),
+		faultspace.SetAxis("function", "read", "write"),
+		faultspace.IntAxis("callNumber", 1, 2),
+	))
+}
+
+func TestRunExhaustiveCountsMatchManualEnumeration(t *testing.T) {
+	res, err := Run(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "exhaustive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 16 {
+		t.Fatalf("executed %d, want the whole 16-point space", res.Executed)
+	}
+	// Injected: every (test, read, 1|2) fires (all tests read twice);
+	// (test, write, 1) fires for t0, t1 (ok) and t3 (crashy); write@2
+	// never fires. 8 + 3 = 11.
+	if res.Injected != 11 {
+		t.Errorf("injected = %d, want 11", res.Injected)
+	}
+	// Failures: t2/t3 × read × {1,2} = 4, plus t3 write@1 crash = 5.
+	if res.Failed != 5 {
+		t.Errorf("failed = %d, want 5", res.Failed)
+	}
+	if res.Crashed != 1 || res.CrashIDs["sess-crash"] != 1 {
+		t.Errorf("crashed = %d (%v), want 1", res.Crashed, res.CrashIDs)
+	}
+	if res.Hung != 0 {
+		t.Errorf("hung = %d", res.Hung)
+	}
+	// All five blocks get covered across the session.
+	if res.Coverage != 1.0 {
+		t.Errorf("coverage = %v", res.Coverage)
+	}
+	if res.RecoveryCoverage != 1.0 {
+		t.Errorf("recovery coverage = %v", res.RecoveryCoverage)
+	}
+	if res.SpaceSize != 16 || res.Target != "sess" || res.Algorithm != "exhaustive" {
+		t.Errorf("metadata wrong: %+v", res)
+	}
+}
+
+func TestRunIterationsBudget(t *testing.T) {
+	res, err := Run(Config{
+		Target:     sessionTarget(),
+		Space:      sessionSpace(),
+		Algorithm:  "random",
+		Iterations: 7,
+		Explore:    explore.Config{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 7 || len(res.Records) != 7 {
+		t.Errorf("executed %d records %d, want 7", res.Executed, len(res.Records))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Space: sessionSpace()}); err == nil {
+		t.Error("nil target accepted")
+	}
+	if _, err := Run(Config{Target: sessionTarget()}); err == nil {
+		t.Error("nil space accepted")
+	}
+	if _, err := Run(Config{Target: sessionTarget(), Space: sessionSpace(), Algorithm: "quantum"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestGeneticAlgorithmRunsThroughSession(t *testing.T) {
+	res, err := Run(Config{
+		Target:     sessionTarget(),
+		Space:      sessionSpace(),
+		Algorithm:  "genetic",
+		Iterations: 16,
+		Explore:    explore.Config{Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 16 {
+		t.Errorf("genetic session executed %d, want the whole space", res.Executed)
+	}
+	if res.Failed != 5 { // same ground truth as the exhaustive sweep
+		t.Errorf("genetic over the whole space found %d failures, want 5", res.Failed)
+	}
+}
+
+func TestDefaultAlgorithmIsFitness(t *testing.T) {
+	res, err := Run(Config{Target: sessionTarget(), Space: sessionSpace(), Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "fitness" {
+		t.Errorf("default algorithm = %q", res.Algorithm)
+	}
+}
+
+func TestStopCondition(t *testing.T) {
+	res, err := Run(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "exhaustive",
+		Stop:      func(s Snapshot) bool { return s.Failed >= 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 2 {
+		t.Errorf("stopped with %d failures, want exactly 2", res.Failed)
+	}
+	if res.Executed == 16 {
+		t.Error("Stop did not cut the session short")
+	}
+}
+
+func TestObserveSeesEveryRecord(t *testing.T) {
+	var seen []int
+	_, err := Run(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "exhaustive",
+		Observe:   func(r Record) { seen = append(seen, r.ID) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 16 {
+		t.Fatalf("observed %d records", len(seen))
+	}
+	for i, id := range seen {
+		if id != i {
+			t.Fatalf("record IDs out of order: %v", seen)
+		}
+	}
+}
+
+func TestImpactScoring(t *testing.T) {
+	res, err := Run(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "exhaustive",
+		Impact:    ImpactConfig{PerNewBlock: 0, Failed: 10, Crash: 20, Hang: 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		out := rec.Outcome
+		want := 0.0
+		switch {
+		case out.Injected && out.Crashed:
+			want = 20
+		case out.Injected && out.Failed:
+			want = 10
+		}
+		if rec.Impact != want {
+			t.Errorf("record %d (%s): impact %v, want %v", rec.ID, rec.Scenario, rec.Impact, want)
+		}
+	}
+}
+
+func TestCustomScoreOverrides(t *testing.T) {
+	res, err := Run(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "exhaustive",
+		Impact: ImpactConfig{Score: func(out prog.Outcome, newBlocks int, plan inject.Plan, testID int) float64 {
+			return float64(testID)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		if rec.Impact != float64(rec.TestID) {
+			t.Fatalf("custom score ignored: %+v", rec)
+		}
+	}
+}
+
+func TestNewBlockAccountingFirstRunOnly(t *testing.T) {
+	res, err := Run(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "exhaustive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, rec := range res.Records {
+		total += rec.NewBlocks
+	}
+	if total != 5 {
+		t.Errorf("sum of NewBlocks = %d, want the program's 5 blocks", total)
+	}
+}
+
+func TestFeedbackReducesFitnessOfSimilarStacks(t *testing.T) {
+	res, err := Run(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "exhaustive",
+		Feedback:  true,
+		Impact:    ImpactConfig{PerNewBlock: 0, Failed: 10, Crash: 20, Hang: 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The four read-failures of t2/t3 share the injection stack shape;
+	// later ones must have reduced fitness.
+	var fitnesses []float64
+	for _, rec := range res.Records {
+		if rec.Outcome.Injected && rec.Outcome.Failed && !rec.Outcome.Crashed {
+			fitnesses = append(fitnesses, rec.Fitness)
+		}
+	}
+	if len(fitnesses) != 4 {
+		t.Fatalf("expected 4 clean failures, got %d", len(fitnesses))
+	}
+	if fitnesses[0] != 10 {
+		t.Errorf("first failure fitness = %v, want full 10", fitnesses[0])
+	}
+	last := fitnesses[len(fitnesses)-1]
+	if last >= fitnesses[0] {
+		t.Errorf("later similar failure kept fitness %v", last)
+	}
+}
+
+func TestUniqueClustersAndRepresentatives(t *testing.T) {
+	res, err := Run(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "exhaustive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure stacks: frail/read (t2, t3 × 2 calls — same stack shape
+	// modulo callsite) and crashy/write. Expect 2 clusters.
+	if res.UniqueFailures != 2 {
+		t.Errorf("unique failures = %d, want 2", res.UniqueFailures)
+	}
+	if res.UniqueCrashes != 1 {
+		t.Errorf("unique crashes = %d, want 1", res.UniqueCrashes)
+	}
+	reps := res.Representatives()
+	if len(reps) != 2 {
+		t.Fatalf("representatives = %d", len(reps))
+	}
+	script := res.ReproScript(reps[0])
+	if !strings.Contains(script, "afex replay --target sess") || !strings.Contains(script, reps[0].Scenario) {
+		t.Errorf("repro script malformed:\n%s", script)
+	}
+}
+
+func TestRankBySeverity(t *testing.T) {
+	res, err := Run(Config{Target: sessionTarget(), Space: sessionSpace(), Algorithm: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := res.RankBySeverity()
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Impact > ranked[i-1].Impact {
+			t.Fatal("ranking not descending")
+		}
+	}
+}
+
+func TestFailedAt(t *testing.T) {
+	res, err := Run(Config{Target: sessionTarget(), Space: sessionSpace(), Algorithm: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i := 0; i < res.Executed; i++ {
+		if res.FailedAt(i) {
+			n++
+		}
+	}
+	if n != res.Failed {
+		t.Errorf("FailedAt count %d != Failed %d", n, res.Failed)
+	}
+	if res.FailedAt(-1) || res.FailedAt(10000) {
+		t.Error("FailedAt out of range should be false")
+	}
+}
+
+func TestParallelWorkersExecuteFullBudget(t *testing.T) {
+	res, err := Run(Config{
+		Target:     sessionTarget(),
+		Space:      sessionSpace(),
+		Algorithm:  "random",
+		Iterations: 12,
+		Workers:    4,
+		Explore:    explore.Config{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 12 {
+		t.Errorf("parallel session executed %d, want 12", res.Executed)
+	}
+	seen := map[string]bool{}
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatal("parallel session executed a point twice")
+		}
+		seen[rec.Point.Key()] = true
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	res, err := Run(Config{Target: sessionTarget(), Space: sessionSpace(), Algorithm: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report(3)
+	for _, want := range []string{"target        sess", "fault space   16 points", "crashes", "top 3 faults"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report lacks %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestSequentialDeterminism(t *testing.T) {
+	run := func() *ResultSet {
+		res, err := Run(Config{
+			Target:     sessionTarget(),
+			Space:      sessionSpace(),
+			Algorithm:  "fitness",
+			Iterations: 16,
+			Explore:    explore.Config{Seed: 5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Failed != b.Failed || a.Crashed != b.Crashed || a.Executed != b.Executed {
+		t.Fatal("sequential sessions with equal seeds diverged")
+	}
+	for i := range a.Records {
+		if a.Records[i].Scenario != b.Records[i].Scenario {
+			t.Fatalf("record %d differs: %q vs %q", i, a.Records[i].Scenario, b.Records[i].Scenario)
+		}
+	}
+}

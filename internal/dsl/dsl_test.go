@@ -1,0 +1,317 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"afex/internal/faultspace"
+)
+
+// fig4 is the example fault space description from the paper's Fig. 4.
+const fig4 = `
+function : { malloc, calloc, realloc }
+errno : { ENOMEM }
+retval : { 0 }
+callNumber : [ 1 , 100 ] ;
+
+function : { read }
+errno : { EINTR }
+retVal : { -1 }
+callNumber : [ 1 , 50 ] ;
+`
+
+func TestParseFig4(t *testing.T) {
+	// The paper's Fig. 4 verbatim, including the negative retVal set
+	// member and the two spellings of retval.
+	d, err := Parse(fig4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Spaces) != 2 {
+		t.Fatalf("got %d spaces, want 2", len(d.Spaces))
+	}
+	s0 := d.Spaces[0]
+	if len(s0.Params) != 4 {
+		t.Fatalf("space 0 has %d params, want 4", len(s0.Params))
+	}
+	if got := s0.Params[0].Set; len(got) != 3 || got[0] != "malloc" || got[2] != "realloc" {
+		t.Errorf("function set = %v", got)
+	}
+	if p := s0.Params[3]; p.Name != "callNumber" || p.Lo != 1 || p.Hi != 100 || p.Kind != Point {
+		t.Errorf("callNumber = %+v", p)
+	}
+	u := d.Build()
+	if got := u.Spaces[0].Size(); got != 3*1*1*100 {
+		t.Errorf("space 0 size = %d, want 300", got)
+	}
+	if got := u.Spaces[1].Size(); got != 1*1*1*50 {
+		t.Errorf("space 1 size = %d, want 50", got)
+	}
+	if got := d.Spaces[1].Params[2].Set[0]; got != "-1" {
+		t.Errorf("negative retVal member = %q, want -1", got)
+	}
+}
+
+func TestParseUnderscoreIdentifiers(t *testing.T) {
+	d, err := Parse(`function : { __xstat64, __IO_putc, _exit } ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Spaces[0].Params[0].Set; got[0] != "__xstat64" || got[2] != "_exit" {
+		t.Errorf("set = %v", got)
+	}
+}
+
+func TestParseSubtype(t *testing.T) {
+	d, err := Parse(`io_faults function : { read, write } callNumber : [1,3] ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spaces[0].Subtype != "io_faults" {
+		t.Errorf("subtype = %q", d.Spaces[0].Subtype)
+	}
+	u := d.Build()
+	if u.Spaces[0].Name != "io_faults" {
+		t.Errorf("built space name = %q", u.Spaces[0].Name)
+	}
+}
+
+func TestParseRangeInterval(t *testing.T) {
+	d, err := Parse(`delay : < 5 , 10 > ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := d.Spaces[0].Params[0]; p.Kind != Range || p.Lo != 5 || p.Hi != 10 {
+		t.Errorf("range param = %+v", p)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	d, err := Parse("# leading comment\nfunction : { read } ; # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Spaces) != 1 {
+		t.Fatalf("got %d spaces", len(d.Spaces))
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	d, err := Parse("   # only a comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Spaces) != 0 {
+		t.Errorf("empty input produced %d spaces", len(d.Spaces))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"function : ;",             // missing value
+		"function : { } ;",         // empty set
+		"function : { read ;",      // unterminated set
+		"callNumber : [ 5 , 2 ] ;", // hi < lo
+		"callNumber : [ 1 2 ] ;",   // missing comma
+		"x : [1,2] x : [1,2] ;",    // duplicate parameter
+		"sub1 sub2 x : [1,2] ;",    // duplicate subtype
+		"; ",                       // empty space
+		"function : ( read ) ;",    // bad bracket
+		"123 : [1,2] ;",            // identifier must start with a letter
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("Parse(%q) returned %T, want *ParseError", in, err)
+		}
+	}
+}
+
+func TestParseErrorHasOffset(t *testing.T) {
+	_, err := Parse("function : { read } callNumber : [ 9 , 2 ] ;")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("got %v", err)
+	}
+	if pe.Offset <= 0 || !strings.Contains(pe.Error(), "offset") {
+		t.Errorf("ParseError lacks position info: %v", pe)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	in := `faults
+function : { open, close }
+callNumber : [ 1 , 9 ]
+window : < 2 , 4 >
+;
+`
+	d, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(d.String())
+	if err != nil {
+		t.Fatalf("re-parse of String() failed: %v\n%s", err, d.String())
+	}
+	if d2.String() != d.String() {
+		t.Errorf("String round-trip not stable:\n%s\nvs\n%s", d.String(), d2.String())
+	}
+}
+
+func TestBuildAxisOrderMatchesSource(t *testing.T) {
+	d, err := Parse(`testID : [0,4] function : { a, b } callNumber : [1,2] ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := d.Build()
+	axes := u.Spaces[0].Axes
+	want := []string{"testID", "function", "callNumber"}
+	for i, name := range want {
+		if axes[i].Name != name {
+			t.Fatalf("axis %d = %q, want %q", i, axes[i].Name, name)
+		}
+	}
+}
+
+func TestScenarioFormatParseRoundTrip(t *testing.T) {
+	s := Scenario{"function": "malloc", "errno": "ENOMEM", "retval": "0", "callNumber": "23"}
+	wire := FormatScenario(s, []string{"function", "errno", "retval", "callNumber"})
+	if wire != "function malloc errno ENOMEM retval 0 callNumber 23" {
+		t.Errorf("wire = %q", wire)
+	}
+	back, err := ParseScenario(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("round trip lost keys: %v", back)
+	}
+	for k, v := range s {
+		if back[k] != v {
+			t.Errorf("key %q: %q != %q", k, back[k], v)
+		}
+	}
+}
+
+func TestFormatScenarioStableWithoutOrder(t *testing.T) {
+	s := Scenario{"b": "2", "a": "1", "c": "3"}
+	if got := FormatScenario(s, nil); got != "a 1 b 2 c 3" {
+		t.Errorf("sorted format = %q", got)
+	}
+}
+
+func TestFormatScenarioExtraKeysAppended(t *testing.T) {
+	s := Scenario{"x": "1", "y": "2"}
+	got := FormatScenario(s, []string{"y"})
+	if got != "y 2 x 1" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	if _, err := ParseScenario("a 1 b"); err == nil {
+		t.Error("odd token count accepted")
+	}
+	if _, err := ParseScenario("a 1 a 2"); err == nil {
+		t.Error("duplicate key accepted")
+	}
+}
+
+func TestScenarioRoundTripProperty(t *testing.T) {
+	letters := "abcdefghij"
+	if err := quick.Check(func(keys []uint8, vals []uint8) bool {
+		s := Scenario{}
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			k := "k" + string(letters[int(keys[i])%10])
+			v := "v" + string(letters[int(vals[i])%10])
+			s[k] = v
+		}
+		if len(s) == 0 {
+			return true
+		}
+		back, err := ParseScenario(FormatScenario(s, nil))
+		if err != nil {
+			return false
+		}
+		if len(back) != len(s) {
+			return false
+		}
+		for k, v := range s {
+			if back[k] != v {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanics feeds the parser arbitrary byte soup: whatever
+// the input, it must return (possibly an error), never panic or hang.
+func TestParseNeverPanics(t *testing.T) {
+	alphabet := "ab_ {}[]<>:;,0123456789#\n\t" + `"'\` + "é"
+	if err := quick.Check(func(raw []uint16) bool {
+		b := make([]byte, 0, len(raw))
+		for _, r := range raw {
+			b = append(b, alphabet[int(r)%len(alphabet)])
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("Parse(%q) panicked: %v", b, p)
+			}
+		}()
+		_, _ = Parse(string(b))
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseValidDescriptionsBuild checks that everything the parser
+// accepts also Builds into a well-formed union.
+func TestParseValidDescriptionsBuild(t *testing.T) {
+	inputs := []string{
+		`f : { a } ;`,
+		`f : { a, b } g : [0,0] ;`,
+		`sub f : < 1 , 1 > ;`,
+		`f:{a};g:{b};`,
+	}
+	for _, in := range inputs {
+		d, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		u := d.Build()
+		if u.Size() == 0 {
+			t.Errorf("Parse(%q) built an empty union", in)
+		}
+		u.Enumerate(func(p faultspace.Point) bool {
+			if !u.Spaces[p.Sub].Contains(p.Fault) {
+				t.Errorf("built union enumerates invalid point %v", p)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func TestScenarioFor(t *testing.T) {
+	d, err := Parse(`testID : [0,9] function : { read, write } callNumber : [1,5] ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := d.Build()
+	pt := faultspace.Point{Sub: 0, Fault: faultspace.Fault{3, 1, 4}}
+	sc := ScenarioFor(u, pt)
+	if sc["testID"] != "3" || sc["function"] != "write" || sc["callNumber"] != "5" {
+		t.Errorf("scenario = %v", sc)
+	}
+}

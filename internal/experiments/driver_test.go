@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDriver is the end-to-end integration drive of the experiment
+// harness: it regenerates the fast tables and figures at full scale and
+// prints them (visible under -v), catching any panic or degenerate
+// rendering across the whole harness in one pass. Table 1, Table 4 and
+// the scalability run are exercised separately (they are the slow ones).
+func TestDriver(t *testing.T) {
+	o := Opts{Seed: 1, Reps: 2, Scale: 1}
+	fmt.Println(Fig1(o).String())
+	fmt.Println(Table3(o).String())
+	fmt.Println(Table2(o).String())
+	fmt.Println(Table5(o).String())
+	fmt.Println(Table6(Opts{Seed: 1, Reps: 2}).String())
+	fmt.Println(Fig9(o).String())
+}

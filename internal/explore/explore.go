@@ -1,0 +1,501 @@
+// Package explore implements AFEX's fault exploration algorithms (§3):
+// the fitness-guided search of Algorithm 1, plus the random and
+// exhaustive baselines, all behind one Explorer interface.
+//
+// The fitness-guided explorer is, in the paper's words, "a variation of
+// stochastic beam search — parallel hill-climbing with a common pool of
+// candidate states — enhanced with sensitivity analysis and Gaussian
+// value selection". Its moving parts:
+//
+//   - Qpriority: a bounded priority pool of already-executed high-fitness
+//     tests. Parents are sampled from it with probability proportional to
+//     fitness; when full, victims are dropped with probability inversely
+//     proportional to fitness.
+//   - Qpending: generated-but-not-yet-executed candidates.
+//   - History: every test ever executed, so nothing re-executes.
+//   - Sensitivity: one value per fault-space axis, the sum of the fitness
+//     of the last n tests that mutated that axis. Axis choice for the
+//     next mutation is sensitivity-proportional, steering the search to
+//     align with the fault space's structure.
+//   - Gaussian mutation: the mutated attribute's new value is drawn from
+//     a discrete Gaussian centred on the old value with σ = |Ai|/5,
+//     favouring neighbours without dismissing distant values.
+//   - Aging: every executed test decays the fitness of pool members;
+//     tests whose fitness drops below a threshold retire and can never
+//     have offspring, pushing the search to keep improving coverage
+//     rather than orbiting one high-impact vicinity.
+package explore
+
+import (
+	"afex/internal/faultspace"
+	"afex/internal/xrand"
+)
+
+// Candidate is a fault the explorer wants executed, with the provenance
+// the algorithm needs when the result comes back.
+type Candidate struct {
+	Point faultspace.Point
+	// MutatedAxis is the axis index whose attribute was mutated to derive
+	// this candidate from its parent, or -1 for randomly generated seeds.
+	MutatedAxis int
+	// ParentKey is the History key of the parent test, or "" for seeds.
+	ParentKey string
+}
+
+// Explorer generates fault-injection tests and learns from their results.
+// Next and Report may be called from one goroutine only; the parallel
+// session in package core serializes access (the explorer is cheap
+// relative to test execution — §6.1).
+type Explorer interface {
+	// Next returns the next candidate to execute, or ok == false when the
+	// explorer has exhausted the space (or cannot produce a fresh
+	// candidate).
+	Next() (c Candidate, ok bool)
+	// Report feeds back an executed candidate. impact is the measured
+	// impact IS(φ); fitness is the (possibly feedback-weighted, §7.4)
+	// value the search should learn from — pass fitness == impact when no
+	// result-quality feedback is in use.
+	Report(c Candidate, impact, fitness float64)
+}
+
+// Config parameterizes the fitness-guided explorer. Zero values select
+// the defaults used throughout the evaluation.
+type Config struct {
+	// Seed makes the exploration deterministic.
+	Seed int64
+	// InitialBatch is the number of random seed tests generated before
+	// fitness guidance kicks in (step 1 of §3). Default 20.
+	InitialBatch int
+	// QueueSize bounds Qpriority. Default 20.
+	QueueSize int
+	// SensitivityWindow is n in "sum the fitness of the previous n test
+	// cases in which attribute αi was mutated". Default 20.
+	SensitivityWindow int
+	// SigmaFraction scales the Gaussian σ as a fraction of |Ai|. The
+	// paper uses σ = |Ai|/5, i.e. 0.2. Default 0.2.
+	SigmaFraction float64
+	// AgingFactor multiplies every pool member's fitness after each
+	// executed test. Default 0.93.
+	AgingFactor float64
+	// RetireFraction: a pool member retires when its fitness decays below
+	// RetireFraction times the pool's mean fitness. Default 0.05.
+	RetireFraction float64
+
+	// Ablation switches (all default off, i.e. full algorithm). They
+	// exist for the design-choice benchmarks in DESIGN.md.
+
+	// NoAging disables the aging mechanism.
+	NoAging bool
+	// NoSensitivity replaces sensitivity-proportional axis choice with a
+	// uniform choice, degenerating to plain stochastic beam search.
+	NoSensitivity bool
+	// UniformMutation replaces the Gaussian attribute mutation with a
+	// uniform draw over the axis.
+	UniformMutation bool
+	// Greedy always mutates the highest-fitness pool member instead of
+	// sampling fitness-proportionally.
+	Greedy bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialBatch <= 0 {
+		c.InitialBatch = 20
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 20
+	}
+	if c.SensitivityWindow <= 0 {
+		c.SensitivityWindow = 20
+	}
+	if c.SigmaFraction <= 0 {
+		c.SigmaFraction = 0.2
+	}
+	if c.AgingFactor <= 0 {
+		c.AgingFactor = 0.93
+	}
+	if c.RetireFraction <= 0 {
+		c.RetireFraction = 0.05
+	}
+	return c
+}
+
+// executed is a pool entry: an executed test and its decaying fitness.
+type executed struct {
+	point   faultspace.Point
+	key     string
+	fitness float64
+	impact  float64
+}
+
+// axisWindow is the per-axis ring buffer behind the sensitivity vector.
+type axisWindow struct {
+	vals []float64
+	next int
+	sum  float64
+}
+
+func newAxisWindow(n int) *axisWindow { return &axisWindow{vals: make([]float64, 0, n)} }
+
+func (w *axisWindow) push(v float64) {
+	if len(w.vals) < cap(w.vals) {
+		w.vals = append(w.vals, v)
+		w.sum += v
+		return
+	}
+	w.sum += v - w.vals[w.next]
+	w.vals[w.next] = v
+	w.next = (w.next + 1) % len(w.vals)
+}
+
+// Fitness is the current sensitivity contribution of the axis.
+func (w *axisWindow) sensitivity() float64 {
+	if w.sum < 0 {
+		return 0 // guard against float drift
+	}
+	return w.sum
+}
+
+// FitnessGuided is the Algorithm 1 explorer.
+type FitnessGuided struct {
+	cfg   Config
+	space *faultspace.Union
+	rng   *xrand.Rand
+
+	pool    []*executed // Qpriority
+	pending []Candidate // Qpending
+	history map[string]bool
+	queued  map[string]bool // keys currently in pending
+	// sensitivity per subspace per axis.
+	sens [][]*axisWindow
+	// seedsLeft counts remaining initial random seeds.
+	seedsLeft int
+	executedN int
+}
+
+// NewFitnessGuided builds a fitness-guided explorer over the given space.
+func NewFitnessGuided(space *faultspace.Union, cfg Config) *FitnessGuided {
+	cfg = cfg.withDefaults()
+	fg := &FitnessGuided{
+		cfg:       cfg,
+		space:     space,
+		rng:       xrand.New(cfg.Seed),
+		history:   make(map[string]bool),
+		queued:    make(map[string]bool),
+		seedsLeft: cfg.InitialBatch,
+	}
+	fg.sens = make([][]*axisWindow, len(space.Spaces))
+	for i, s := range space.Spaces {
+		fg.sens[i] = make([]*axisWindow, s.Dims())
+		for k := range fg.sens[i] {
+			fg.sens[i][k] = newAxisWindow(cfg.SensitivityWindow)
+		}
+	}
+	return fg
+}
+
+// Executed reports how many tests have been reported back so far.
+func (fg *FitnessGuided) Executed() int { return fg.executedN }
+
+// HistorySize reports the number of distinct tests ever enqueued for
+// execution (i.e. coverage of the fault space in points).
+func (fg *FitnessGuided) HistorySize() int { return len(fg.history) }
+
+// Next implements Explorer.
+func (fg *FitnessGuided) Next() (Candidate, bool) {
+	if len(fg.pending) > 0 {
+		c := fg.pending[0]
+		fg.pending = fg.pending[1:]
+		return c, true
+	}
+	// Generate: either a remaining initial seed, or a mutation of a pool
+	// member (Algorithm 1). Mutation can fail to produce a fresh
+	// candidate (vicinity exhausted); bounded retries then fall back to
+	// random seeds so the search keeps making progress. If the whole
+	// space is in History, give up.
+	if fg.space.Size() > 0 && len(fg.history) >= fg.space.Size() {
+		return Candidate{}, false
+	}
+	for attempt := 0; attempt < 500; attempt++ {
+		var c Candidate
+		var ok bool
+		// After repeated failures to find a fresh mutation (the current
+		// vicinity is mined out and every neighbour is in History), fall
+		// back to random seeding so the search keeps moving — this is the
+		// exploration/exploitation escape hatch that complements aging.
+		fromSeed := fg.seedsLeft > 0 || len(fg.pool) == 0 || attempt >= 100
+		if fromSeed {
+			c, ok = fg.randomSeed()
+		} else {
+			c, ok = fg.mutate()
+			if !ok {
+				c, ok = fg.randomSeed()
+			}
+		}
+		if !ok {
+			continue
+		}
+		key := c.Point.Key()
+		if fg.history[key] || fg.queued[key] {
+			continue
+		}
+		if fromSeed && fg.seedsLeft > 0 {
+			fg.seedsLeft--
+		}
+		fg.queued[key] = true
+		return c, true
+	}
+	// Random retries can miss the last few unvisited points of a nearly
+	// exhausted space; fall back to a systematic scan so the explorer is
+	// complete (its coverage "increases proportionally to the allocated
+	// time budget", §3 — all the way to 100%).
+	var out Candidate
+	found := false
+	fg.space.Enumerate(func(p faultspace.Point) bool {
+		key := p.Key()
+		if fg.history[key] || fg.queued[key] {
+			return true
+		}
+		fg.queued[key] = true
+		out = Candidate{Point: p, MutatedAxis: -1}
+		found = true
+		return false
+	})
+	return out, found
+}
+
+// randomSeed draws a uniform random point (step 1 of §3).
+func (fg *FitnessGuided) randomSeed() (Candidate, bool) {
+	if fg.space.Size() == 0 {
+		return Candidate{}, false
+	}
+	p := fg.space.Random(fg.rng.Intn)
+	return Candidate{Point: p, MutatedAxis: -1}, true
+}
+
+// mutate implements lines 1–11 of Algorithm 1.
+func (fg *FitnessGuided) mutate() (Candidate, bool) {
+	if len(fg.pool) == 0 {
+		return Candidate{}, false
+	}
+	// Lines 1–4: sample the parent fitness-proportionally (or greedily,
+	// for the ablation).
+	var parent *executed
+	if fg.cfg.Greedy {
+		parent = fg.pool[0]
+		for _, e := range fg.pool[1:] {
+			if e.fitness > parent.fitness {
+				parent = e
+			}
+		}
+	} else {
+		weights := make([]float64, len(fg.pool))
+		for i, e := range fg.pool {
+			weights[i] = e.fitness
+		}
+		parent = fg.pool[fg.rng.Weighted(weights)]
+	}
+	sub := fg.space.Spaces[parent.point.Sub]
+
+	// Lines 5–6: choose the attribute to mutate, sensitivity-weighted.
+	// A small uniform floor keeps every axis's probability non-zero, the
+	// same way parent selection keeps low-fitness tests selectable:
+	// without it, one productive axis starves the others and the search
+	// never discovers that a neighbouring axis has become rewarding.
+	var axis int
+	if fg.cfg.NoSensitivity || sub.Dims() == 1 {
+		axis = fg.rng.Intn(sub.Dims())
+	} else {
+		weights := make([]float64, sub.Dims())
+		total := 0.0
+		for k, w := range fg.sens[parent.point.Sub] {
+			weights[k] = w.sensitivity()
+			total += weights[k]
+		}
+		if total > 0 {
+			floor := 0.1 * total / float64(len(weights))
+			for k := range weights {
+				weights[k] += floor
+			}
+		}
+		axis = fg.rng.Weighted(weights)
+	}
+
+	// Lines 7–9: choose the new value. σ is proportional to |Ai|.
+	n := sub.Axes[axis].Len()
+	if n <= 1 {
+		return Candidate{}, false
+	}
+	old := parent.point.Fault[axis]
+	var newVal int
+	if fg.cfg.UniformMutation {
+		newVal = fg.rng.Intn(n - 1)
+		if newVal >= old {
+			newVal++
+		}
+	} else {
+		sigma := fg.cfg.SigmaFraction * float64(n)
+		newVal = fg.rng.Gaussian(n, old, sigma)
+	}
+
+	// Lines 10–11: clone and substitute.
+	f := parent.point.Fault.Clone()
+	f[axis] = newVal
+	p := faultspace.Point{Sub: parent.point.Sub, Fault: f}
+	if sub.Hole != nil && sub.Hole(f) {
+		return Candidate{}, false
+	}
+	return Candidate{Point: p, MutatedAxis: axis, ParentKey: parent.key}, true
+}
+
+// Report implements Explorer. It moves the candidate into History,
+// inserts it into Qpriority (evicting inverse-fitness-proportionally when
+// full), updates the mutated axis's sensitivity window, and applies one
+// aging step to the pool.
+func (fg *FitnessGuided) Report(c Candidate, impact, fitness float64) {
+	key := c.Point.Key()
+	delete(fg.queued, key)
+	fg.history[key] = true
+	fg.executedN++
+
+	if c.MutatedAxis >= 0 && c.Point.Sub < len(fg.sens) && c.MutatedAxis < len(fg.sens[c.Point.Sub]) {
+		fg.sens[c.Point.Sub][c.MutatedAxis].push(fitness)
+	}
+
+	if !fg.cfg.NoAging {
+		for _, e := range fg.pool {
+			e.fitness *= fg.cfg.AgingFactor
+		}
+		fg.retire()
+	}
+
+	e := &executed{point: c.Point, key: key, fitness: fitness, impact: impact}
+	fg.pool = append(fg.pool, e)
+	if len(fg.pool) > fg.cfg.QueueSize {
+		weights := make([]float64, len(fg.pool))
+		for i, m := range fg.pool {
+			weights[i] = m.fitness
+		}
+		victim := fg.rng.InverseWeighted(weights)
+		fg.pool[victim] = fg.pool[len(fg.pool)-1]
+		fg.pool = fg.pool[:len(fg.pool)-1]
+	}
+}
+
+// retire drops pool members whose decayed fitness fell below
+// RetireFraction of the pool mean; they can no longer have offspring.
+func (fg *FitnessGuided) retire() {
+	if len(fg.pool) == 0 {
+		return
+	}
+	mean := 0.0
+	for _, e := range fg.pool {
+		mean += e.fitness
+	}
+	mean /= float64(len(fg.pool))
+	if mean <= 0 {
+		return
+	}
+	threshold := fg.cfg.RetireFraction * mean
+	kept := fg.pool[:0]
+	for _, e := range fg.pool {
+		if e.fitness >= threshold {
+			kept = append(kept, e)
+		}
+	}
+	fg.pool = kept
+}
+
+// Sensitivities returns the current normalized sensitivity vector of
+// subspace sub, for the §7.3 structure analysis ("the sensitivity of
+// Xfunc converges to 0.1 while Xtest and Xcall converge to 0.4").
+func (fg *FitnessGuided) Sensitivities(sub int) []float64 {
+	raw := make([]float64, len(fg.sens[sub]))
+	for k, w := range fg.sens[sub] {
+		raw[k] = w.sensitivity()
+	}
+	return xrand.Normalize(raw)
+}
+
+// Random is the uniform random-sampling baseline explorer. It never
+// re-executes a point (sampling without replacement), matching AFEX's
+// accounting of "tests executed".
+type Random struct {
+	space   *faultspace.Union
+	rng     *xrand.Rand
+	history map[string]bool
+}
+
+// NewRandom builds a random explorer with the given seed.
+func NewRandom(space *faultspace.Union, seed int64) *Random {
+	return &Random{space: space, rng: xrand.New(seed), history: make(map[string]bool)}
+}
+
+// Next implements Explorer.
+func (r *Random) Next() (Candidate, bool) {
+	if r.space.Size() == 0 || len(r.history) >= r.space.Size() {
+		return Candidate{}, false
+	}
+	for attempt := 0; attempt < 10000; attempt++ {
+		p := r.space.Random(r.rng.Intn)
+		key := p.Key()
+		if r.history[key] {
+			continue
+		}
+		r.history[key] = true
+		return Candidate{Point: p, MutatedAxis: -1}, true
+	}
+	return Candidate{}, false
+}
+
+// Report implements Explorer; random search learns nothing.
+func (r *Random) Report(Candidate, float64, float64) {}
+
+// Exhaustive enumerates the whole space in lexicographic order, the
+// brute-force baseline of Gunawi et al. that §3 contrasts with.
+type Exhaustive struct {
+	points []faultspace.Point
+	next   int
+}
+
+// NewExhaustive builds an exhaustive explorer. The enumeration order is
+// materialized up front; for the spaces where exhaustive search is
+// feasible at all (coreutils-scale) this is small.
+func NewExhaustive(space *faultspace.Union) *Exhaustive {
+	e := &Exhaustive{}
+	space.Enumerate(func(p faultspace.Point) bool {
+		e.points = append(e.points, p)
+		return true
+	})
+	return e
+}
+
+// Next implements Explorer.
+func (e *Exhaustive) Next() (Candidate, bool) {
+	if e.next >= len(e.points) {
+		return Candidate{}, false
+	}
+	p := e.points[e.next]
+	e.next++
+	return Candidate{Point: p, MutatedAxis: -1}, true
+}
+
+// Report implements Explorer; exhaustive search learns nothing.
+func (e *Exhaustive) Report(Candidate, float64, float64) {}
+
+// New constructs an explorer by algorithm name: "fitness", "random",
+// "exhaustive" or "genetic" (the baseline the paper abandoned, §3).
+// Unknown names return nil.
+func New(name string, space *faultspace.Union, cfg Config) Explorer {
+	switch name {
+	case "fitness", "fitness-guided":
+		return NewFitnessGuided(space, cfg)
+	case "random":
+		return NewRandom(space, cfg.Seed)
+	case "exhaustive":
+		return NewExhaustive(space)
+	case "genetic":
+		return NewGenetic(space, GeneticConfig{Seed: cfg.Seed})
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,169 @@
+package explore
+
+import (
+	"afex/internal/faultspace"
+	"afex/internal/xrand"
+)
+
+// Genetic is the generational genetic-algorithm explorer — the approach
+// the paper's authors tried first and abandoned ("In an earlier version
+// of our system, we employed a genetic algorithm, but abandoned it,
+// because we found it inefficient. AFEX aims to optimize for 'ridges' on
+// the fault-impact hypersurface, and this makes global optimization
+// algorithms difficult to apply", §3).
+//
+// It is provided as a baseline so that claim can be reproduced: a
+// population of fault vectors evolves by fitness-proportional selection,
+// single-point crossover of attribute vectors, and per-attribute uniform
+// mutation. Compare it against FitnessGuided on any structured target
+// (BenchmarkAblationGenetic does).
+type Genetic struct {
+	space *faultspace.Union
+	rng   *xrand.Rand
+
+	popSize      int
+	mutationRate float64
+
+	// population holds the current generation's evaluated members.
+	population []*executed
+	// offspring queues the next generation awaiting execution.
+	offspring []Candidate
+	history   map[string]bool
+	queued    map[string]bool
+}
+
+// GeneticConfig parameterizes the genetic explorer.
+type GeneticConfig struct {
+	Seed int64
+	// PopSize is the generation size. Default 30.
+	PopSize int
+	// MutationRate is the per-attribute probability of a uniform
+	// mutation after crossover. Default 0.1.
+	MutationRate float64
+}
+
+// NewGenetic builds a genetic-algorithm explorer over the space.
+func NewGenetic(space *faultspace.Union, cfg GeneticConfig) *Genetic {
+	if cfg.PopSize <= 0 {
+		cfg.PopSize = 30
+	}
+	if cfg.MutationRate <= 0 {
+		cfg.MutationRate = 0.1
+	}
+	return &Genetic{
+		space:        space,
+		rng:          xrand.New(cfg.Seed),
+		popSize:      cfg.PopSize,
+		mutationRate: cfg.MutationRate,
+		history:      make(map[string]bool),
+		queued:       make(map[string]bool),
+	}
+}
+
+// Next implements Explorer.
+func (g *Genetic) Next() (Candidate, bool) {
+	if g.space.Size() > 0 && len(g.history) >= g.space.Size() {
+		return Candidate{}, false
+	}
+	for attempt := 0; attempt < 500; attempt++ {
+		var c Candidate
+		if len(g.offspring) > 0 {
+			c = g.offspring[0]
+			g.offspring = g.offspring[1:]
+		} else if len(g.population) >= g.popSize {
+			g.breed()
+			continue
+		} else {
+			// Fill the initial population (or top up after dedup losses)
+			// with random members.
+			c = Candidate{Point: g.space.Random(g.rng.Intn), MutatedAxis: -1}
+		}
+		key := c.Point.Key()
+		if g.history[key] || g.queued[key] {
+			continue
+		}
+		g.queued[key] = true
+		return c, true
+	}
+	// Deduplicate-resistant fallback: systematic scan.
+	var out Candidate
+	found := false
+	g.space.Enumerate(func(p faultspace.Point) bool {
+		key := p.Key()
+		if g.history[key] || g.queued[key] {
+			return true
+		}
+		g.queued[key] = true
+		out = Candidate{Point: p, MutatedAxis: -1}
+		found = true
+		return false
+	})
+	return out, found
+}
+
+// breed produces the next generation from the current population:
+// fitness-proportional parent selection, single-point crossover within
+// the same subspace, then uniform per-attribute mutation. The parent
+// generation is discarded (generational replacement).
+func (g *Genetic) breed() {
+	weights := make([]float64, len(g.population))
+	for i, m := range g.population {
+		weights[i] = m.fitness
+	}
+	for len(g.offspring) < g.popSize {
+		a := g.population[g.rng.Weighted(weights)]
+		b := g.population[g.rng.Weighted(weights)]
+		child := g.crossover(a, b)
+		g.mutate(child)
+		g.offspring = append(g.offspring, Candidate{Point: child, MutatedAxis: -1})
+	}
+	g.population = g.population[:0]
+}
+
+// crossover splices two parents' attribute vectors at a random point.
+// Parents from different subspaces cannot be crossed; the child is then a
+// mutated copy of the fitter one.
+func (g *Genetic) crossover(a, b *executed) faultspace.Point {
+	if a.point.Sub != b.point.Sub {
+		if b.fitness > a.fitness {
+			a = b
+		}
+		return faultspace.Point{Sub: a.point.Sub, Fault: a.point.Fault.Clone()}
+	}
+	f := a.point.Fault.Clone()
+	if len(f) > 1 {
+		cut := 1 + g.rng.Intn(len(f)-1)
+		copy(f[cut:], b.point.Fault[cut:])
+	}
+	return faultspace.Point{Sub: a.point.Sub, Fault: f}
+}
+
+// mutate applies uniform per-attribute mutation in place, steering clear
+// of holes by resampling.
+func (g *Genetic) mutate(p faultspace.Point) {
+	s := g.space.Spaces[p.Sub]
+	for k := range p.Fault {
+		if g.rng.Float64() < g.mutationRate {
+			p.Fault[k] = g.rng.Intn(s.Axes[k].Len())
+		}
+	}
+	if s.Hole != nil && s.Hole(p.Fault) {
+		// Replace a hole with a fresh random member rather than biasing
+		// the neighbourhood.
+		fresh := s.Random(g.rng.Intn)
+		copy(p.Fault, fresh)
+	}
+}
+
+// Report implements Explorer.
+func (g *Genetic) Report(c Candidate, impact, fitness float64) {
+	key := c.Point.Key()
+	delete(g.queued, key)
+	g.history[key] = true
+	g.population = append(g.population, &executed{
+		point:   c.Point,
+		key:     key,
+		fitness: fitness,
+		impact:  impact,
+	})
+}

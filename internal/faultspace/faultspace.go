@@ -1,0 +1,407 @@
+// Package faultspace models the fault hyperspaces of AFEX §2.
+//
+// A fault space Φ is spanned by N totally-ordered axes X1..XN; a fault φ is
+// a vector of attribute indices <α1..αN> into those axes. The space may
+// have holes (invalid parameter combinations) and may be a union of
+// subspaces (the ";"-separated subspaces of the description language).
+//
+// The package provides the geometric machinery the exploration algorithm
+// and its evaluation rely on: Manhattan distance δ, D-vicinities, and the
+// relative linear density metric ρ that characterizes fault-space
+// structure.
+package faultspace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis is one totally ordered dimension of a fault space. Values are laid
+// out in the order ≺ of the paper; an attribute index i refers to
+// Values[i]. For numeric axes the Values are the decimal representations
+// of the range, so the index order coincides with numeric order.
+type Axis struct {
+	// Name identifies the injector parameter this axis feeds, e.g.
+	// "function", "errno", "callNumber", "testID".
+	Name string
+	// Values holds the ordered attribute values.
+	Values []string
+}
+
+// Len returns the number of attribute values on the axis.
+func (a Axis) Len() int { return len(a.Values) }
+
+// IndexOf returns the index of value v on the axis under ≺, or -1 if v is
+// not an attribute value of this axis.
+func (a Axis) IndexOf(v string) int {
+	for i, x := range a.Values {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// IntAxis builds a numeric axis named name spanning [lo, hi] inclusive.
+func IntAxis(name string, lo, hi int) Axis {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	vals := make([]string, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		vals = append(vals, fmt.Sprintf("%d", v))
+	}
+	return Axis{Name: name, Values: vals}
+}
+
+// SetAxis builds a categorical axis from an explicit ordered value set.
+func SetAxis(name string, values ...string) Axis {
+	return Axis{Name: name, Values: append([]string(nil), values...)}
+}
+
+// Fault is a point in a fault space: a vector of attribute indices, one
+// per axis. Fault values are small and copied freely.
+type Fault []int
+
+// Clone returns an independent copy of φ (the clone() of Algorithm 1
+// line 10).
+func (f Fault) Clone() Fault {
+	c := make(Fault, len(f))
+	copy(c, f)
+	return c
+}
+
+// Equal reports whether two faults have identical attribute vectors.
+func (f Fault) Equal(g Fault) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for i := range f {
+		if f[i] != g[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string identity for use in History sets and
+// deduplication maps.
+func (f Fault) Key() string {
+	var b strings.Builder
+	for i, v := range f {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// Space is a single fault hyperspace: the Cartesian product of its axes,
+// minus any holes.
+type Space struct {
+	// Name labels the subspace (the optional "subtype" identifier of the
+	// description language).
+	Name string
+	// Axes span the space. All faults in the space index into these.
+	Axes []Axis
+	// Hole, if non-nil, reports parameter combinations that are invalid
+	// (e.g. close returning 1). Holes are skipped by enumeration and
+	// rejected by Contains.
+	Hole func(Fault) bool
+}
+
+// New constructs a Space from axes. The zero-value Hole (nil) means the
+// space has no holes.
+func New(name string, axes ...Axis) *Space {
+	return &Space{Name: name, Axes: axes}
+}
+
+// Dims returns the number of axes.
+func (s *Space) Dims() int { return len(s.Axes) }
+
+// Size returns the number of points in the full Cartesian product,
+// ignoring holes. The paper quotes sizes this way (e.g. |Φ_MySQL| =
+// 2,179,300).
+func (s *Space) Size() int {
+	if len(s.Axes) == 0 {
+		return 0
+	}
+	n := 1
+	for _, a := range s.Axes {
+		n *= a.Len()
+	}
+	return n
+}
+
+// Contains reports whether f is a valid point of the space: correct
+// dimensionality, every index in range, and not a hole.
+func (s *Space) Contains(f Fault) bool {
+	if len(f) != len(s.Axes) {
+		return false
+	}
+	for i, v := range f {
+		if v < 0 || v >= s.Axes[i].Len() {
+			return false
+		}
+	}
+	if s.Hole != nil && s.Hole(f) {
+		return false
+	}
+	return true
+}
+
+// Attr returns the attribute value of f on axis i (the human-readable
+// injector parameter).
+func (s *Space) Attr(f Fault, i int) string { return s.Axes[i].Values[f[i]] }
+
+// Describe renders f as "name=value" pairs, the form node managers receive.
+func (s *Space) Describe(f Fault) string {
+	parts := make([]string, len(f))
+	for i := range f {
+		parts[i] = s.Axes[i].Name + "=" + s.Attr(f, i)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Random returns a uniformly random valid fault, retrying past holes.
+// intn must behave like rand.Intn. It panics if the space is empty or if
+// 1000 consecutive draws hit holes (a degenerate Hole predicate).
+func (s *Space) Random(intn func(int) int) Fault {
+	if s.Size() == 0 {
+		panic("faultspace: Random on empty space")
+	}
+	for tries := 0; tries < 1000; tries++ {
+		f := make(Fault, len(s.Axes))
+		for i, a := range s.Axes {
+			f[i] = intn(a.Len())
+		}
+		if s.Hole == nil || !s.Hole(f) {
+			return f
+		}
+	}
+	panic("faultspace: Hole predicate rejects (nearly) all faults")
+}
+
+// Enumerate calls visit for every valid fault in the space, in
+// lexicographic order of attribute indices. visit returning false stops
+// enumeration early. This is the exhaustive-search iterator.
+func (s *Space) Enumerate(visit func(Fault) bool) {
+	if s.Size() == 0 {
+		return
+	}
+	f := make(Fault, len(s.Axes))
+	for {
+		if s.Hole == nil || !s.Hole(f) {
+			if !visit(f.Clone()) {
+				return
+			}
+		}
+		// Odometer increment.
+		i := len(f) - 1
+		for i >= 0 {
+			f[i]++
+			if f[i] < s.Axes[i].Len() {
+				break
+			}
+			f[i] = 0
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// Distance returns the Manhattan (city-block) distance δ(f, g): the
+// smallest number of attribute-index increments/decrements turning f into
+// g (§2). Both faults must have the space's dimensionality.
+func Distance(f, g Fault) int {
+	d := 0
+	for i := range f {
+		if f[i] > g[i] {
+			d += f[i] - g[i]
+		} else {
+			d += g[i] - f[i]
+		}
+	}
+	return d
+}
+
+// Vicinity calls visit for every valid fault within Manhattan distance D
+// of center (inclusive), center itself included. Enumeration is bounded by
+// axis lengths and skips holes.
+func (s *Space) Vicinity(center Fault, d int, visit func(Fault) bool) {
+	f := center.Clone()
+	var rec func(axis, budget int) bool
+	rec = func(axis, budget int) bool {
+		if axis == len(s.Axes) {
+			if s.Hole == nil || !s.Hole(f) {
+				return visit(f.Clone())
+			}
+			return true
+		}
+		lo := center[axis] - budget
+		if lo < 0 {
+			lo = 0
+		}
+		hi := center[axis] + budget
+		if hi > s.Axes[axis].Len()-1 {
+			hi = s.Axes[axis].Len() - 1
+		}
+		for v := lo; v <= hi; v++ {
+			f[axis] = v
+			used := v - center[axis]
+			if used < 0 {
+				used = -used
+			}
+			if !rec(axis+1, budget-used) {
+				return false
+			}
+		}
+		f[axis] = center[axis]
+		return true
+	}
+	rec(0, d)
+}
+
+// LinearDensity computes the relative linear density ρ_k(φ) of §2 along
+// axis k, restricted to the D-vicinity of φ: the average impact of faults
+// that differ from φ only on axis k (within the vicinity), scaled by the
+// average impact of all faults in the vicinity. impact must be defined for
+// every valid fault it is handed.
+//
+// ρ > 1 means walking along axis k from φ encounters more high-impact
+// faults than walking in a random direction.
+func (s *Space) LinearDensity(center Fault, k, d int, impact func(Fault) float64) float64 {
+	var lineSum float64
+	var lineN int
+	f := center.Clone()
+	lo := center[k] - d
+	if lo < 0 {
+		lo = 0
+	}
+	hi := center[k] + d
+	if hi > s.Axes[k].Len()-1 {
+		hi = s.Axes[k].Len() - 1
+	}
+	for v := lo; v <= hi; v++ {
+		f[k] = v
+		if s.Hole != nil && s.Hole(f) {
+			continue
+		}
+		lineSum += impact(f)
+		lineN++
+	}
+	var allSum float64
+	var allN int
+	s.Vicinity(center, d, func(g Fault) bool {
+		allSum += impact(g)
+		allN++
+		return true
+	})
+	if lineN == 0 || allN == 0 || allSum == 0 {
+		return 0
+	}
+	return (lineSum / float64(lineN)) / (allSum / float64(allN))
+}
+
+// ShuffleAxis returns a copy of the space with the values of axis k
+// permuted by perm (perm[i] gives the new position of value i). This is
+// the structure-destruction operation of the paper's §7.3 experiment:
+// shuffling a dimension's values eliminates whatever structure that
+// dimension had while preserving the space's size and contents.
+//
+// The returned space's axes share no storage with the original. Holes are
+// remapped so the same logical faults remain invalid.
+func (s *Space) ShuffleAxis(k int, perm []int) *Space {
+	if len(perm) != s.Axes[k].Len() {
+		panic("faultspace: ShuffleAxis permutation has wrong length")
+	}
+	out := &Space{Name: s.Name, Axes: make([]Axis, len(s.Axes))}
+	for i, a := range s.Axes {
+		vals := append([]string(nil), a.Values...)
+		if i == k {
+			for oldIdx, newIdx := range perm {
+				vals[newIdx] = a.Values[oldIdx]
+			}
+		}
+		out.Axes[i] = Axis{Name: a.Name, Values: vals}
+	}
+	if hole := s.Hole; hole != nil {
+		// Map a shuffled fault back to original indices before asking the
+		// original predicate.
+		inv := make([]int, len(perm))
+		for oldIdx, newIdx := range perm {
+			inv[newIdx] = oldIdx
+		}
+		out.Hole = func(f Fault) bool {
+			g := f.Clone()
+			g[k] = inv[f[k]]
+			return hole(g)
+		}
+	}
+	return out
+}
+
+// Union is an ordered collection of subspaces, as produced by a
+// description with multiple ";"-separated spaces. A point in a Union is
+// addressed by (subspace index, Fault).
+type Union struct {
+	Spaces []*Space
+}
+
+// NewUnion builds a Union over the given subspaces.
+func NewUnion(spaces ...*Space) *Union { return &Union{Spaces: spaces} }
+
+// Size returns the total number of points across subspaces.
+func (u *Union) Size() int {
+	n := 0
+	for _, s := range u.Spaces {
+		n += s.Size()
+	}
+	return n
+}
+
+// Point identifies a fault within a Union.
+type Point struct {
+	Sub   int
+	Fault Fault
+}
+
+// Key returns a unique string identity for the point.
+func (p Point) Key() string { return fmt.Sprintf("%d:%s", p.Sub, p.Fault.Key()) }
+
+// Random draws a subspace with probability proportional to its size, then
+// a uniform fault within it, so the union is sampled uniformly overall.
+func (u *Union) Random(intn func(int) int) Point {
+	total := u.Size()
+	if total == 0 {
+		panic("faultspace: Random on empty union")
+	}
+	x := intn(total)
+	for i, s := range u.Spaces {
+		if x < s.Size() {
+			return Point{Sub: i, Fault: s.Random(intn)}
+		}
+		x -= s.Size()
+	}
+	panic("unreachable")
+}
+
+// Enumerate visits every valid point of every subspace in order.
+func (u *Union) Enumerate(visit func(Point) bool) {
+	for i, s := range u.Spaces {
+		stop := false
+		s.Enumerate(func(f Fault) bool {
+			if !visit(Point{Sub: i, Fault: f}) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}

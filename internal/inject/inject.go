@@ -1,0 +1,219 @@
+// Package inject is the library-level fault injector of this repository —
+// the stand-in for LFI. It turns abstract fault descriptions (package dsl
+// scenarios, or points in a faultspace) into armed injection plans that
+// the simulated libc consults during execution.
+//
+// An injection point is the tuple ⟨testID, functionName, callNumber⟩ (§4
+// "Injection Point Precision"): testID selects one execution path (a test
+// from the target's suite), functionName the library call to fail, and
+// callNumber the cardinality of the call to that function that should
+// fail. The injector itself handles the ⟨functionName, callNumber⟩ part;
+// testID is consumed by the node manager when it picks which test to run.
+package inject
+
+import (
+	"fmt"
+	"strconv"
+
+	"afex/internal/dsl"
+	"afex/internal/libc"
+)
+
+// Fault is one atomic fault to inject: fail the callNumber-th call to
+// Function with the given error return. CallNumber 0 means "do not
+// inject" — the paper's coreutils fault space explicitly includes 0 on
+// the callNumber axis as the no-injection point.
+type Fault struct {
+	Function   string
+	CallNumber int
+	Err        libc.ErrorReturn
+}
+
+// String renders the fault in the Fig. 5 scenario style.
+func (f Fault) String() string {
+	return fmt.Sprintf("function %s errno %s retval %d callNumber %d",
+		f.Function, f.Err.Errno, f.Err.Retval, f.CallNumber)
+}
+
+// Plan is a set of atomic faults armed for one execution. AFEX scenarios
+// may combine several faults ("inject an EINTR in the third read and an
+// ENOMEM in the seventh malloc", §6); the evaluation uses single-fault
+// plans but the machinery is multi-fault.
+type Plan struct {
+	Faults []Fault
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool {
+	for _, f := range p.Faults {
+		if f.CallNumber > 0 && f.Function != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// Single returns a plan containing exactly one fault.
+func Single(f Fault) Plan { return Plan{Faults: []Fault{f}} }
+
+// String renders the plan as ";"-joined scenario lines.
+func (p Plan) String() string {
+	s := ""
+	for i, f := range p.Faults {
+		if i > 0 {
+			s += "; "
+		}
+		s += f.String()
+	}
+	return s
+}
+
+// Injector is a libc.Hook that injects according to a Plan. It is
+// single-execution state: create one per test run (the Armed constructor
+// is cheap).
+type Injector struct {
+	plan Plan
+	// fired tracks which plan entries already fired, so a fault injects
+	// exactly once even if call counters wrap around in a pathological
+	// target.
+	fired []bool
+}
+
+// Armed returns an Injector armed with the plan.
+func Armed(plan Plan) *Injector {
+	return &Injector{plan: plan, fired: make([]bool, len(plan.Faults))}
+}
+
+// Inject implements libc.Hook.
+func (in *Injector) Inject(function string, number int) (libc.ErrorReturn, bool) {
+	for i, f := range in.plan.Faults {
+		if in.fired[i] || f.CallNumber <= 0 {
+			continue
+		}
+		if f.Function == function && f.CallNumber == number {
+			in.fired[i] = true
+			return f.Err, true
+		}
+	}
+	return libc.ErrorReturn{}, false
+}
+
+// Fired reports how many plan entries actually injected.
+func (in *Injector) Fired() int {
+	n := 0
+	for _, f := range in.fired {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// Point is a fully qualified injection point: the ⟨testID, function,
+// callNumber⟩ tuple used throughout the evaluation.
+type Point struct {
+	TestID     int
+	Function   string
+	CallNumber int
+}
+
+// String renders the point for logs and cluster labels.
+func (p Point) String() string {
+	return fmt.Sprintf("test=%d %s@%d", p.TestID, p.Function, p.CallNumber)
+}
+
+// Plugin converts AFEX-internal fault descriptions (dsl.Scenario maps)
+// into concrete injector configuration. This mirrors the node manager
+// plugins of §6: "each plugin adapts a subspace of the fault space to the
+// particulars of its associated injector". The scenario keys recognized
+// are: testID, function, errno, retval/retVal, callNumber — plus
+// function2/errno2/retval2/callNumber2 for two-fault scenarios ("inject
+// an EINTR error in the third read socket call, and an ENOMEM error in
+// the seventh malloc call", §6). A callNumber of 0 encodes "this slot
+// injects nothing", so pair spaces can include single-fault points.
+type Plugin struct{}
+
+// Convert builds an injection point and plan from a scenario. Missing
+// errno/retval fields are filled from the function's fault profile (its
+// first error return), matching how a tester would default them. An
+// unknown function or malformed number is an error: the fault space
+// description disagrees with the injector's capabilities.
+//
+// The returned Point describes the primary fault; the Plan carries every
+// fault of a multi-fault scenario.
+func (Plugin) Convert(s dsl.Scenario) (Point, Plan, error) {
+	var pt Point
+	var err error
+	if v, ok := s["testID"]; ok {
+		pt.TestID, err = strconv.Atoi(v)
+		if err != nil {
+			return pt, Plan{}, fmt.Errorf("inject: bad testID %q: %v", v, err)
+		}
+	}
+	primary, err := convertSlot(s, "")
+	if err != nil {
+		return pt, Plan{}, err
+	}
+	if primary == nil {
+		return pt, Plan{}, fmt.Errorf("inject: scenario missing function")
+	}
+	pt.Function = primary.Function
+	pt.CallNumber = primary.CallNumber
+	plan := Single(*primary)
+	if secondary, err := convertSlot(s, "2"); err != nil {
+		return pt, Plan{}, err
+	} else if secondary != nil {
+		plan.Faults = append(plan.Faults, *secondary)
+	}
+	return pt, plan, nil
+}
+
+// convertSlot converts one fault slot of a scenario; suffix "" is the
+// primary fault, "2" the secondary. A missing function means the slot is
+// absent (nil, nil); a callNumber of 0 arms nothing but is still a valid
+// description (the no-injection point of spaces that include one).
+func convertSlot(s dsl.Scenario, suffix string) (*Fault, error) {
+	fn := s["function"+suffix]
+	if fn == "" {
+		return nil, nil
+	}
+	prof := libc.Lookup(fn)
+	if prof == nil {
+		return nil, fmt.Errorf("inject: unknown library function %q", fn)
+	}
+	cn := s["callNumber"+suffix]
+	if cn == "" {
+		cn = "1"
+	}
+	callNumber, err := strconv.Atoi(cn)
+	if err != nil {
+		return nil, fmt.Errorf("inject: bad callNumber%s %q: %v", suffix, cn, err)
+	}
+	er := prof.Errors[0]
+	if v, ok := s["errno"+suffix]; ok {
+		found := false
+		for _, e := range prof.Errors {
+			if e.Errno == v {
+				er = e
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Allow an errno outside the profile but keep the profile's
+			// retval: the tester may know better than the analyzer.
+			er = libc.ErrorReturn{Retval: er.Retval, Errno: v}
+		}
+	}
+	rv := s["retval"+suffix]
+	if rv == "" {
+		rv = s["retVal"+suffix] // the paper's Fig. 4 spells it both ways
+	}
+	if rv != "" {
+		er.Retval, err = strconv.Atoi(rv)
+		if err != nil {
+			return nil, fmt.Errorf("inject: bad retval%s %q: %v", suffix, rv, err)
+		}
+	}
+	return &Fault{Function: fn, CallNumber: callNumber, Err: er}, nil
+}

@@ -1,0 +1,281 @@
+// Package libc simulates the application–library interface that AFEX
+// injects faults into.
+//
+// The paper uses LFI to interpose on calls from a real binary to the C
+// standard library and fail a chosen call with a chosen error return and
+// errno. This repository replaces the binary with a program model (package
+// prog) whose operations call into this simulated libc. The simulation
+// keeps what matters to the exploration algorithm:
+//
+//   - a registry of library functions, each with a fault profile (the set
+//     of plausible error return values and errno codes) — the output
+//     LFI's callsite analyzer produces from libc.so;
+//   - per-function call counting within one execution, so an injection
+//     point can be addressed as ⟨function, callNumber⟩;
+//   - an interposition hook consulted on every call, which decides
+//     whether this particular call fails and how.
+package libc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ErrorReturn is one way a library function can fail: the value it
+// returns and the errno it sets.
+type ErrorReturn struct {
+	Retval int
+	Errno  string
+}
+
+// Profile is the fault profile of one library function: its name, the
+// ways it can fail, and a coarse functional class used by statistical
+// environment models (§5 "Practical Relevance", §7.5).
+type Profile struct {
+	Name   string
+	Errors []ErrorReturn
+	Class  Class
+}
+
+// Class partitions library functions by functionality. The paper's §2
+// notes that grouping POSIX functions by functionality (file, networking,
+// memory, ...) is a natural total order for the function axis; adjacent
+// functions then tend to be related, which is exactly the similarity the
+// Gaussian mutation exploits.
+type Class int
+
+// Function classes, ordered so that sorting by class produces the
+// functionality-grouped function axis.
+const (
+	ClassMemory Class = iota
+	ClassFile
+	ClassDir
+	ClassNet
+	ClassProcess
+	ClassLocale
+	ClassMisc
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassMemory:
+		return "memory"
+	case ClassFile:
+		return "file"
+	case ClassDir:
+		return "dir"
+	case ClassNet:
+		return "net"
+	case ClassProcess:
+		return "process"
+	case ClassLocale:
+		return "locale"
+	default:
+		return "misc"
+	}
+}
+
+// registry holds the simulated libc's fault profiles, keyed by function
+// name. It is populated at init time and immutable afterwards.
+var registry = map[string]*Profile{}
+
+func register(name string, class Class, errs ...ErrorReturn) {
+	if _, dup := registry[name]; dup {
+		panic("libc: duplicate registration of " + name)
+	}
+	registry[name] = &Profile{Name: name, Errors: errs, Class: class}
+}
+
+func init() {
+	neg1 := func(errnos ...string) []ErrorReturn {
+		out := make([]ErrorReturn, len(errnos))
+		for i, e := range errnos {
+			out[i] = ErrorReturn{Retval: -1, Errno: e}
+		}
+		return out
+	}
+	null := func(errnos ...string) []ErrorReturn {
+		out := make([]ErrorReturn, len(errnos))
+		for i, e := range errnos {
+			out[i] = ErrorReturn{Retval: 0, Errno: e} // NULL pointer return
+		}
+		return out
+	}
+
+	// Memory management. NULL returns with ENOMEM.
+	register("malloc", ClassMemory, null("ENOMEM")...)
+	register("calloc", ClassMemory, null("ENOMEM")...)
+	register("realloc", ClassMemory, null("ENOMEM")...)
+	register("strdup", ClassMemory, null("ENOMEM")...)
+	register("mmap", ClassMemory, neg1("ENOMEM", "EACCES")...)
+	register("munmap", ClassMemory, neg1("EINVAL")...)
+
+	// File I/O.
+	register("open", ClassFile, neg1("EACCES", "ENOENT", "EMFILE", "EINTR", "ENOSPC")...)
+	register("open64", ClassFile, neg1("EACCES", "ENOENT", "EMFILE")...)
+	register("fopen", ClassFile, null("EACCES", "ENOENT", "EMFILE")...)
+	register("fopen64", ClassFile, null("EACCES", "ENOENT", "EMFILE")...)
+	register("close", ClassFile, neg1("EIO", "EINTR", "EBADF")...)
+	register("fclose", ClassFile, neg1("EIO", "EBADF")...)
+	register("read", ClassFile, neg1("EIO", "EINTR", "EAGAIN")...)
+	register("write", ClassFile, neg1("EIO", "EINTR", "ENOSPC", "EAGAIN")...)
+	register("pread", ClassFile, neg1("EIO", "EINTR")...)
+	register("pwrite", ClassFile, neg1("EIO", "ENOSPC")...)
+	register("fgets", ClassFile, null("EIO")...)
+	register("putc", ClassFile, neg1("EIO")...)
+	register("__IO_putc", ClassFile, neg1("EIO")...)
+	register("fflush", ClassFile, neg1("EIO", "ENOSPC")...)
+	register("fsync", ClassFile, neg1("EIO")...)
+	register("ftruncate", ClassFile, neg1("EIO", "EINVAL")...)
+	register("lseek", ClassFile, neg1("EINVAL", "ESPIPE")...)
+	register("stat", ClassFile, neg1("ENOENT", "EACCES")...)
+	register("__xstat64", ClassFile, neg1("ENOENT", "EACCES")...)
+	register("fstat", ClassFile, neg1("EBADF")...)
+	register("unlink", ClassFile, neg1("ENOENT", "EACCES", "EBUSY")...)
+	register("rename", ClassFile, neg1("EACCES", "EXDEV", "ENOSPC")...)
+	register("ferror", ClassFile, []ErrorReturn{{Retval: 1, Errno: ""}}...)
+	register("fcntl", ClassFile, neg1("EACCES", "EAGAIN", "EINVAL")...)
+	register("dup", ClassFile, neg1("EMFILE")...)
+	register("pipe", ClassFile, neg1("EMFILE", "ENFILE")...)
+
+	// Directories.
+	register("opendir", ClassDir, null("EACCES", "ENOENT", "EMFILE")...)
+	register("readdir", ClassDir, null("EBADF")...)
+	register("closedir", ClassDir, neg1("EBADF")...)
+	register("chdir", ClassDir, neg1("EACCES", "ENOENT")...)
+	register("mkdir", ClassDir, neg1("EACCES", "EEXIST", "ENOSPC")...)
+	register("rmdir", ClassDir, neg1("EACCES", "ENOTEMPTY")...)
+	register("getcwd", ClassDir, null("ERANGE", "EACCES")...)
+
+	// Networking.
+	register("socket", ClassNet, neg1("EMFILE", "ENOBUFS", "EACCES")...)
+	register("bind", ClassNet, neg1("EADDRINUSE", "EACCES")...)
+	register("listen", ClassNet, neg1("EADDRINUSE")...)
+	register("accept", ClassNet, neg1("EAGAIN", "EMFILE", "ECONNABORTED", "EINTR")...)
+	register("connect", ClassNet, neg1("ECONNREFUSED", "ETIMEDOUT", "EINTR")...)
+	register("send", ClassNet, neg1("ECONNRESET", "EPIPE", "EINTR", "EAGAIN")...)
+	register("recv", ClassNet, neg1("ECONNRESET", "EINTR", "EAGAIN")...)
+	register("select", ClassNet, neg1("EINTR", "EBADF")...)
+	register("setsockopt", ClassNet, neg1("EINVAL", "ENOPROTOOPT")...)
+
+	// Process / resources / time.
+	register("wait", ClassProcess, neg1("ECHILD", "EINTR")...)
+	register("fork", ClassProcess, neg1("EAGAIN", "ENOMEM")...)
+	register("getrlimit64", ClassProcess, neg1("EINVAL")...)
+	register("setrlimit64", ClassProcess, neg1("EINVAL", "EPERM")...)
+	register("clock_gettime", ClassProcess, neg1("EINVAL")...)
+	register("pthread_mutex_lock", ClassProcess, []ErrorReturn{{Retval: 35, Errno: "EDEADLK"}}...)
+	register("pthread_mutex_unlock", ClassProcess, []ErrorReturn{{Retval: 1, Errno: "EPERM"}}...)
+
+	// Locale / misc.
+	register("setlocale", ClassLocale, null("ENOENT")...)
+	register("bindtextdomain", ClassLocale, null("ENOMEM")...)
+	register("textdomain", ClassLocale, null("ENOMEM")...)
+	register("strtol", ClassMisc, []ErrorReturn{{Retval: 0, Errno: "ERANGE"}}...)
+	register("getenv", ClassMisc, null("")...)
+}
+
+// Lookup returns the fault profile for the named function, or nil if the
+// simulated libc does not provide it.
+func Lookup(name string) *Profile { return registry[name] }
+
+// Functions returns all registered function names sorted first by class
+// (the functionality grouping of §2) and then alphabetically within a
+// class. This is the canonical total order ≺ for function axes.
+func Functions() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		pi, pj := registry[names[i]], registry[names[j]]
+		if pi.Class != pj.Class {
+			return pi.Class < pj.Class
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Hook is the interposition point: it is consulted on every simulated
+// libc call and decides whether that call fails. number is the 1-based
+// cardinality of this call to this function within the current execution.
+type Hook interface {
+	// Inject returns whether to fail the call, and if so with which error
+	// return. Implementations must be deterministic for reproducibility.
+	Inject(function string, number int) (ErrorReturn, bool)
+}
+
+// NoInjection is a Hook that never injects. It is the fault-free baseline
+// used when running a test suite without fault injection.
+type NoInjection struct{}
+
+// Inject implements Hook by always declining.
+func (NoInjection) Inject(string, int) (ErrorReturn, bool) { return ErrorReturn{}, false }
+
+// Call records one simulated library call, for tracing (package trace is
+// the consumer, mirroring ltrace).
+type Call struct {
+	Function string
+	Number   int
+	Injected bool
+	Err      ErrorReturn
+}
+
+// Env is one execution's view of the simulated libc: per-function call
+// counters, the interposition hook, and an optional trace. An Env must
+// not be shared between concurrent executions; create one per test run.
+type Env struct {
+	hook    Hook
+	counts  map[string]int
+	tracing bool
+	trace   []Call
+	// Injections counts how many calls were actually failed.
+	Injections int
+	// LastInjected records the most recent injected call, if any.
+	LastInjected *Call
+}
+
+// NewEnv returns an Env that consults hook on every call. A nil hook
+// behaves like NoInjection.
+func NewEnv(hook Hook) *Env {
+	if hook == nil {
+		hook = NoInjection{}
+	}
+	return &Env{hook: hook, counts: make(map[string]int)}
+}
+
+// EnableTrace turns on call recording (the ltrace substitute).
+func (e *Env) EnableTrace() { e.tracing = true }
+
+// Trace returns the recorded calls; empty unless EnableTrace was called
+// before execution.
+func (e *Env) Trace() []Call { return e.trace }
+
+// Counts returns the per-function call counts observed so far. The
+// returned map is the live counter state; callers must not mutate it.
+func (e *Env) Counts() map[string]int { return e.counts }
+
+// Call simulates one call to the named library function. It increments
+// the function's call counter, consults the hook, and reports whether the
+// call failed and with what error. Calling an unregistered function
+// panics: the program model referencing a function the simulated libc
+// lacks is a programming error, not a runtime condition.
+func (e *Env) Call(function string) (ErrorReturn, bool) {
+	if Lookup(function) == nil {
+		panic(fmt.Sprintf("libc: call to unregistered function %q", function))
+	}
+	e.counts[function]++
+	n := e.counts[function]
+	er, failed := e.hook.Inject(function, n)
+	if e.tracing {
+		e.trace = append(e.trace, Call{Function: function, Number: n, Injected: failed, Err: er})
+	}
+	if failed {
+		e.Injections++
+		c := Call{Function: function, Number: n, Injected: true, Err: er}
+		e.LastInjected = &c
+	}
+	return er, failed
+}

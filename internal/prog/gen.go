@@ -1,0 +1,326 @@
+package prog
+
+import (
+	"fmt"
+
+	"afex/internal/libc"
+	"afex/internal/xrand"
+)
+
+// GenSpec parameterizes the deterministic generation of a synthetic
+// system under test. The generator's job is to induce a fault space with
+// the kind of structure real code bases produce (§2 "Fault Space
+// Structure"): impact correlates along the test axis (tests are grouped
+// by feature area), the function axis (modules favour one functional
+// class of libc calls), and the callNumber axis (a routine makes several
+// adjacent calls to the same function, all guarded by the same error
+// handling).
+//
+// Two knobs control how hard the target is to break: Fragility is the
+// fraction of modules whose error handling is poor, and CrashBias skews
+// poor handling toward crashing behaviours.
+type GenSpec struct {
+	// Name labels the generated program.
+	Name string
+	// Seed makes generation deterministic.
+	Seed int64
+	// Modules is the number of code modules.
+	Modules int
+	// RoutinesPerModule is the number of routines in each module
+	// (entry routines plus helpers).
+	RoutinesPerModule int
+	// MinOps and MaxOps bound the number of ops per routine.
+	MinOps, MaxOps int
+	// Tests is the size of the generated test suite.
+	Tests int
+	// ScriptLen is the number of entry-routine invocations per test.
+	ScriptLen int
+	// Fragility in [0,1]: the fraction of modules generated with poor
+	// error handling.
+	Fragility float64
+	// FragileSet, if non-empty, pins exactly which module indices are
+	// fragile instead of drawing them with probability Fragility.
+	// Experiments use it when a specific module must be weak (e.g. the
+	// §7.5 search target needs ln and mv to have malloc faults).
+	FragileSet []int
+	// CrashBias in [0,1]: within fragile modules, how strongly poor
+	// handling skews toward crashes rather than clean test failures.
+	CrashBias float64
+	// CrossModule in [0,1]: probability that a script slot exercises a
+	// neighbouring module instead of the test's primary module.
+	CrossModule float64
+	// RepeatBias in [0,1]: probability that an op loops over its call
+	// (Repeat 2..4), creating adjacent call numbers under one behaviour.
+	RepeatBias float64
+	// ModuleNames optionally names the modules (e.g. coreutils utility
+	// names); missing entries fall back to "modNN".
+	ModuleNames []string
+	// CommonBias in [0,1]: probability that an op calls a ubiquitous
+	// function (allocation, basic file I/O) instead of one from the
+	// module's primary pool. Real programs call malloc and open from
+	// everywhere; this is what makes faults in those functions reachable
+	// from most tests. Default 0.25.
+	CommonBias float64
+	// XMalloc, when set, models gnulib's xmalloc discipline: every
+	// allocation failure is detected and aborts the program cleanly
+	// ("memory exhausted", exit 1). coreutils are built this way, which
+	// is why every malloc fault in a coreutils test makes that test fail
+	// (§7.5's 28 target faults).
+	XMalloc bool
+	// ErrnoAware in [0,1]: probability that an op's handling switches on
+	// errno the way real code does — transient errors (EINTR, EAGAIN)
+	// are retried or tolerated while the drawn behaviour applies to hard
+	// errors. This is what gives the errno axis of detailed fault spaces
+	// its structure. Default 0 (errno-oblivious, the evaluation setup).
+	ErrnoAware float64
+}
+
+// moduleName returns the display name for module m.
+func (s GenSpec) moduleName(m int) string {
+	if m < len(s.ModuleNames) && s.ModuleNames[m] != "" {
+		return s.ModuleNames[m]
+	}
+	return fmt.Sprintf("mod%02d", m)
+}
+
+// commonPool holds functions essentially every module of every real
+// program calls.
+var commonPool = []string{"malloc", "open", "close", "read", "write", "stat"}
+
+// classPools maps each module to a primary pool of libc functions. The
+// pools follow the functionality grouping of the function axis, so a
+// module's calls cluster on that axis.
+var classPools = [][]string{
+	{"malloc", "calloc", "realloc", "strdup", "mmap", "munmap"},
+	{"open", "close", "read", "write", "lseek", "fsync", "stat", "unlink", "rename", "ftruncate"},
+	{"fopen", "fclose", "fgets", "fflush", "putc", "ferror", "fcntl", "fopen64", "__IO_putc", "__xstat64"},
+	{"opendir", "readdir", "closedir", "chdir", "mkdir", "rmdir", "getcwd"},
+	{"socket", "bind", "listen", "accept", "connect", "send", "recv", "select", "setsockopt"},
+	{"wait", "fork", "getrlimit64", "setrlimit64", "clock_gettime", "pipe", "dup"},
+	{"setlocale", "bindtextdomain", "textdomain", "strtol", "getenv", "pthread_mutex_lock", "pthread_mutex_unlock"},
+}
+
+// Generate builds a Program from the spec. Identical specs produce
+// identical programs. The generated program always validates.
+func Generate(spec GenSpec) *Program {
+	if spec.Modules <= 0 || spec.RoutinesPerModule <= 0 || spec.Tests <= 0 {
+		panic("prog: GenSpec requires positive Modules, RoutinesPerModule, Tests")
+	}
+	if spec.MinOps <= 0 {
+		spec.MinOps = 3
+	}
+	if spec.MaxOps < spec.MinOps {
+		spec.MaxOps = spec.MinOps
+	}
+	if spec.ScriptLen <= 0 {
+		spec.ScriptLen = 3
+	}
+	if spec.CommonBias <= 0 {
+		spec.CommonBias = 0.25
+	}
+	rng := xrand.New(spec.Seed)
+	p := &Program{
+		Name:     spec.Name,
+		Routines: make(map[string]*Routine),
+	}
+	nextBlock := 0
+	newBlock := func() int { nextBlock++; return nextBlock }
+
+	fragile := make([]bool, spec.Modules)
+	if len(spec.FragileSet) > 0 {
+		for _, m := range spec.FragileSet {
+			if m >= 0 && m < spec.Modules {
+				fragile[m] = true
+			}
+		}
+	} else {
+		for m := range fragile {
+			fragile[m] = rng.Float64() < spec.Fragility
+		}
+	}
+
+	// Generate helpers first, then entry routines that call them, so
+	// stacks have depth and clustering has something to distinguish.
+	type modRoutines struct{ entries, helpers []string }
+	mods := make([]modRoutines, spec.Modules)
+
+	for m := 0; m < spec.Modules; m++ {
+		pool := classPools[m%len(classPools)]
+		modName := spec.moduleName(m)
+		nHelpers := spec.RoutinesPerModule / 2
+		if nHelpers < 1 {
+			nHelpers = 1
+		}
+		nEntries := spec.RoutinesPerModule - nHelpers
+		if nEntries < 1 {
+			nEntries = 1
+		}
+		// Each routine has at most one recovery label that all its error
+		// paths jump to (the Fig. 6 pattern: a single "err:" block),
+		// allocated lazily on first use. This keeps recovery code a
+		// small, realistic fraction of the program.
+		sharedRecovery := func() func() int {
+			block := 0
+			return func() int {
+				if block == 0 {
+					block = newBlock()
+				}
+				return block
+			}
+		}
+		for h := 0; h < nHelpers; h++ {
+			name := fmt.Sprintf("%s_helper%02d", modName, h)
+			r := &Routine{Name: name, Module: modName}
+			rec := sharedRecovery()
+			nOps := spec.MinOps + rng.Intn(spec.MaxOps-spec.MinOps+1)
+			for i := 0; i < nOps; i++ {
+				r.Ops = append(r.Ops, genLibcOp(rng, pool, fragile[m], spec, newBlock, rec))
+			}
+			p.Routines[name] = r
+			mods[m].helpers = append(mods[m].helpers, name)
+		}
+		for e := 0; e < nEntries; e++ {
+			name := fmt.Sprintf("%s_entry%02d", modName, e)
+			r := &Routine{Name: name, Module: modName}
+			rec := sharedRecovery()
+			if spec.XMalloc {
+				// Real utilities allocate on almost every entry path;
+				// with the xmalloc discipline each such allocation is a
+				// guaranteed clean-failure point.
+				r.Ops = append(r.Ops, Op{Func: "malloc", OnError: ExitOnError, Block: newBlock(), RecoveryBlock: rec()})
+			}
+			nOps := spec.MinOps + rng.Intn(spec.MaxOps-spec.MinOps+1)
+			for i := 0; i < nOps; i++ {
+				if rng.Float64() < 0.35 && len(mods[m].helpers) > 0 {
+					callee := mods[m].helpers[rng.Intn(len(mods[m].helpers))]
+					// A callee error is usually propagated; fragile
+					// modules sometimes ignore it.
+					b := Propagate
+					if fragile[m] && rng.Float64() < 0.3 {
+						b = UncheckedSilent
+					}
+					r.Ops = append(r.Ops, Op{Callee: callee, OnError: b, Block: newBlock()})
+					continue
+				}
+				r.Ops = append(r.Ops, genLibcOp(rng, pool, fragile[m], spec, newBlock, rec))
+			}
+			p.Routines[name] = r
+			mods[m].entries = append(mods[m].entries, name)
+		}
+	}
+
+	// Tests: test t's primary module is proportional to t, so adjacent
+	// test IDs exercise the same module (test-axis structure, mirroring
+	// real suites grouped by functionality).
+	for t := 0; t < spec.Tests; t++ {
+		primary := t * spec.Modules / spec.Tests
+		var script []string
+		for s := 0; s < spec.ScriptLen; s++ {
+			m := primary
+			if rng.Float64() < spec.CrossModule {
+				// Neighbouring module: keeps cross-module noise local so
+				// it blurs rather than destroys the structure.
+				if rng.Intn(2) == 0 && m > 0 {
+					m--
+				} else if m < spec.Modules-1 {
+					m++
+				}
+			}
+			entries := mods[m].entries
+			script = append(script, entries[rng.Intn(len(entries))])
+		}
+		p.TestSuite = append(p.TestSuite, Test{
+			Name:   fmt.Sprintf("%s/%s-t%04d", spec.Name, spec.moduleName(primary), t),
+			Script: script,
+		})
+	}
+	p.NumBlocks = nextBlock
+	if err := p.Validate(); err != nil {
+		panic("prog: generated program is invalid: " + err.Error())
+	}
+	return p
+}
+
+// genLibcOp generates one libc-calling op with an error behaviour drawn
+// from the module's robustness profile. recovery returns the routine's
+// shared recovery block.
+func genLibcOp(rng *xrand.Rand, pool []string, fragile bool, spec GenSpec, newBlock func() int, recovery func() int) Op {
+	if rng.Float64() < spec.CommonBias {
+		pool = commonPool
+	}
+	fn := pool[rng.Intn(len(pool))]
+	if libc.Lookup(fn) == nil {
+		panic("prog: generator pool references unknown function " + fn)
+	}
+	op := Op{Func: fn, Block: newBlock()}
+	if rng.Float64() < spec.RepeatBias {
+		op.Repeat = 2 + rng.Intn(3)
+	}
+	op.OnError = genBehavior(rng, fragile, spec.CrashBias)
+	if spec.XMalloc && (fn == "malloc" || fn == "calloc" || fn == "realloc" || fn == "strdup") {
+		// xmalloc discipline: allocation failures always exit cleanly,
+		// and no caller can absorb the exit.
+		op.OnError = ExitOnError
+	}
+	switch op.OnError {
+	case CleanRecovery, BuggyRecovery, RecoveredThenCrash, AbortOnError, Propagate, ExitOnError:
+		op.RecoveryBlock = recovery()
+	}
+	if spec.ErrnoAware > 0 && op.OnError != Tolerate && rng.Float64() < spec.ErrnoAware {
+		// Real handlers special-case the transient errnos; only the
+		// transient codes this function can actually produce matter.
+		prof := libc.Lookup(fn)
+		for _, e := range prof.Errors {
+			if e.Errno == "EINTR" || e.Errno == "EAGAIN" {
+				if op.ErrnoBehavior == nil {
+					op.ErrnoBehavior = map[string]Behavior{}
+				}
+				op.ErrnoBehavior[e.Errno] = Retry
+			}
+		}
+	}
+	return op
+}
+
+// genBehavior draws an error behaviour. Robust modules mostly tolerate or
+// recover cleanly; fragile modules propagate, crash, and occasionally
+// hang. CrashBias shifts fragile mass from clean failures to crashes.
+func genBehavior(rng *xrand.Rand, fragile bool, crashBias float64) Behavior {
+	x := rng.Float64()
+	if !fragile {
+		switch {
+		case x < 0.40:
+			return Tolerate
+		case x < 0.70:
+			return CleanRecovery
+		case x < 0.80:
+			return Retry
+		case x < 0.93:
+			return Propagate
+		default:
+			return UncheckedSilent
+		}
+	}
+	// Fragile profile. crashBias in [0,1] allocates up to 35 points of
+	// probability mass to the crashing behaviours; zero bias means the
+	// module fails tests but never crashes the process.
+	crashy := 0.35 * crashBias
+	switch {
+	case x < 0.35:
+		return Propagate
+	case x < 0.50:
+		return CleanRecovery
+	case x < 0.58:
+		return Tolerate
+	case x < 0.58+crashy*0.5:
+		return UncheckedCrash
+	case x < 0.58+crashy*0.8:
+		return BuggyRecovery
+	case x < 0.58+crashy:
+		return AbortOnError
+	case x < 0.58+crashy+0.03:
+		return HangOnError
+	default:
+		return UncheckedSilent
+	}
+}

@@ -1,0 +1,357 @@
+// Package rpcnode implements AFEX's distributed mode: the explorer runs
+// in one process and node managers run anywhere reachable over TCP,
+// mirroring the cluster deployment of §6.1/§7.7 ("we have run AFEX on up
+// to 14 nodes in Amazon EC2 and verified that the number of tests
+// performed scales linearly").
+//
+// The protocol is deliberately minimal, built on stdlib net/rpc: a
+// manager calls Coordinator.NextTest to lease a candidate, executes it
+// locally against its copy of the target, and calls
+// Coordinator.ReportResult with the measured outcome. The explorer's own
+// work (selecting the next test) is tiny compared to executing one — §7.7
+// measures the explorer at thousands of generated tests per second — so a
+// single coordinator keeps many managers busy.
+package rpcnode
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"afex/internal/dsl"
+	"afex/internal/explore"
+	"afex/internal/faultspace"
+	"afex/internal/inject"
+	"afex/internal/prog"
+)
+
+// Task is one leased fault-injection test, in wire form.
+type Task struct {
+	// Seq is the coordinator-assigned sequence number; echo it back in
+	// Result.
+	Seq int
+	// Sub and Fault are the fault's coordinates in the fault space.
+	Sub   int
+	Fault []int
+	// Scenario is the Fig. 5 wire-format fault description.
+	Scenario string
+	// Done indicates the exploration is over; the manager should exit.
+	Done bool
+}
+
+// Result is a manager's report for one executed task.
+type Result struct {
+	Seq      int
+	Failed   bool
+	Crashed  bool
+	Hung     bool
+	Injected bool
+	CrashID  string
+	// Stack is the injection-point stack trace for clustering.
+	Stack []string
+	// Blocks are the covered basic blocks.
+	Blocks []int
+	// Manager identifies the reporting node, for the synopsis.
+	Manager string
+}
+
+// Stats summarizes a distributed session.
+type Stats struct {
+	Executed int
+	Failed   int
+	Crashed  int
+	Hung     int
+	Injected int
+	// PerManager counts tests executed by each manager.
+	PerManager map[string]int
+}
+
+// Coordinator is the RPC service wrapping an explorer. It hands out
+// candidates and folds results back, scoring impact with a pluggable
+// function. It is safe for concurrent RPC access.
+type Coordinator struct {
+	mu       sync.Mutex
+	space    *faultspace.Union
+	explorer explore.Explorer
+	budget   int
+	seq      int
+	leases   map[int]explore.Candidate
+	stats    Stats
+	covered  map[int]struct{}
+	impact   func(Result, int) float64
+	done     bool
+	// axes caches axis names for scenario formatting.
+	axes []string
+}
+
+// NewCoordinator wraps an explorer. budget caps executed tests (0 = until
+// the explorer exhausts). impact scores a result given the count of newly
+// covered blocks; nil selects 1/block + 10 fail + 20 crash + 15 hang.
+func NewCoordinator(space *faultspace.Union, ex explore.Explorer, budget int, impact func(Result, int) float64) *Coordinator {
+	if impact == nil {
+		impact = func(r Result, newBlocks int) float64 {
+			v := float64(newBlocks)
+			if !r.Injected {
+				return v
+			}
+			switch {
+			case r.Crashed:
+				v += 20
+			case r.Hung:
+				v += 15
+			case r.Failed:
+				v += 10
+			}
+			return v
+		}
+	}
+	c := &Coordinator{
+		space:    space,
+		explorer: ex,
+		budget:   budget,
+		leases:   make(map[int]explore.Candidate),
+		covered:  make(map[int]struct{}),
+		impact:   impact,
+	}
+	c.stats.PerManager = make(map[string]int)
+	if len(space.Spaces) > 0 {
+		for _, a := range space.Spaces[0].Axes {
+			c.axes = append(c.axes, a.Name)
+		}
+	}
+	return c
+}
+
+// NextTest leases the next candidate to a manager. A Task with Done set
+// means the session is over.
+func (c *Coordinator) NextTest(managerID string, task *Task) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done || (c.budget > 0 && c.stats.Executed+len(c.leases) >= c.budget) {
+		task.Done = true
+		return nil
+	}
+	cand, ok := c.explorer.Next()
+	if !ok {
+		task.Done = true
+		return nil
+	}
+	c.seq++
+	c.leases[c.seq] = cand
+	sc := dsl.ScenarioFor(c.space, cand.Point)
+	*task = Task{
+		Seq:      c.seq,
+		Sub:      cand.Point.Sub,
+		Fault:    append([]int(nil), cand.Point.Fault...),
+		Scenario: dsl.FormatScenario(sc, c.axes),
+	}
+	return nil
+}
+
+// ReportResult folds a manager's result back into the explorer.
+func (c *Coordinator) ReportResult(res Result, ack *bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cand, ok := c.leases[res.Seq]
+	if !ok {
+		return fmt.Errorf("rpcnode: result for unknown lease %d", res.Seq)
+	}
+	delete(c.leases, res.Seq)
+	newBlocks := 0
+	for _, b := range res.Blocks {
+		if _, seen := c.covered[b]; !seen {
+			c.covered[b] = struct{}{}
+			newBlocks++
+		}
+	}
+	impact := c.impact(res, newBlocks)
+	c.explorer.Report(cand, impact, impact)
+	c.stats.Executed++
+	c.stats.PerManager[res.Manager]++
+	if res.Injected {
+		c.stats.Injected++
+		if res.Failed {
+			c.stats.Failed++
+		}
+		if res.Crashed {
+			c.stats.Crashed++
+		}
+		if res.Hung {
+			c.stats.Hung++
+		}
+	}
+	*ack = true
+	return nil
+}
+
+// Stop ends the session; subsequent NextTest calls return Done.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	c.done = true
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the session statistics.
+func (c *Coordinator) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.PerManager = make(map[string]int, len(c.stats.PerManager))
+	for k, v := range c.stats.PerManager {
+		s.PerManager[k] = v
+	}
+	return s
+}
+
+// Server serves a Coordinator over TCP.
+type Server struct {
+	Coordinator *Coordinator
+	lis         net.Listener
+	srv         *rpc.Server
+	wg          sync.WaitGroup
+}
+
+// Serve starts serving on addr ("host:port", ":0" for an ephemeral port)
+// and returns immediately. Use Addr for the bound address and Close to
+// stop.
+func Serve(addr string, c *Coordinator) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnode: listen %s: %w", addr, err)
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Coordinator", &service{c: c}); err != nil {
+		lis.Close()
+		return nil, err
+	}
+	s := &Server{Coordinator: c, lis: lis, srv: srv}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting connections. In-flight RPCs may still complete.
+func (s *Server) Close() error {
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+// service adapts Coordinator to net/rpc's method signature rules.
+type service struct{ c *Coordinator }
+
+// NextTest leases a candidate (RPC method).
+func (s *service) NextTest(managerID string, task *Task) error {
+	return s.c.NextTest(managerID, task)
+}
+
+// ReportResult reports an executed test (RPC method).
+func (s *service) ReportResult(res Result, ack *bool) error {
+	return s.c.ReportResult(res, ack)
+}
+
+// Manager is a remote node manager: it connects to a coordinator, leases
+// tasks, executes them against its local copy of the target, and reports
+// results, until the coordinator says Done.
+type Manager struct {
+	ID     string
+	Target *prog.Program
+	// Work re-runs each leased test this many times (reporting the last
+	// outcome). Real fault-injection tests cost seconds of wall-clock —
+	// starting the system, generating workload, tearing down — while the
+	// simulated ones cost microseconds; Work lets experiments emulate a
+	// realistic compute-to-coordination ratio. 0 or 1 runs once.
+	Work   int
+	client *rpc.Client
+	plugin inject.Plugin
+}
+
+// Dial connects a manager to a coordinator.
+func Dial(addr, id string, target *prog.Program) (*Manager, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnode: dial %s: %w", addr, err)
+	}
+	return &Manager{ID: id, Target: target, client: client}, nil
+}
+
+// Close releases the manager's connection.
+func (m *Manager) Close() error { return m.client.Close() }
+
+// RunOne leases and executes a single task. It returns done == true when
+// the coordinator has no more work.
+func (m *Manager) RunOne() (done bool, err error) {
+	var task Task
+	if err := m.client.Call("Coordinator.NextTest", m.ID, &task); err != nil {
+		return false, err
+	}
+	if task.Done {
+		return true, nil
+	}
+	sc, err := dsl.ParseScenario(task.Scenario)
+	if err != nil {
+		return false, err
+	}
+	pt, plan, err := m.plugin.Convert(sc)
+	if err != nil {
+		// Report a zero-impact execution; the coordinator still needs the
+		// lease back.
+		var ack bool
+		return false, m.client.Call("Coordinator.ReportResult", Result{Seq: task.Seq, Manager: m.ID}, &ack)
+	}
+	out := prog.Run(m.Target, pt.TestID, plan)
+	for extra := 1; extra < m.Work; extra++ {
+		out = prog.Run(m.Target, pt.TestID, plan)
+	}
+	blocks := make([]int, 0, len(out.Blocks))
+	for b := range out.Blocks {
+		blocks = append(blocks, b)
+	}
+	res := Result{
+		Seq:      task.Seq,
+		Failed:   out.Failed,
+		Crashed:  out.Crashed,
+		Hung:     out.Hung,
+		Injected: out.Injected,
+		CrashID:  out.CrashID,
+		Stack:    out.InjectionStack,
+		Blocks:   blocks,
+		Manager:  m.ID,
+	}
+	var ack bool
+	return false, m.client.Call("Coordinator.ReportResult", res, &ack)
+}
+
+// RunUntilDone loops RunOne until the coordinator reports completion.
+// It returns the number of tests this manager executed.
+func (m *Manager) RunUntilDone() (int, error) {
+	n := 0
+	for {
+		done, err := m.RunOne()
+		if err != nil {
+			// A closed coordinator mid-shutdown is a normal way to end.
+			if errors.Is(err, rpc.ErrShutdown) {
+				return n, nil
+			}
+			return n, err
+		}
+		if done {
+			return n, nil
+		}
+		n++
+	}
+}

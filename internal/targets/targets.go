@@ -1,0 +1,332 @@
+// Package targets provides the four synthetic systems under test that
+// mirror the paper's evaluation targets: a coreutils-like suite of UNIX
+// utilities, a MySQL-like DBMS, an Apache-httpd-like web server, and a
+// MongoDB-like document store in two maturity stages.
+//
+// Each target is a deterministically generated program model (package
+// prog) with the fault-space dimensions the paper reports:
+//
+//	coreutils: 29 tests, callNumber ∈ {0,1,2}  → Φ = 29×19×3  = 1,653
+//	mysqld:    1147 tests, callNumber ∈ [1,100] → Φ ≈ 2.18 M
+//	httpd:     58 tests, callNumber ∈ [1,10]    → Φ = 58×19×10 = 11,020
+//	mongo:     v0.8 (pre-production) and v2.0 (industrial strength)
+//
+// On top of the generated structure, the three concrete bugs the paper's
+// AFEX found are planted with matching semantics:
+//
+//	mysql-bug-53268: recovery code in mi_create unlocks
+//	  THR_LOCK_myisam twice when my_close fails (Fig. 6) — modelled as a
+//	  BuggyRecovery behaviour on a close call.
+//	mysql-bug-25097: a failed read of errmsg.sys is logged correctly but
+//	  the data structure it should have filled is used anyway (§7.1) —
+//	  modelled as RecoveredThenCrash on a boot-time read.
+//	apache-strdup: ap_module_short_names population ignores that strdup
+//	  can return NULL under OOM (Fig. 7) — modelled as UncheckedCrash on
+//	  a strdup call in the module-loading path.
+package targets
+
+import (
+	"fmt"
+	"sync"
+
+	"afex/internal/prog"
+)
+
+// Bug identifiers for the planted bugs, used by experiments that check
+// whether exploration rediscovered them.
+const (
+	BugMySQLDoubleUnlock = "mysql-bug-53268-double-unlock"
+	BugMySQLErrmsg       = "mysql-bug-25097-errmsg"
+	BugApacheStrdup      = "apache-strdup-null-deref"
+	BugMongoV2Crash      = "mongo-v2-journal-crash"
+)
+
+var (
+	onceCoreutils sync.Once
+	coreutilsProg *prog.Program
+
+	onceMysqld sync.Once
+	mysqldProg *prog.Program
+
+	onceHttpd sync.Once
+	httpdProg *prog.Program
+
+	onceMongo08 sync.Once
+	mongo08Prog *prog.Program
+
+	onceMongo20 sync.Once
+	mongo20Prog *prog.Program
+)
+
+// Coreutils returns the coreutils-like target: ten small utilities with a
+// 29-test suite. Small enough for exhaustive exploration (the paper's
+// baseline in §7.2), yet structured: each utility is a module with its
+// own functional profile.
+func Coreutils() *prog.Program {
+	onceCoreutils.Do(func() {
+		coreutilsProg = prog.Generate(prog.GenSpec{
+			Name:              "coreutils",
+			Seed:              8101, // coreutils 8.1
+			Modules:           10,
+			RoutinesPerModule: 4,
+			MinOps:            4,
+			MaxOps:            8,
+			Tests:             29,
+			ScriptLen:         2,
+			Fragility:         0.4,
+			FragileSet:        []int{0, 1, 2, 7}, // ls, ln, mv, mkdir
+			CrashBias:         0.15,
+			CrossModule:       0.10,
+			RepeatBias:        0.25,
+			XMalloc:           true,
+			ModuleNames: []string{
+				"ls", "ln", "mv", "cp", "rm", "cat", "touch", "mkdir", "sort", "head",
+			},
+		})
+	})
+	return coreutilsProg
+}
+
+// Mysqld returns the MySQL-like target: a large DBMS with a 1147-test
+// suite and the paper's two recovery bugs planted. Every test boots the
+// server first (reading the error-message catalog), mirroring how the
+// real suite runs mysqld per test.
+func Mysqld() *prog.Program {
+	onceMysqld.Do(func() {
+		p := prog.Generate(prog.GenSpec{
+			Name:              "mysqld",
+			Seed:              5144, // MySQL 5.1.44
+			Modules:           24,
+			RoutinesPerModule: 10,
+			MinOps:            6,
+			MaxOps:            12,
+			Tests:             1147,
+			// Real MySQL tests run for ~a minute and make hundreds of
+			// libc calls, which is what makes callNumber ∈ [1,100]
+			// injectable; long scripts with looped callsites mirror that.
+			ScriptLen:   8,
+			Fragility:   0.65,
+			CrashBias:   0.35,
+			CrossModule: 0.20,
+			RepeatBias:  0.5,
+		})
+		plantMysqlBugs(p)
+		mysqldProg = p
+	})
+	return mysqldProg
+}
+
+// Httpd returns the Apache-httpd-like target: 58 tests, with the strdup
+// NULL-dereference planted in the module-loading path exercised by the
+// configuration tests.
+func Httpd() *prog.Program {
+	onceHttpd.Do(func() {
+		p := prog.Generate(prog.GenSpec{
+			Name: "httpd",
+			Seed: 238, // httpd 2.3.8
+			// Few, broad modules: each spans ~10 adjacent tests, wider
+			// than the Gaussian mutation's σ on the test axis, so the
+			// search genuinely depends on the axis ordering (the §7.3
+			// structure experiment destroys exactly that).
+			Modules:           6,
+			RoutinesPerModule: 10,
+			MinOps:            4,
+			MaxOps:            8,
+			Tests:             58,
+			ScriptLen:         3,
+			Fragility:         0.5,
+			CrashBias:         0.8,
+			CrossModule:       0.10,
+			RepeatBias:        0.30,
+		})
+		plantApacheBug(p)
+		httpdProg = p
+	})
+	return httpdProg
+}
+
+// MongoV08 returns the pre-production MongoDB-like target (v0.8): a small
+// code base whose error handling weaknesses are concentrated in a few
+// young modules — highly exploitable structure.
+func MongoV08() *prog.Program {
+	onceMongo08.Do(func() {
+		mongo08Prog = prog.Generate(prog.GenSpec{
+			Name:              "mongo-v0.8",
+			Seed:              8,
+			Modules:           8,
+			RoutinesPerModule: 6,
+			MinOps:            4,
+			MaxOps:            7,
+			Tests:             80,
+			ScriptLen:         4,
+			Fragility:         0.50,
+			CrashBias:         0.0,
+			CrossModule:       0.05,
+			RepeatBias:        0.3,
+		})
+	})
+	return mongo08Prog
+}
+
+// MongoV20 returns the industrial-strength MongoDB-like target (v2.0):
+// roughly three years of features later. More code, much heavier
+// interaction with the environment (more library calls per test), and
+// error-handling weaknesses spread thinner across modules — more total
+// opportunities for failure, but less exploitable structure. One crash
+// bug lurks in the journaling path (the paper notes AFEX crashed v2.0 but
+// not v0.8).
+func MongoV20() *prog.Program {
+	onceMongo20.Do(func() {
+		p := prog.Generate(prog.GenSpec{
+			Name:              "mongo-v2.0",
+			Seed:              20,
+			Modules:           20,
+			RoutinesPerModule: 8,
+			MinOps:            6,
+			MaxOps:            12,
+			Tests:             80,
+			ScriptLen:         4,
+			Fragility:         0.45,
+			CrashBias:         0.05,
+			CrossModule:       0.45,
+			RepeatBias:        0.35,
+		})
+		plantMongoV2Bug(p)
+		mongo20Prog = p
+	})
+	return mongo20Prog
+}
+
+// ByName returns the named target, for command-line tools. Valid names:
+// coreutils, mysqld, httpd, mongo-v0.8, mongo-v2.0.
+func ByName(name string) (*prog.Program, error) {
+	switch name {
+	case "coreutils":
+		return Coreutils(), nil
+	case "mysqld", "mysql":
+		return Mysqld(), nil
+	case "httpd", "apache":
+		return Httpd(), nil
+	case "mongo-v0.8":
+		return MongoV08(), nil
+	case "mongo-v2.0", "mongo":
+		return MongoV20(), nil
+	default:
+		return nil, fmt.Errorf("targets: unknown target %q (want coreutils, mysqld, httpd, mongo-v0.8, mongo-v2.0)", name)
+	}
+}
+
+// Names lists the available target names.
+func Names() []string {
+	return []string{"coreutils", "mysqld", "httpd", "mongo-v0.8", "mongo-v2.0"}
+}
+
+// blockAlloc hands out fresh basic-block ids past the program's current
+// maximum, growing NumBlocks as it goes.
+func blockAlloc(p *prog.Program) func() int {
+	return func() int {
+		p.NumBlocks++
+		return p.NumBlocks
+	}
+}
+
+// plantMysqlBugs adds the server boot path (with the errmsg.sys bug) to
+// every test and the MyISAM table-creation path (with the double-unlock
+// bug) to the table-DDL slice of the suite.
+func plantMysqlBugs(p *prog.Program) {
+	nb := blockAlloc(p)
+
+	// srv_boot: open errmsg.sys, read header, read index, read messages.
+	// The third read's failure is "handled" (logged) but the message
+	// table is used regardless → crash. Mirrors bug #25097.
+	p.Routines["server_srv_boot"] = &prog.Routine{
+		Name:   "server_srv_boot",
+		Module: "server",
+		Ops: []prog.Op{
+			{Func: "open", OnError: prog.CleanRecovery, Block: nb(), RecoveryBlock: nb()},
+			{Func: "read", OnError: prog.CleanRecovery, Block: nb(), RecoveryBlock: nb()},
+			{Func: "read", OnError: prog.Tolerate, Block: nb()},
+			{Func: "read", OnError: prog.RecoveredThenCrash, Block: nb(), RecoveryBlock: nb(),
+				CrashID: BugMySQLErrmsg},
+			{Func: "close", OnError: prog.Tolerate, Block: nb()},
+		},
+	}
+
+	// mi_create: the MyISAM create-table path of Fig. 6. All file
+	// operations jump to one recovery label that unlocks
+	// THR_LOCK_myisam; but my_close failing reaches it after the lock
+	// was already released → double unlock → crash. Mirrors bug #53268.
+	p.Routines["myisam_mi_create"] = &prog.Routine{
+		Name:   "myisam_mi_create",
+		Module: "myisam",
+		Ops: []prog.Op{
+			{Func: "pthread_mutex_lock", OnError: prog.Tolerate, Block: nb()},
+			{Func: "open", OnError: prog.CleanRecovery, Block: nb(), RecoveryBlock: nb()},
+			{Func: "write", Repeat: 3, OnError: prog.CleanRecovery, Block: nb(), RecoveryBlock: nb()},
+			{Func: "pthread_mutex_unlock", OnError: prog.Tolerate, Block: nb()},
+			{Func: "close", OnError: prog.BuggyRecovery, Block: nb(), RecoveryBlock: nb(),
+				CrashID: BugMySQLDoubleUnlock},
+		},
+	}
+
+	for t := range p.TestSuite {
+		// Every test boots the server first.
+		p.TestSuite[t].Script = append([]string{"server_srv_boot"}, p.TestSuite[t].Script...)
+	}
+	// DDL-heavy tests (a contiguous feature-grouped slice of the suite,
+	// as real suites are organized) also create MyISAM tables.
+	for t := 180; t < 300 && t < len(p.TestSuite); t++ {
+		p.TestSuite[t].Script = append(p.TestSuite[t].Script, "myisam_mi_create")
+	}
+	if err := p.Validate(); err != nil {
+		panic("targets: mysqld planting broke the program: " + err.Error())
+	}
+}
+
+// plantApacheBug adds the configuration/module-loading path with the
+// Fig. 7 strdup bug to the config-phase tests of the httpd suite.
+func plantApacheBug(p *prog.Program) {
+	nb := blockAlloc(p)
+	p.Routines["config_ap_load_modules"] = &prog.Routine{
+		Name:   "config_ap_load_modules",
+		Module: "config",
+		Ops: []prog.Op{
+			{Func: "fopen", OnError: prog.CleanRecovery, Block: nb(), RecoveryBlock: nb()},
+			{Func: "fgets", Repeat: 2, OnError: prog.CleanRecovery, Block: nb(), RecoveryBlock: nb()},
+			// config.c:578 — strdup(sym_name) feeding an unchecked
+			// dereference at :579, once per loaded module (the loop over
+			// ap_module_short_names), so several adjacent call numbers
+			// all trigger the bug.
+			{Func: "strdup", Repeat: 5, OnError: prog.UncheckedCrash, Block: nb(), CrashID: BugApacheStrdup},
+			{Func: "fclose", OnError: prog.Tolerate, Block: nb()},
+		},
+	}
+	for t := 0; t < 16 && t < len(p.TestSuite); t++ {
+		p.TestSuite[t].Script = append([]string{"config_ap_load_modules"}, p.TestSuite[t].Script...)
+	}
+	if err := p.Validate(); err != nil {
+		panic("targets: httpd planting broke the program: " + err.Error())
+	}
+}
+
+// plantMongoV2Bug adds a journaling-path crash to the v2.0 target: a
+// failed group-commit write aborts the process after running its
+// recovery block (assert-style handling that proved reachable).
+func plantMongoV2Bug(p *prog.Program) {
+	nb := blockAlloc(p)
+	p.Routines["dur_journal_commit"] = &prog.Routine{
+		Name:   "dur_journal_commit",
+		Module: "dur",
+		Ops: []prog.Op{
+			{Func: "pwrite", Repeat: 2, OnError: prog.Retry, Block: nb()},
+			{Func: "fsync", OnError: prog.AbortOnError, Block: nb(), RecoveryBlock: nb(),
+				CrashID: BugMongoV2Crash},
+		},
+	}
+	for t := 40; t < 56 && t < len(p.TestSuite); t++ {
+		p.TestSuite[t].Script = append(p.TestSuite[t].Script, "dur_journal_commit")
+	}
+	if err := p.Validate(); err != nil {
+		panic("targets: mongo-v2.0 planting broke the program: " + err.Error())
+	}
+}

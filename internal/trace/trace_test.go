@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"afex/internal/dsl"
+	"afex/internal/prog"
+)
+
+func traceProgram() *prog.Program {
+	p := &prog.Program{
+		Name: "traced",
+		Routines: map[string]*prog.Routine{
+			"a": {Name: "a", Module: "m", Ops: []prog.Op{
+				{Func: "read", Repeat: 3, OnError: prog.Tolerate, Block: 1},
+				{Func: "malloc", OnError: prog.Tolerate, Block: 2},
+			}},
+			"b": {Name: "b", Module: "m", Ops: []prog.Op{
+				{Func: "read", OnError: prog.Tolerate, Block: 3},
+				{Func: "write", OnError: prog.Tolerate, Block: 4},
+			}},
+		},
+		TestSuite: []prog.Test{
+			{Name: "t0", Script: []string{"a"}},
+			{Name: "t1", Script: []string{"a", "b"}},
+			{Name: "t2", Script: []string{"b"}},
+		},
+		NumBlocks: 4,
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestProfileCounts(t *testing.T) {
+	sp := Profile(traceProgram())
+	if sp.Tests != 3 || sp.FailedBaseline != 0 {
+		t.Fatalf("profile header wrong: %+v", sp)
+	}
+	// read: t0 3, t1 4, t2 1 → total 8, max 4.
+	if sp.TotalCalls["read"] != 8 {
+		t.Errorf("total read = %d, want 8", sp.TotalCalls["read"])
+	}
+	if sp.MaxPerTest["read"] != 4 {
+		t.Errorf("max read = %d, want 4", sp.MaxPerTest["read"])
+	}
+	if sp.TotalCalls["malloc"] != 2 || sp.TotalCalls["write"] != 2 {
+		t.Errorf("totals = %v", sp.TotalCalls)
+	}
+	if sp.PerTest[0]["read"] != 3 || sp.PerTest[1]["read"] != 4 || sp.PerTest[2]["read"] != 1 {
+		t.Errorf("per-test read counts = %v", sp.PerTest)
+	}
+	// All four blocks covered across the suite.
+	if sp.Coverage != 1.0 {
+		t.Errorf("coverage = %v, want 1.0", sp.Coverage)
+	}
+}
+
+func TestTopFunctionsSelectionAndOrder(t *testing.T) {
+	sp := Profile(traceProgram())
+	top2 := sp.TopFunctions(2)
+	if len(top2) != 2 {
+		t.Fatalf("top2 = %v", top2)
+	}
+	// read (8) and malloc/write (2 each; malloc wins the alphabetical
+	// tie) are selected; the result is ordered by the canonical class
+	// order (memory before file), so malloc precedes read.
+	if top2[0] != "malloc" || top2[1] != "read" {
+		t.Errorf("top2 = %v, want [malloc read]", top2)
+	}
+	all := sp.TopFunctions(99)
+	if len(all) != 3 {
+		t.Errorf("requesting more than available should return all: %v", all)
+	}
+}
+
+func TestBuildDescriptionAndSpace(t *testing.T) {
+	sp := Profile(traceProgram())
+	d := sp.BuildDescription(3, 0, 4)
+	if len(d.Spaces) != 1 {
+		t.Fatalf("spaces = %d", len(d.Spaces))
+	}
+	params := d.Spaces[0].Params
+	if params[0].Name != "testID" || params[0].Lo != 0 || params[0].Hi != 2 {
+		t.Errorf("testID param = %+v", params[0])
+	}
+	if params[1].Name != "function" || len(params[1].Set) != 3 {
+		t.Errorf("function param = %+v", params[1])
+	}
+	if params[2].Name != "callNumber" || params[2].Lo != 0 || params[2].Hi != 4 {
+		t.Errorf("callNumber param = %+v", params[2])
+	}
+	u := sp.BuildSpace(3, 0, 4)
+	if u.Size() != 3*3*5 {
+		t.Errorf("space size = %d, want 45", u.Size())
+	}
+	// The description renders in the Fig. 3 language and re-parses.
+	text := d.String()
+	if !strings.Contains(text, "testID : [ 0 , 2 ]") {
+		t.Errorf("description text = %q", text)
+	}
+}
+
+func TestBuildPairSpace(t *testing.T) {
+	sp := Profile(traceProgram())
+	u := sp.BuildPairSpace(3, 2)
+	if len(u.Spaces) != 1 {
+		t.Fatalf("pair space has %d subspaces", len(u.Spaces))
+	}
+	s := u.Spaces[0]
+	if s.Dims() != 5 {
+		t.Fatalf("pair space has %d axes, want 5", s.Dims())
+	}
+	names := []string{"testID", "function", "callNumber", "function2", "callNumber2"}
+	for i, n := range names {
+		if s.Axes[i].Name != n {
+			t.Errorf("axis %d = %q, want %q", i, s.Axes[i].Name, n)
+		}
+	}
+	// 3 tests × 3 funcs × 3 calls (0..2) × 3 funcs × 3 calls.
+	if u.Size() != 3*3*3*3*3 {
+		t.Errorf("pair space size = %d, want 243", u.Size())
+	}
+}
+
+func TestBuildDetailedSpace(t *testing.T) {
+	sp := Profile(traceProgram())
+	d := sp.BuildDetailedDescription(3, 1, 2)
+	if len(d.Spaces) != 3 { // one subspace per function
+		t.Fatalf("detailed description has %d subspaces, want 3", len(d.Spaces))
+	}
+	for _, sd := range d.Spaces {
+		names := []string{"testID", "function", "errno", "retval", "callNumber"}
+		if len(sd.Params) != len(names) {
+			t.Fatalf("subspace %s params = %d", sd.Subtype, len(sd.Params))
+		}
+		for i, n := range names {
+			if sd.Params[i].Name != n {
+				t.Errorf("subspace %s param %d = %q, want %q", sd.Subtype, i, sd.Params[i].Name, n)
+			}
+		}
+		if len(sd.Params[1].Set) != 1 {
+			t.Errorf("subspace %s function axis = %v, want a single function", sd.Subtype, sd.Params[1].Set)
+		}
+	}
+	// The rendered description must re-parse (negative retvals,
+	// underscore identifiers are grammar extensions).
+	if _, err := dsl.Parse(d.String()); err != nil {
+		t.Errorf("detailed description does not re-parse: %v\n%s", err, d.String())
+	}
+	u := d.Build()
+	if u.Size() == 0 {
+		t.Fatal("detailed space empty")
+	}
+	// read has 3 errnos in its profile: per-function errno axes differ.
+	var readSpace, mallocSpace int
+	for i, s := range u.Spaces {
+		switch s.Axes[1].Values[0] {
+		case "read":
+			readSpace = i
+		case "malloc":
+			mallocSpace = i
+		}
+	}
+	if got := u.Spaces[readSpace].Axes[2].Len(); got != 3 {
+		t.Errorf("read errno axis = %d values, want 3 (EIO, EINTR, EAGAIN)", got)
+	}
+	if got := u.Spaces[mallocSpace].Axes[2].Len(); got != 1 {
+		t.Errorf("malloc errno axis = %d values, want 1 (ENOMEM)", got)
+	}
+}
+
+func TestFaultProfileReport(t *testing.T) {
+	r := FaultProfileReport([]string{"malloc", "no_such_fn"})
+	if !strings.Contains(r, "malloc") || !strings.Contains(r, "ENOMEM") {
+		t.Errorf("report lacks malloc profile: %q", r)
+	}
+	if !strings.Contains(r, "not provided") {
+		t.Errorf("report lacks unknown-function note: %q", r)
+	}
+}

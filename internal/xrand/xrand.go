@@ -1,0 +1,205 @@
+// Package xrand provides the deterministic random primitives used by the
+// AFEX exploration algorithm: weighted (fitness-proportional) sampling, a
+// discrete Gaussian distribution over attribute indices, permutations, and
+// reproducible sub-streams.
+//
+// Everything in AFEX that involves chance flows through a *Rand so that a
+// whole exploration session is reproducible from a single seed. That
+// matters for the paper's experiments (comparing fitness-guided vs random
+// search on the same fault space must not be confounded by shared RNG
+// state) and for the generated regression tests, which must replay the
+// exact faults that were found.
+package xrand
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand is a deterministic random source. It wraps math/rand.Rand with the
+// sampling distributions Algorithm 1 needs. A zero Rand is not usable;
+// construct one with New.
+type Rand struct {
+	src *rand.Rand
+}
+
+// New returns a Rand seeded with seed. Equal seeds yield equal streams.
+func New(seed int64) *Rand {
+	return &Rand{src: rand.New(rand.NewSource(seed))}
+}
+
+// Sub derives an independent, reproducible sub-stream identified by id.
+// Two Rands with the same seed produce identical Sub(id) streams; different
+// ids produce uncorrelated streams. AFEX uses sub-streams to give each node
+// manager and each experiment arm its own deterministic randomness.
+func (r *Rand) Sub(id int64) *Rand {
+	// Mix the id with splitmix64-style finalization so that adjacent ids
+	// do not produce correlated seeds.
+	z := uint64(id) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return New(r.src.Int63() ^ int64(z))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (r *Rand) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (r *Rand) Int63() int64 { return r.src.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Weighted samples an index in [0, len(weights)) with probability
+// proportional to weights[i]. Negative weights are treated as zero. If the
+// total weight is zero (or the slice is empty after clamping), it falls
+// back to a uniform choice; this mirrors the behaviour AFEX needs when all
+// fitness values are zero early in a session. It panics on an empty slice.
+func (r *Rand) Weighted(weights []float64) int {
+	if len(weights) == 0 {
+		panic("xrand: Weighted on empty slice")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// InverseWeighted samples an index with probability inversely proportional
+// to weights[i]: low-weight entries are favoured. AFEX uses this to pick
+// the victim dropped from the bounded priority queue — tests with low
+// fitness have a higher probability of being dropped (§3).
+//
+// Each weight w is mapped to 1/(epsilon+max(w,0)); epsilon keeps zero
+// weights finite and guarantees every entry stays droppable.
+func (r *Rand) InverseWeighted(weights []float64) int {
+	if len(weights) == 0 {
+		panic("xrand: InverseWeighted on empty slice")
+	}
+	const epsilon = 1e-9
+	inv := make([]float64, len(weights))
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		inv[i] = 1 / (epsilon + w)
+	}
+	return r.Weighted(inv)
+}
+
+// Gaussian samples an index in [0, n) from a discrete approximation of a
+// Gaussian centred at mean with standard deviation sigma, excluding the
+// mean itself when n > 1 (Algorithm 1 mutates an attribute, so returning
+// the old value would waste an iteration). Probability mass outside the
+// valid range is redistributed by rejection.
+//
+// This is the mutation distribution of §3: it favours the closest
+// neighbours of the current value "without completely dismissing points
+// that are further away". The paper uses sigma = |Ai|/5.
+func (r *Rand) Gaussian(n int, mean int, sigma float64) int {
+	if n <= 0 {
+		panic("xrand: Gaussian with n <= 0")
+	}
+	if n == 1 {
+		return 0
+	}
+	if sigma <= 0 {
+		sigma = 1
+	}
+	for tries := 0; ; tries++ {
+		v := int(math.Round(r.src.NormFloat64()*sigma + float64(mean)))
+		if v >= 0 && v < n && v != mean {
+			return v
+		}
+		if tries >= 64 {
+			// Pathological sigma/mean combinations (e.g. mean far outside
+			// the range) can make rejection slow; fall back to a uniform
+			// draw over the valid, non-mean values.
+			v := r.Intn(n - 1)
+			if v >= mean && mean >= 0 && mean < n {
+				v++
+			}
+			return v
+		}
+	}
+}
+
+// Normalize scales weights so they sum to 1, writing into a fresh slice.
+// Negative entries are clamped to zero first. If everything is zero the
+// result is uniform. This implements the normalize() step on line 5 of
+// Algorithm 1 (sensitivity → attribute selection probabilities).
+func Normalize(weights []float64) []float64 {
+	out := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+			out[i] = w
+			total += w
+		}
+	}
+	if total <= 0 || math.IsInf(total, 1) {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples. The impact-precision metric of §5 is 1/Variance.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	return v / float64(len(xs))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

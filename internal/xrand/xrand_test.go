@@ -1,0 +1,236 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSubStreamsIndependentButReproducible(t *testing.T) {
+	a := New(7).Sub(1)
+	b := New(7).Sub(1)
+	c := New(7).Sub(2)
+	sameAsA, sameAsC := true, true
+	for i := 0; i < 50; i++ {
+		av, bv, cv := a.Int63(), b.Int63(), c.Int63()
+		if av != bv {
+			sameAsA = false
+		}
+		if av != cv {
+			sameAsC = false
+		}
+	}
+	if !sameAsA {
+		t.Error("Sub(1) not reproducible across equal parents")
+	}
+	if sameAsC {
+		t.Error("Sub(1) and Sub(2) produced identical streams")
+	}
+}
+
+func TestWeightedRespectsWeights(t *testing.T) {
+	r := New(1)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Weighted([]float64{1, 2, 7})]++
+	}
+	// Expected proportions 10%, 20%, 70% (±3 points).
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / 30000
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("index %d: got proportion %.3f, want ≈%.2f", i, got, want)
+		}
+	}
+}
+
+func TestWeightedZeroTotalFallsBackToUniform(t *testing.T) {
+	r := New(2)
+	counts := [4]int{}
+	for i := 0; i < 20000; i++ {
+		counts[r.Weighted([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		got := float64(c) / 20000
+		if math.Abs(got-0.25) > 0.03 {
+			t.Errorf("index %d: got %.3f, want ≈0.25", i, got)
+		}
+	}
+}
+
+func TestWeightedIgnoresNegative(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if got := r.Weighted([]float64{-5, 0, 1}); got != 2 {
+			t.Fatalf("Weighted chose index %d with zero/negative weight", got)
+		}
+	}
+}
+
+func TestWeightedPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty weights")
+		}
+	}()
+	New(1).Weighted(nil)
+}
+
+func TestInverseWeightedFavoursLowWeights(t *testing.T) {
+	r := New(4)
+	counts := [2]int{}
+	for i := 0; i < 20000; i++ {
+		counts[r.InverseWeighted([]float64{1, 100})]++
+	}
+	if counts[0] <= counts[1] {
+		t.Errorf("low weight picked %d times, high weight %d times; want low ≫ high", counts[0], counts[1])
+	}
+}
+
+func TestGaussianBoundsAndMeanExclusion(t *testing.T) {
+	r := New(5)
+	if err := quick.Check(func(seed int64, nRaw, meanRaw uint8) bool {
+		n := int(nRaw)%50 + 2 // 2..51
+		mean := int(meanRaw) % n
+		v := r.Gaussian(n, mean, float64(n)/5)
+		return v >= 0 && v < n && v != mean
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGaussianSingleValue(t *testing.T) {
+	if got := New(6).Gaussian(1, 0, 1); got != 0 {
+		t.Errorf("Gaussian(1,·) = %d, want 0", got)
+	}
+}
+
+func TestGaussianFavoursNeighbours(t *testing.T) {
+	r := New(7)
+	n, mean := 101, 50
+	near, far := 0, 0
+	for i := 0; i < 20000; i++ {
+		v := r.Gaussian(n, mean, float64(n)/5) // σ ≈ 20
+		if d := v - mean; d >= -20 && d <= 20 {
+			near++
+		} else {
+			far++
+		}
+	}
+	// Within ±σ lies ≈68% of a Gaussian's mass.
+	if got := float64(near) / 20000; got < 0.60 {
+		t.Errorf("±σ neighbourhood holds %.2f of draws, want ≥ 0.60", got)
+	}
+	if far == 0 {
+		t.Error("distant values never drawn; Gaussian should not dismiss them entirely")
+	}
+}
+
+func TestGaussianPathologicalMean(t *testing.T) {
+	r := New(8)
+	// Mean far outside the range forces the rejection fallback.
+	for i := 0; i < 100; i++ {
+		v := r.Gaussian(10, 500, 0.5)
+		if v < 0 || v >= 10 {
+			t.Fatalf("out-of-range draw %d", v)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want []float64
+	}{
+		{[]float64{1, 1, 2}, []float64{0.25, 0.25, 0.5}},
+		{[]float64{0, 0}, []float64{0.5, 0.5}},
+		{[]float64{-1, 3}, []float64{0, 1}},
+	}
+	for _, c := range cases {
+		got := Normalize(c.in)
+		for i := range c.want {
+			if math.Abs(got[i]-c.want[i]) > 1e-9 {
+				t.Errorf("Normalize(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestNormalizeSumsToOne(t *testing.T) {
+	if err := quick.Check(func(ws []float64) bool {
+		if len(ws) == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, v := range Normalize(ws) {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-6
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceAndMean(t *testing.T) {
+	if v := Variance([]float64{5, 5, 5}); v != 0 {
+		t.Errorf("Variance of constants = %v, want 0", v)
+	}
+	if v := Variance([]float64{1}); v != 0 {
+		t.Errorf("Variance of single sample = %v, want 0", v)
+	}
+	if v := Variance([]float64{2, 4}); math.Abs(v-1) > 1e-9 {
+		t.Errorf("Variance(2,4) = %v, want 1", v)
+	}
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-9 {
+		t.Errorf("Mean = %v, want 2", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", m)
+	}
+}
+
+func TestVarianceNonNegative(t *testing.T) {
+	if err := quick.Check(func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological float inputs
+			}
+		}
+		return Variance(xs) >= 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	r := New(9)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Errorf("Shuffle changed multiset: %v", xs)
+	}
+}
