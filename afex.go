@@ -32,6 +32,18 @@
 // space in the description language (ParseSpace), bring your own system
 // under test (a prog.Program), or run the explorer distributed across
 // machines (package rpcnode via the Cluster helpers).
+//
+// # Execution engine
+//
+// Every session — local or distributed — runs on one shared execution
+// engine (Engine): candidate leasing, impact scoring, coverage
+// accounting, redundancy clustering, feedback weighting and stop logic
+// exist exactly once. Options.Workers runs that many in-process node
+// managers; Options.Batch sets how many candidates each worker leases
+// per coordination round (sequential runs always lease one at a time and
+// stay bit-for-bit deterministic). Advanced callers can build an Engine
+// directly with NewEngine and drive it with a custom Executor — that is
+// exactly how the distributed Coordinator is built.
 package afex
 
 import (
@@ -91,7 +103,26 @@ type (
 	RelevanceModel = quality.RelevanceModel
 	// SuiteProfile is a fault-free profiling run of a target's suite.
 	SuiteProfile = trace.SuiteProfile
+	// Engine is the shared execution engine behind every session: both
+	// the local worker pool and the distributed coordinator lease
+	// candidates from and fold outcomes into one of these.
+	Engine = core.Engine
+	// Executor is the engine's deployment seam: it runs one leased
+	// candidate and returns the observed outcome (the engine folds it).
+	Executor = core.Executor
 )
+
+// DefaultBatch is the per-worker lease batch size used when
+// Options.Batch is zero and the session runs parallel.
+const DefaultBatch = core.DefaultBatch
+
+// NewEngine validates opts and builds the execution engine without
+// running it — the entry point for custom drivers (bespoke executors,
+// throughput harnesses, alternative transports). Most callers want
+// Explore instead. Options.Target may be nil only when the engine will
+// be driven through RunWith with a custom Executor that runs tests
+// elsewhere; RunLocal and LocalExecutor require a target.
+func NewEngine(opts Options) (*Engine, error) { return core.NewEngine(opts, nil) }
 
 // Explore runs one fault-exploration session.
 func Explore(opts Options) (*Result, error) { return core.Run(opts) }

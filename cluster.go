@@ -8,8 +8,14 @@ import (
 // Distributed-mode re-exports (§6.1/§7.7): an explorer served over TCP
 // with node managers pulling tests from it. See package rpcnode for the
 // protocol details.
+//
+// The coordinator is a protocol adapter over the same execution engine
+// (Engine) local sessions use, so a distributed session scores, clusters
+// and tallies identically to a local one — and Coordinator.Result
+// returns the same full Result a local Explore does, synopsis included.
 type (
-	// Coordinator wraps an explorer behind the cluster RPC service.
+	// Coordinator adapts remote node managers to the shared execution
+	// engine behind the cluster RPC service.
 	Coordinator = rpcnode.Coordinator
 	// CoordinatorServer is a listening coordinator.
 	CoordinatorServer = rpcnode.Server

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	afex explore --target mysqld [--algorithm fitness] [--iterations 1000]
-//	             [--seed 1] [--feedback] [--workers 4] [--funcs 19]
+//	             [--seed 1] [--feedback] [--workers 4] [--batch 16] [--funcs 19]
 //	             [--call-lo 1] [--call-hi 100] [--top 10] [--repro]
 //	afex replay  --target mysqld --scenario "testID 5 function read errno EIO retval -1 callNumber 3"
 //	afex profile --target coreutils [--funcs 19]
@@ -81,6 +81,7 @@ func cmdExplore(args []string) error {
 	seed := fs.Int64("seed", 1, "RNG seed")
 	feedback := fs.Bool("feedback", false, "enable redundancy feedback (§7.4)")
 	workers := fs.Int("workers", 1, "concurrent node managers")
+	batch := fs.Int("batch", 0, "candidates leased per worker coordination round (0 = default; parallel mode only)")
 	nFuncs := fs.Int("funcs", 19, "function-axis size")
 	callLo := fs.Int("call-lo", 1, "callNumber axis lower bound (0 adds a no-injection point)")
 	callHi := fs.Int("call-hi", 10, "callNumber axis upper bound")
@@ -114,6 +115,7 @@ func cmdExplore(args []string) error {
 		Algorithm:  *algorithm,
 		Iterations: *iterations,
 		Workers:    *workers,
+		Batch:      *batch,
 		Feedback:   *feedback,
 		TimeBudget: *budget,
 		Explore:    afex.ExploreOptions{Seed: *seed},
@@ -229,6 +231,7 @@ func cmdServe(args []string) error {
 	}
 	space := afex.SpaceFor(target, *nFuncs, *callLo, *callHi)
 	coord := afex.NewCoordinator(space, afex.ExploreOptions{Seed: *seed}, *iterations)
+	coord.SetTargetName(target.Name)
 	srv, err := afex.ServeCoordinator(*addr, coord)
 	if err != nil {
 		return err
@@ -246,6 +249,9 @@ func cmdServe(args []string) error {
 			for id, n := range st.PerManager {
 				fmt.Printf("  %s executed %d\n", id, n)
 			}
+			// The distributed session runs on the same engine as a local
+			// one, so the full synopsis is available here too.
+			fmt.Print(coord.Result().Report(10))
 			return nil
 		}
 	}

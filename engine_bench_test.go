@@ -1,0 +1,167 @@
+package afex
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"afex/internal/cluster"
+	"afex/internal/core"
+	"afex/internal/explore"
+	"afex/internal/faultspace"
+	"afex/internal/prog"
+	"afex/internal/xrand"
+)
+
+// Engine and cluster-index benchmarks. Run with:
+//
+//	go test -bench='BenchmarkEngineThroughput|BenchmarkClusterSetAdd' -benchtime=1x
+//
+// BenchmarkEngineThroughput measures the execution engine's scaling
+// across worker counts. Real fault-injection tests are wall-clock bound
+// (start the system, drive the workload, tear down — seconds per test,
+// §6.1), while the simulated targets here execute in microseconds; the
+// benchmark therefore drives the engine through its Executor seam with a
+// fixed per-test service time, the same compute-to-coordination ratio
+// rpcnode.Manager.Work emulates. What is measured is exactly what the
+// batched-lease/reducer design is for: how much of that latency the
+// engine can hide per added worker.
+
+// benchTarget is a target whose every test tolerates faults, keeping the
+// fold path realistic (coverage accounting, occasional clustering) but
+// cheap relative to the simulated test duration.
+func benchTarget() *prog.Program {
+	p := &prog.Program{
+		Name: "engine-bench",
+		Routines: map[string]*prog.Routine{
+			"serve": {Name: "serve", Module: "srv", Ops: []prog.Op{
+				{Func: "read", Repeat: 4, OnError: prog.Tolerate, Block: 1},
+				{Func: "malloc", Repeat: 2, OnError: prog.Tolerate, Block: 2},
+				{Func: "write", Repeat: 4, OnError: prog.Propagate, Block: 3, RecoveryBlock: 4},
+			}},
+		},
+		TestSuite: []prog.Test{
+			{Name: "t0", Script: []string{"serve"}},
+			{Name: "t1", Script: []string{"serve"}},
+			{Name: "t2", Script: []string{"serve"}},
+			{Name: "t3", Script: []string{"serve"}},
+		},
+		NumBlocks: 4,
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func benchSpace() *faultspace.Union {
+	return faultspace.NewUnion(faultspace.New("s",
+		faultspace.IntAxis("testID", 0, 3),
+		faultspace.SetAxis("function", "read", "malloc", "write"),
+		faultspace.IntAxis("callNumber", 1, 64),
+	))
+}
+
+// pacedExecutor wraps the engine's local executor with a fixed per-test
+// service time, emulating a wall-clock-bound system under test.
+type pacedExecutor struct {
+	inner   core.Executor
+	service time.Duration
+}
+
+func (p *pacedExecutor) Execute(c explore.Candidate) (core.Record, prog.Outcome) {
+	time.Sleep(p.service)
+	return p.inner.Execute(c)
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	const (
+		iterations = 96
+		service    = 2 * time.Millisecond
+	)
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := NewEngine(Options{
+					Target:     benchTarget(),
+					Space:      benchSpace(),
+					Algorithm:  Random,
+					Iterations: iterations,
+					Workers:    workers,
+					Explore:    ExploreOptions{Seed: int64(i + 1)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				eng.RunWith(&pacedExecutor{inner: eng.LocalExecutor(), service: service})
+				res := eng.Finish()
+				if res.Executed != iterations {
+					b.Fatalf("executed %d, want %d", res.Executed, iterations)
+				}
+				b.ReportMetric(float64(res.Executed)/time.Since(start).Seconds(), "tests/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkClusterSetAdd measures incremental clustering at session
+// scale: 10k stacks per iteration, a mix of exact re-triggers (the
+// common case in long sessions) and novel traces of varied depth. The
+// indexed Set answers repeats from the exact-match hash and prunes the
+// rest by frame-count bucketing; the seed's linear scan was O(clusters)
+// per Add and made sessions quadratic in executed tests.
+func BenchmarkClusterSetAdd(b *testing.B) {
+	const n = 10000
+	rng := xrand.New(17)
+	base := make([][]string, 600)
+	for i := range base {
+		depth := 2 + rng.Intn(10)
+		st := make([]string, depth)
+		for j := range st {
+			st[j] = fmt.Sprintf("mod%d!fn%d", rng.Intn(12), rng.Intn(50))
+		}
+		base[i] = st
+	}
+	stacks := make([][]string, n)
+	for i := range stacks {
+		st := base[rng.Intn(len(base))]
+		if rng.Intn(100) < 30 { // 30% near-miss mutations
+			st = append([]string(nil), st...)
+			st[rng.Intn(len(st))] = fmt.Sprintf("mod%d!fn%d", rng.Intn(12), rng.Intn(50))
+		}
+		stacks[i] = st
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := cluster.NewSet(1)
+		for id, st := range stacks {
+			set.Add(id, st)
+		}
+		b.ReportMetric(float64(set.Len()), "clusters")
+	}
+}
+
+// BenchmarkClusterMaxSimilarity measures the §7.4 feedback probe against
+// a 10k-stack memory — the inner loop of Feedback sessions, which the
+// seed evaluated with a full linear scan per executed test.
+func BenchmarkClusterMaxSimilarity(b *testing.B) {
+	rng := xrand.New(23)
+	set := cluster.NewSet(1)
+	var probes [][]string
+	for i := 0; i < 10000; i++ {
+		depth := 2 + rng.Intn(10)
+		st := make([]string, depth)
+		for j := range st {
+			st[j] = fmt.Sprintf("mod%d!fn%d", rng.Intn(12), rng.Intn(50))
+		}
+		set.Add(i, st)
+		if i%100 == 0 {
+			probes = append(probes, st)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = set.MaxSimilarity(probes[i%len(probes)])
+	}
+}

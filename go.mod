@@ -1,0 +1,3 @@
+module afex
+
+go 1.22

@@ -4,9 +4,20 @@
 // clusters") of faults whose traces are closer than a threshold, and the
 // online feedback weight that steers exploration away from scenarios that
 // re-trigger manifestations of the same underlying bug.
+//
+// Set is indexed so that Add and MaxSimilarity stay fast as sessions
+// grow: an exact-match hash answers repeated stacks in O(1), and stacks
+// are bucketed by frame count (and, within a bucket, by outermost frame)
+// so that the edit-distance lower bound |len(a)-len(b)| prunes most
+// candidate comparisons. Results are identical to a linear scan — the
+// pruning only skips comparisons whose distance provably cannot win.
 package cluster
 
-import "sort"
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
 
 // Levenshtein returns the edit distance between two stack traces,
 // computed over whole frames (not characters): the minimum number of
@@ -47,6 +58,82 @@ func Levenshtein(a, b []string) int {
 	return prev[len(b)]
 }
 
+// boundedLevenshtein returns the frame edit distance between a and b
+// when it is at most limit, and limit+1 otherwise. It computes only the
+// ±limit diagonal band of the DP matrix, so screening candidates against
+// a clustering threshold costs O(len × limit) instead of O(len²).
+func boundedLevenshtein(a, b []string, limit int) int {
+	la, lb := len(a), len(b)
+	if la > lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	if lb-la > limit {
+		return limit + 1
+	}
+	inf := limit + 1
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := range prev {
+		if j <= limit {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		lo, hi := i-limit, i+limit
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > lb {
+			hi = lb
+		}
+		// Seed the out-of-band neighbours this row reads.
+		if lo == 1 {
+			if i <= limit {
+				cur[0] = i
+			} else {
+				cur[0] = inf
+			}
+		} else {
+			cur[lo-1] = inf
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			if m > inf {
+				m = inf
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if hi < lb {
+			cur[hi+1] = inf // next row's out-of-band read
+		}
+		if rowMin >= inf {
+			return inf // the whole band saturated; distance exceeds limit
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > limit {
+		return inf
+	}
+	return prev[lb]
+}
+
 // Similarity maps edit distance to [0,1]: 1 for identical traces, 0 for
 // completely unrelated ones. This is the linear scale of §7.4 ("100%
 // similarity ends up zero-ing the fitness, while 0% similarity leaves
@@ -63,6 +150,35 @@ func Similarity(a, b []string) float64 {
 	return 1 - float64(Levenshtein(a, b))/float64(max)
 }
 
+// stackKey is a collision-free encoding of a stack (each frame is
+// length-prefixed, so no frame content can alias the separator).
+func stackKey(stack []string) string {
+	var b strings.Builder
+	for _, fr := range stack {
+		b.WriteString(strconv.Itoa(len(fr)))
+		b.WriteByte(':')
+		b.WriteString(fr)
+	}
+	return b.String()
+}
+
+// firstFrame keys the within-length sub-buckets by outermost frame:
+// stacks that agree on where execution started are the likeliest near
+// matches, so they are compared first and raise the pruning bound early.
+func firstFrame(stack []string) string {
+	if len(stack) == 0 {
+		return ""
+	}
+	return stack[0]
+}
+
+// lenBucket holds every remembered stack of one frame count, sub-grouped
+// by outermost frame.
+type lenBucket struct {
+	byFirst map[string][][]string
+	count   int
+}
+
 // Set maintains redundancy clusters incrementally. Each added stack is
 // either absorbed by the nearest existing cluster (distance to its
 // representative ≤ Threshold) or founds a new one.
@@ -71,8 +187,22 @@ type Set struct {
 	// to land in the same cluster.
 	Threshold int
 	clusters  []Cluster
-	// all retains every added stack for exact max-similarity queries.
-	all [][]string
+
+	// repByKey maps a representative's exact stack to its cluster: the
+	// O(1) fast path for the overwhelmingly common case of a re-triggered
+	// identical trace.
+	repByKey map[string]int
+	// repsByLen buckets cluster indices by representative frame count;
+	// only clusters within ±Threshold frames can absorb a stack.
+	repsByLen map[int][]int
+
+	// The stack memory behind MaxSimilarity: exact multiset plus
+	// length/first-frame buckets of every stack ever added.
+	allByKey map[string]int
+	allByLen map[int]*lenBucket
+	allN     int
+	minLen   int
+	maxLen   int
 }
 
 // Cluster is one redundancy equivalence class.
@@ -92,6 +222,16 @@ func NewSet(threshold int) *Set {
 	return &Set{Threshold: threshold}
 }
 
+// init lazily allocates the indexes, so zero-value Sets keep working.
+func (s *Set) init() {
+	if s.repByKey == nil {
+		s.repByKey = make(map[string]int)
+		s.repsByLen = make(map[int][]int)
+		s.allByKey = make(map[string]int)
+		s.allByLen = make(map[int]*lenBucket)
+	}
+}
+
 // Len returns the number of clusters.
 func (s *Set) Len() int { return len(s.clusters) }
 
@@ -103,26 +243,87 @@ func (s *Set) Clusters() []Cluster {
 	return out
 }
 
+// remember indexes one stack into the MaxSimilarity memory and returns
+// the (copied) stack actually stored.
+func (s *Set) remember(key string, stack []string) []string {
+	stored := append([]string(nil), stack...)
+	s.allByKey[key]++
+	l := len(stored)
+	b := s.allByLen[l]
+	if b == nil {
+		b = &lenBucket{byFirst: make(map[string][][]string)}
+		s.allByLen[l] = b
+	}
+	f := firstFrame(stored)
+	b.byFirst[f] = append(b.byFirst[f], stored)
+	b.count++
+	if s.allN == 0 || l < s.minLen {
+		s.minLen = l
+	}
+	if l > s.maxLen {
+		s.maxLen = l
+	}
+	s.allN++
+	return stored
+}
+
 // Add inserts the stack with caller id and returns the cluster index it
 // joined and whether it founded a new cluster.
 func (s *Set) Add(id int, stack []string) (clusterID int, isNew bool) {
-	s.all = append(s.all, stack)
+	s.init()
+	key := stackKey(stack)
+	stored := s.remember(key, stack)
+
+	// Exact fast path: a stack identical to a representative is at
+	// distance 0, the unbeatable minimum (representatives are pairwise
+	// distinct, so the match is unique).
+	if ci, ok := s.repByKey[key]; ok {
+		s.clusters[ci].Members = append(s.clusters[ci].Members, id)
+		return ci, false
+	}
+
+	// Only clusters whose representative has a frame count within
+	// ±Threshold can be at distance ≤ Threshold (edit distance is at
+	// least the length difference); scan exactly those, lowest cluster
+	// index first so tie-breaking matches the historical linear scan.
+	// Distances beyond the threshold never influence the outcome, so the
+	// screen is the banded bounded distance, and — since the exact probe
+	// above ruled out distance 0 — a distance-1 hit ends the scan: no
+	// later cluster can tie-break it.
+	la := len(stack)
 	best, bestDist := -1, int(^uint(0)>>1)
-	for i := range s.clusters {
-		d := Levenshtein(stack, s.clusters[i].Representative)
-		if d < bestDist {
-			best, bestDist = i, d
+	if s.Threshold > 0 {
+		var cands []int
+		for lb := la - s.Threshold; lb <= la+s.Threshold; lb++ {
+			if lb < 0 {
+				continue
+			}
+			cands = append(cands, s.repsByLen[lb]...)
+		}
+		sort.Ints(cands)
+		for _, i := range cands {
+			d := boundedLevenshtein(stack, s.clusters[i].Representative, s.Threshold)
+			if d <= s.Threshold && d < bestDist {
+				best, bestDist = i, d
+				if bestDist <= 1 {
+					break
+				}
+			}
 		}
 	}
 	if best >= 0 && bestDist <= s.Threshold {
 		s.clusters[best].Members = append(s.clusters[best].Members, id)
 		return best, false
 	}
+
+	ci := len(s.clusters)
 	s.clusters = append(s.clusters, Cluster{
-		Representative: append([]string(nil), stack...),
+		Representative: stored,
 		Members:        []int{id},
 	})
-	return len(s.clusters) - 1, true
+	s.repByKey[key] = ci
+	s.repsByLen[la] = append(s.repsByLen[la], ci)
+	return ci, true
 }
 
 // MaxSimilarity returns the highest similarity between stack and any
@@ -130,13 +331,70 @@ func (s *Set) Add(id int, stack []string) (clusterID int, isNew bool) {
 // feedback signal: fitness is scaled by (1 - MaxSimilarity), so a
 // scenario identical to a known one contributes nothing and a novel one
 // keeps its full fitness.
+//
+// The scan walks length buckets outward from len(stack). A bucket of
+// length lb cannot beat similarity 1 - |la-lb|/max(la,lb), and that
+// bound only decays as |la-lb| grows, so the walk stops as soon as the
+// best similarity found dominates both directions — typically after the
+// exact-match probe or a couple of buckets.
 func (s *Set) MaxSimilarity(stack []string) float64 {
+	if s.allN == 0 {
+		return 0
+	}
+	if s.allByKey[stackKey(stack)] > 0 {
+		return 1
+	}
+	la := len(stack)
 	best := 0.0
-	for _, other := range s.all {
+	maxD := la - s.minLen
+	if d := s.maxLen - la; d > maxD {
+		maxD = d
+	}
+	for d := 0; d <= maxD; d++ {
+		// Upper bounds on similarity for the two buckets at offset d.
+		ubLow, ubHigh := -1.0, -1.0
+		if lb := la - d; lb >= s.minLen && la > 0 {
+			ubLow = float64(lb) / float64(la)
+		}
+		if lb := la + d; lb <= s.maxLen {
+			ubHigh = float64(la) / float64(lb)
+		}
+		if ubLow <= best && ubHigh <= best {
+			break // no farther bucket can win either
+		}
+		if ubLow > best {
+			best = s.scanBucket(s.allByLen[la-d], stack, best)
+		}
+		if d > 0 && ubHigh > best {
+			best = s.scanBucket(s.allByLen[la+d], stack, best)
+		}
+		if best >= 1 {
+			break
+		}
+	}
+	return best
+}
+
+// scanBucket scans one length bucket, same-outermost-frame stacks first
+// (the likeliest high-similarity matches, raising best — and therefore
+// the pruning bound — as early as possible).
+func (s *Set) scanBucket(b *lenBucket, stack []string, best float64) float64 {
+	if b == nil {
+		return best
+	}
+	first := firstFrame(stack)
+	for _, other := range b.byFirst[first] {
 		if sim := Similarity(stack, other); sim > best {
 			best = sim
-			if best >= 1 {
-				break
+		}
+	}
+	for f, others := range b.byFirst {
+		if f == first {
+			continue
+		}
+		for _, other := range others {
+			if sim := Similarity(stack, other); sim > best {
+				best = sim
 			}
 		}
 	}

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"afex/internal/xrand"
+)
+
+func benchStacks() [][]string {
+	rng := xrand.New(17)
+	base := make([][]string, 600)
+	for i := range base {
+		depth := 2 + rng.Intn(10)
+		st := make([]string, depth)
+		for j := range st {
+			st[j] = fmt.Sprintf("mod%d!fn%d", rng.Intn(12), rng.Intn(50))
+		}
+		base[i] = st
+	}
+	stacks := make([][]string, 10000)
+	for i := range stacks {
+		st := base[rng.Intn(len(base))]
+		if rng.Intn(100) < 30 {
+			st = append([]string(nil), st...)
+			st[rng.Intn(len(st))] = fmt.Sprintf("mod%d!fn%d", rng.Intn(12), rng.Intn(50))
+		}
+		stacks[i] = st
+	}
+	return stacks
+}
+
+func BenchmarkNaiveSetAdd10k(b *testing.B) {
+	stacks := benchStacks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := &naiveSet{threshold: 1}
+		for id, st := range stacks {
+			set.add(id, st)
+		}
+		b.ReportMetric(float64(len(set.clusters)), "clusters")
+	}
+}
+
+func BenchmarkIndexedSetAdd10k(b *testing.B) {
+	stacks := benchStacks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := NewSet(1)
+		for id, st := range stacks {
+			set.Add(id, st)
+		}
+		b.ReportMetric(float64(set.Len()), "clusters")
+	}
+}

@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"afex/internal/cluster"
+	"afex/internal/dsl"
+	"afex/internal/explore"
+	"afex/internal/inject"
+	"afex/internal/prog"
+)
+
+// DefaultBatch is the number of candidates a worker leases per lock
+// acquisition when Config.Batch is unset and the session runs parallel.
+const DefaultBatch = 8
+
+// Executor runs leased candidates against the system under test. It is
+// the deployment seam of the engine: the local implementation converts
+// the scenario and calls the program model in-process, while package
+// rpcnode ships scenarios to remote node managers over TCP. Executors
+// must be safe for concurrent use; they touch no engine state.
+type Executor interface {
+	// Execute runs one candidate and returns the partially filled record
+	// (Point, Scenario, TestID, Plan, Skipped) plus the observed outcome.
+	// Folding the outcome into session state is the engine's job.
+	Execute(c explore.Candidate) (Record, prog.Outcome)
+}
+
+// Engine is the shared execution core of a fault-exploration session.
+// Exactly one engine exists per session, regardless of deployment mode:
+// the in-process worker pool (RunLocal) and the distributed coordinator
+// (package rpcnode) both lease candidates from it and fold outcomes into
+// it, so candidate accounting, impact scoring, coverage, clustering,
+// feedback weighting and stop/progress logic live in one place.
+//
+// The engine is safe for concurrent use. Workers amortize the session
+// lock by leasing candidates in batches (Config.Batch); outcome folding
+// is serialized, so the explorer itself never needs to be thread-safe.
+type Engine struct {
+	cfg      Config
+	explorer explore.Explorer
+	plugin   inject.Plugin
+	axes     []string
+
+	mu sync.Mutex
+	// pending counts candidates handed out but not yet folded back, so
+	// the session does not overshoot Iterations.
+	pending       int
+	covered       map[int]struct{}
+	recovered     map[int]struct{}
+	recoverySet   map[int]struct{}
+	allStacks     *cluster.Set
+	failClusters  *cluster.Set
+	crashClusters *cluster.Set
+	res           *ResultSet
+	stopped       bool
+	deadline      time.Time
+	start         time.Time
+	finished      bool
+}
+
+// NewEngine validates cfg and builds an engine. ex overrides the
+// explorer; when nil, one is constructed from cfg.Algorithm over
+// cfg.Space (which must then be non-empty). cfg.Target may be nil for
+// engines whose executors run tests elsewhere (the distributed
+// coordinator); coverage fractions then stay zero.
+func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
+	if ex == nil {
+		if cfg.Space == nil || cfg.Space.Size() == 0 {
+			return nil, fmt.Errorf("core: Config.Space is nil or empty")
+		}
+		if cfg.Algorithm == "" {
+			cfg.Algorithm = "fitness"
+		}
+		ex = explore.New(cfg.Algorithm, cfg.Space, cfg.Explore)
+		if ex == nil {
+			return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
+		}
+	}
+	if cfg.Algorithm == "" {
+		// Label the result set after the caller-provided explorer.
+		if n, ok := ex.(explore.Named); ok {
+			cfg.Algorithm = n.Name()
+		}
+	}
+	if cfg.ClusterThreshold == 0 {
+		cfg.ClusterThreshold = 1
+	}
+	if cfg.Impact.zero() {
+		cfg.Impact = DefaultImpact()
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 100
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultBatch
+	}
+	e := &Engine{
+		cfg:           cfg,
+		explorer:      ex,
+		covered:       make(map[int]struct{}),
+		recovered:     make(map[int]struct{}),
+		allStacks:     cluster.NewSet(cfg.ClusterThreshold),
+		failClusters:  cluster.NewSet(cfg.ClusterThreshold),
+		crashClusters: cluster.NewSet(cfg.ClusterThreshold),
+		res: &ResultSet{
+			Algorithm: cfg.Algorithm,
+			CrashIDs:  make(map[string]int),
+		},
+	}
+	if cfg.Target != nil {
+		e.res.Target = cfg.Target.Name
+		e.recoverySet = recoveryBlocks(cfg.Target)
+	}
+	if cfg.Space != nil {
+		e.res.SpaceSize = cfg.Space.Size()
+		if len(cfg.Space.Spaces) > 0 {
+			for _, a := range cfg.Space.Spaces[0].Axes {
+				e.axes = append(e.axes, a.Name)
+			}
+		}
+	}
+	e.start = time.Now()
+	if cfg.TimeBudget > 0 {
+		e.deadline = e.start.Add(cfg.TimeBudget)
+	}
+	return e, nil
+}
+
+// Lease hands out up to max candidates under one lock acquisition,
+// bounded by the remaining Iterations budget (counting outstanding
+// leases, so the session never overshoots). It returns nil once the
+// session is stopped, the budget is committed, or the explorer is
+// exhausted.
+func (e *Engine) Lease(max int) []explore.Candidate {
+	if max <= 0 {
+		max = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return nil
+	}
+	if e.cfg.Iterations > 0 {
+		remaining := e.cfg.Iterations - e.res.Executed - e.pending
+		if remaining <= 0 {
+			return nil
+		}
+		if max > remaining {
+			max = remaining
+		}
+	}
+	cands := explore.BatchNext(e.explorer, max)
+	e.pending += len(cands)
+	return cands
+}
+
+// Unlease returns budget for n leased candidates that will never be
+// executed (a worker shutting down mid-batch, a lost remote manager).
+func (e *Engine) Unlease(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pending -= n
+	if e.pending < 0 {
+		e.pending = 0
+	}
+}
+
+// Fold folds one executed test back into shared state and the explorer:
+// coverage accounting, impact scoring, result-quality feedback,
+// tallying, redundancy clustering, and the Observe/Progress/Stop hooks.
+// It returns true when the session should stop.
+func (e *Engine) Fold(c explore.Candidate, rec Record, outcome prog.Outcome) bool {
+	return e.FoldBatch([]ExecutedTest{{C: c, Rec: rec, Out: outcome}})
+}
+
+// ExecutedTest is one finished test awaiting folding.
+type ExecutedTest struct {
+	C   explore.Candidate
+	Rec Record
+	Out prog.Outcome
+}
+
+// FoldBatch folds a batch of executed tests under a single lock
+// acquisition, feeding the explorer through its batched report fast
+// path. Every executed test folds — observed outcomes are never
+// discarded, even when a Stop condition or the deadline fires mid-batch
+// (stopping only prevents further leases). It returns true when the
+// session should stop.
+func (e *Engine) FoldBatch(batch []ExecutedTest) bool {
+	if len(batch) == 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	feedback := make([]explore.Feedback, 0, len(batch))
+	stop := false
+	for i := range batch {
+		et := &batch[i]
+		stopped, fb := e.foldLocked(et.C, et.Rec, et.Out)
+		feedback = append(feedback, fb)
+		stop = stop || stopped
+	}
+	explore.ReportBatch(e.explorer, feedback)
+	return stop
+}
+
+func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcome) (bool, explore.Feedback) {
+	if e.pending > 0 {
+		e.pending--
+	}
+
+	rec.ID = e.res.Executed
+	rec.Outcome = outcome
+	rec.Cluster = -1
+
+	// Coverage accounting: count blocks first covered by this run.
+	for b := range outcome.Blocks {
+		if _, seen := e.covered[b]; !seen {
+			e.covered[b] = struct{}{}
+			rec.NewBlocks++
+		}
+		if _, isRec := e.recoverySet[b]; isRec {
+			e.recovered[b] = struct{}{}
+		}
+	}
+
+	// Impact metric — the one scoring path shared by every deployment.
+	rec.Impact, rec.Relevance = e.cfg.Impact.score(outcome, rec.NewBlocks, rec.Plan, rec.TestID)
+
+	// Result-quality feedback (§7.4): scale fitness by dissimilarity to
+	// everything seen so far, then remember this stack.
+	rec.Fitness = rec.Impact
+	if outcome.Injected {
+		if e.cfg.Feedback {
+			sim := e.allStacks.MaxSimilarity(outcome.InjectionStack)
+			rec.Fitness = rec.Impact * cluster.FeedbackWeight(sim)
+		}
+		e.allStacks.Add(rec.ID, outcome.InjectionStack)
+	}
+
+	// Tally and cluster.
+	e.res.Executed++
+	if rec.Skipped {
+		e.res.Holes++
+	}
+	if outcome.Injected {
+		e.res.Injected++
+	}
+	if outcome.Injected && outcome.Failed {
+		e.res.Failed++
+		id, _ := e.failClusters.Add(rec.ID, outcome.InjectionStack)
+		rec.Cluster = id
+		if outcome.Crashed {
+			e.res.Crashed++
+			e.crashClusters.Add(rec.ID, outcome.InjectionStack)
+			if outcome.CrashID != "" {
+				e.res.CrashIDs[outcome.CrashID]++
+			}
+		}
+		if outcome.Hung {
+			e.res.Hung++
+		}
+	}
+	e.res.Records = append(e.res.Records, rec)
+
+	fb := explore.Feedback{C: c, Impact: rec.Impact, Fitness: rec.Fitness}
+
+	if e.cfg.Observe != nil {
+		e.cfg.Observe(rec)
+	}
+	if e.cfg.Progress != nil && e.res.Executed%e.cfg.ProgressEvery == 0 {
+		e.cfg.Progress(e.snapshotLocked())
+	}
+	if e.cfg.Stop != nil && e.cfg.Stop(e.snapshotLocked()) {
+		e.stopped = true
+		return true, fb
+	}
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.stopped = true
+		return true, fb
+	}
+	return e.stopped, fb
+}
+
+// SetTargetName labels the result set for engines whose target runs
+// remotely (a distributed coordinator never loads the program locally,
+// so NewEngine could not pick the name up from Config.Target).
+func (e *Engine) SetTargetName(name string) {
+	e.mu.Lock()
+	e.res.Target = name
+	e.mu.Unlock()
+}
+
+// Stop ends the session: subsequent Lease calls return nil. In-flight
+// tests may still fold.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.mu.Unlock()
+}
+
+// Snapshot returns the running tally.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapshotLocked()
+}
+
+func (e *Engine) snapshotLocked() Snapshot {
+	cov := 0.0
+	if e.cfg.Target != nil && e.cfg.Target.NumBlocks > 0 {
+		cov = float64(len(e.covered)) / float64(e.cfg.Target.NumBlocks)
+	}
+	return Snapshot{
+		Executed:    e.res.Executed,
+		Injected:    e.res.Injected,
+		Failed:      e.res.Failed,
+		Crashed:     e.res.Crashed,
+		Hung:        e.res.Hung,
+		NewCrashIDs: len(e.res.CrashIDs),
+		Coverage:    cov,
+	}
+}
+
+// Finish seals and returns the result set: elapsed time, final
+// sensitivities, unique-cluster counts and coverage fractions. It is
+// idempotent; the first call fixes Elapsed.
+func (e *Engine) Finish() *ResultSet {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.finished {
+		e.finished = true
+		e.res.Elapsed = time.Since(e.start)
+	}
+	if fg, ok := e.explorer.(*explore.FitnessGuided); ok && e.cfg.Space != nil && len(e.cfg.Space.Spaces) > 0 {
+		e.res.Sensitivities = fg.Sensitivities(0)
+	}
+	e.res.UniqueFailures = e.failClusters.Len()
+	e.res.UniqueCrashes = e.crashClusters.Len()
+	if e.cfg.Target != nil && e.cfg.Target.NumBlocks > 0 {
+		e.res.Coverage = float64(len(e.covered)) / float64(e.cfg.Target.NumBlocks)
+	}
+	if len(e.recoverySet) > 0 {
+		e.res.RecoveryCoverage = float64(len(e.recovered)) / float64(len(e.recoverySet))
+	}
+	e.res.failClusters = e.failClusters
+	e.res.crashClusters = e.crashClusters
+	return e.res
+}
+
+// LocalExecutor returns the in-process executor: scenarios convert
+// through the injector plugin and run against cfg.Target via the program
+// model. It is what RunLocal drives, exposed so callers can wrap it
+// (e.g. throughput benchmarks emulating wall-clock-bound tests). It
+// requires Config.Target; target-less engines (distributed coordinators)
+// must drive RunWith with their own Executor.
+func (e *Engine) LocalExecutor() Executor {
+	if e.cfg.Target == nil {
+		panic("core: engine has no Target; LocalExecutor/RunLocal need one — drive RunWith with a custom Executor instead")
+	}
+	return &localExecutor{e: e}
+}
+
+// localExecutor runs candidates in-process: convert the scenario to
+// injector configuration, run the test, observe the outcome. No shared
+// state is touched, so it runs outside the session lock.
+type localExecutor struct{ e *Engine }
+
+func (l *localExecutor) Execute(c explore.Candidate) (Record, prog.Outcome) {
+	e := l.e
+	scenario := dsl.ScenarioFor(e.cfg.Space, c.Point)
+	pt, plan, err := e.plugin.Convert(scenario)
+	if err != nil {
+		// A scenario the injector cannot express is a hole in practice:
+		// record a zero-impact run, marked Skipped so the result set can
+		// tally it. (With spaces built by package trace this cannot
+		// happen; custom spaces may include e.g. functions the injector
+		// lacks.)
+		return Record{
+			Point:    c.Point,
+			Scenario: dsl.FormatScenario(scenario, e.axes),
+			Skipped:  true,
+		}, prog.Outcome{}
+	}
+	outcome := prog.Run(e.cfg.Target, pt.TestID, plan)
+	return Record{
+		Point:    c.Point,
+		Scenario: dsl.FormatScenario(scenario, e.axes),
+		TestID:   pt.TestID,
+		Plan:     plan,
+	}, outcome
+}
+
+// RunLocal drives the engine to completion with the in-process executor
+// and returns the sealed result set. Workers <= 1 runs the fully
+// deterministic sequential loop; otherwise Config.Workers node managers
+// run concurrently with batched leasing.
+func (e *Engine) RunLocal() *ResultSet {
+	e.RunWith(e.LocalExecutor())
+	return e.Finish()
+}
+
+// RunWith drives the engine to completion against an arbitrary executor.
+func (e *Engine) RunWith(exec Executor) {
+	if e.cfg.Workers <= 1 {
+		e.runSequential(exec)
+	} else {
+		e.runParallel(exec, e.cfg.Workers, e.cfg.Batch)
+	}
+}
+
+// runSequential leases one candidate at a time so the explorer observes
+// the exact Next/Report interleaving of the original single-threaded
+// session — sequential runs are bit-for-bit reproducible.
+func (e *Engine) runSequential(exec Executor) {
+	for {
+		cands := e.Lease(1)
+		if len(cands) == 0 {
+			return
+		}
+		rec, outcome := exec.Execute(cands[0])
+		if stop := e.Fold(cands[0], rec, outcome); stop {
+			return
+		}
+	}
+}
+
+// runParallel runs workers concurrent node managers. Each worker leases
+// a batch of candidates (one lock acquisition per batch) and executes
+// them lock-free; finished tests flow through a channel to a single
+// reducer — this goroutine — which drains whatever has accumulated and
+// folds it as one batch (FoldBatch, one lock acquisition). The hot path
+// therefore takes the session lock once per batch on each side instead
+// of twice per test.
+func (e *Engine) runParallel(exec Executor, workers, batch int) {
+	results := make(chan ExecutedTest, workers*batch)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				cands := e.Lease(batch)
+				if len(cands) == 0 {
+					return
+				}
+				for i, c := range cands {
+					select {
+					case <-done:
+						// Stop executing further candidates of this batch;
+						// everything already executed has been sent and will
+						// fold.
+						e.Unlease(len(cands) - i)
+						return
+					default:
+					}
+					rec, out := exec.Execute(c)
+					// Unconditional send: the reducer drains until the
+					// channel closes, so executed outcomes are never lost.
+					results <- ExecutedTest{C: c, Rec: rec, Out: out}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	stopped := false
+	pending := make([]ExecutedTest, 0, batch)
+	for et := range results {
+		// Gather everything already queued behind et into one fold batch.
+		pending = append(pending[:0], et)
+	drain:
+		for len(pending) < batch {
+			select {
+			case more, ok := <-results:
+				if !ok {
+					break drain
+				}
+				pending = append(pending, more)
+			default:
+				break drain
+			}
+		}
+		// Every executed result folds, stopped or not, matching the
+		// sequential session: stopping ends leasing, not accounting.
+		if e.FoldBatch(pending) && !stopped {
+			stopped = true
+			close(done)
+		}
+	}
+}

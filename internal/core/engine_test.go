@@ -1,0 +1,269 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"afex/internal/explore"
+	"afex/internal/faultspace"
+	"afex/internal/prog"
+)
+
+// TestParallelParityWithSequential is the satellite contract for the
+// batched parallel engine: Workers=8 with an Iterations budget executes
+// exactly that many tests (never overshooting), every point at most
+// once, and — on a deterministic seed — lands on the same
+// failure/crash/cluster tallies as the sequential run, because the
+// random explorer's candidate sequence does not depend on fold order.
+// Run it under -race; it exercises the lease/execute/reduce pipeline.
+func TestParallelParityWithSequential(t *testing.T) {
+	const iterations = 12
+	run := func(workers int) *ResultSet {
+		res, err := Run(Config{
+			Target:     sessionTarget(),
+			Space:      sessionSpace(),
+			Algorithm:  "random",
+			Iterations: iterations,
+			Workers:    workers,
+			Batch:      3,
+			Explore:    explore.Config{Seed: 11},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(8)
+
+	if par.Executed != iterations || len(par.Records) != iterations {
+		t.Fatalf("parallel executed %d tests (%d records), want exactly %d",
+			par.Executed, len(par.Records), iterations)
+	}
+	seen := map[string]bool{}
+	for _, rec := range par.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("point %v executed twice", rec.Point)
+		}
+		seen[rec.Point.Key()] = true
+	}
+	if seq.Executed != iterations {
+		t.Fatalf("sequential executed %d, want %d", seq.Executed, iterations)
+	}
+	if par.Injected != seq.Injected || par.Failed != seq.Failed ||
+		par.Crashed != seq.Crashed || par.Hung != seq.Hung {
+		t.Errorf("tallies diverge: parallel inj=%d fail=%d crash=%d hung=%d, sequential inj=%d fail=%d crash=%d hung=%d",
+			par.Injected, par.Failed, par.Crashed, par.Hung,
+			seq.Injected, seq.Failed, seq.Crashed, seq.Hung)
+	}
+	if par.UniqueFailures != seq.UniqueFailures || par.UniqueCrashes != seq.UniqueCrashes {
+		t.Errorf("cluster counts diverge: parallel %d/%d, sequential %d/%d",
+			par.UniqueFailures, par.UniqueCrashes, seq.UniqueFailures, seq.UniqueCrashes)
+	}
+	// The parallel run folds in completion order, so records are a
+	// permutation of the sequential run's — compare as sets.
+	scen := func(r *ResultSet) map[string]bool {
+		m := make(map[string]bool, len(r.Records))
+		for _, rec := range r.Records {
+			m[rec.Scenario] = true
+		}
+		return m
+	}
+	ps, ss := scen(par), scen(seq)
+	for s := range ss {
+		if !ps[s] {
+			t.Errorf("parallel run missed scenario %q", s)
+		}
+	}
+}
+
+// TestConvertHolesAreCounted: a scenario the injector cannot express
+// must not vanish silently — it is tallied as a hole, marked on the
+// record, and surfaces in the report.
+func TestConvertHolesAreCounted(t *testing.T) {
+	space := faultspace.NewUnion(faultspace.New("s",
+		faultspace.IntAxis("testID", 0, 3),
+		faultspace.SetAxis("function", "read", "frobnicate"), // not a libc function
+		faultspace.IntAxis("callNumber", 1, 2),
+	))
+	res, err := Run(Config{
+		Target:    sessionTarget(),
+		Space:     space,
+		Algorithm: "exhaustive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 16 {
+		t.Fatalf("executed %d, want the whole 16-point space", res.Executed)
+	}
+	// Half the space names the unknown function: 4 tests × 2 calls.
+	if res.Holes != 8 {
+		t.Errorf("holes = %d, want 8", res.Holes)
+	}
+	skipped := 0
+	for _, rec := range res.Records {
+		if rec.Skipped {
+			skipped++
+			if rec.Impact != 0 || rec.Outcome.Injected {
+				t.Errorf("skipped record %d has impact %v injected %v", rec.ID, rec.Impact, rec.Outcome.Injected)
+			}
+			if !strings.Contains(rec.Scenario, "frobnicate") {
+				t.Errorf("unexpected skipped scenario %q", rec.Scenario)
+			}
+		}
+	}
+	if skipped != res.Holes {
+		t.Errorf("%d skipped records but Holes = %d", skipped, res.Holes)
+	}
+	if rep := res.Report(0); !strings.Contains(rep, "holes         8") {
+		t.Errorf("report does not surface the holes:\n%s", rep)
+	}
+}
+
+func TestNoHolesNoReportLine(t *testing.T) {
+	res, err := Run(Config{Target: sessionTarget(), Space: sessionSpace(), Algorithm: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holes != 0 {
+		t.Fatalf("clean space produced %d holes", res.Holes)
+	}
+	if strings.Contains(res.Report(0), "holes") {
+		t.Error("hole line rendered for a hole-free session")
+	}
+}
+
+// countingExecutor wraps another executor, counting executions — the
+// deployment seam the engine exposes for custom drivers.
+type countingExecutor struct {
+	inner Executor
+	n     atomic.Int64
+}
+
+func (c *countingExecutor) Execute(cand explore.Candidate) (Record, prog.Outcome) {
+	c.n.Add(1)
+	return c.inner.Execute(cand)
+}
+
+func TestEngineRunWithCustomExecutor(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		eng, err := NewEngine(Config{
+			Target:     sessionTarget(),
+			Space:      sessionSpace(),
+			Algorithm:  "random",
+			Iterations: 10,
+			Workers:    workers,
+			Batch:      4,
+			Explore:    explore.Config{Seed: 2},
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec := &countingExecutor{inner: eng.LocalExecutor()}
+		eng.RunWith(exec)
+		res := eng.Finish()
+		if got := exec.n.Load(); got != 10 || res.Executed != 10 {
+			t.Errorf("workers=%d: executor ran %d tests, result says %d, want 10", workers, got, res.Executed)
+		}
+	}
+}
+
+// TestTargetlessEngineGuardsLocalExecution: an engine without a Target
+// (the distributed-coordinator shape) must refuse local execution with
+// a clear panic, not a nil-pointer crash deep in the program model.
+func TestTargetlessEngineGuardsLocalExecution(t *testing.T) {
+	eng, err := NewEngine(Config{Space: sessionSpace(), Algorithm: "exhaustive"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("LocalExecutor on a target-less engine did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "no Target") {
+			t.Fatalf("unhelpful panic: %v", r)
+		}
+	}()
+	eng.LocalExecutor()
+}
+
+// TestLeaseRespectsBudgetAndStop drives the engine surface the
+// distributed coordinator uses.
+func TestLeaseRespectsBudgetAndStop(t *testing.T) {
+	eng, err := NewEngine(Config{
+		Target:     sessionTarget(),
+		Space:      sessionSpace(),
+		Algorithm:  "exhaustive",
+		Iterations: 5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := eng.Lease(3)
+	if len(first) != 3 {
+		t.Fatalf("leased %d, want 3", len(first))
+	}
+	second := eng.Lease(10)
+	if len(second) != 2 {
+		t.Fatalf("budget ignored: leased %d more, want 2", len(second))
+	}
+	if extra := eng.Lease(1); extra != nil {
+		t.Fatalf("over-budget lease granted: %v", extra)
+	}
+	// Returning budget re-opens the lease window.
+	eng.Unlease(len(second))
+	if again := eng.Lease(10); len(again) != 2 {
+		t.Fatalf("after Unlease: leased %d, want 2", len(again))
+	}
+	eng.Stop()
+	if after := eng.Lease(1); after != nil {
+		t.Fatal("stopped engine still leases")
+	}
+}
+
+// TestParallelStopFoldsInFlightResults guards the stop semantics:
+// stopping ends leasing, but every test that actually executed still
+// folds into the result set — a deadline-bounded parallel session must
+// not under-report faults it observed.
+func TestParallelStopFoldsInFlightResults(t *testing.T) {
+	res, err := Run(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "exhaustive",
+		Workers:   4,
+		Batch:     2,
+		Stop:      func(s Snapshot) bool { return s.Failed >= 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != res.Executed {
+		t.Fatalf("%d records for %d executed tests: in-flight results were dropped",
+			len(res.Records), res.Executed)
+	}
+	for i, rec := range res.Records {
+		if rec.ID != i {
+			t.Fatalf("record IDs not contiguous: %d at index %d", rec.ID, i)
+		}
+	}
+	// Recount from records: tallies must agree with what was folded.
+	failed, crashed := 0, 0
+	for _, rec := range res.Records {
+		if rec.Outcome.Injected && rec.Outcome.Failed {
+			failed++
+			if rec.Outcome.Crashed {
+				crashed++
+			}
+		}
+	}
+	if failed != res.Failed || crashed != res.Crashed {
+		t.Errorf("tallies diverge from records: failed %d vs %d, crashed %d vs %d",
+			res.Failed, failed, res.Crashed, crashed)
+	}
+	if res.Failed < 1 {
+		t.Error("Stop fired before any failure folded")
+	}
+}

@@ -10,55 +10,41 @@
 // single aggregated impact value back. Tests are independent, so the
 // session enjoys "embarrassing parallelism" — the Workers knob runs that
 // many managers concurrently.
+//
+// # The engine layer
+//
+// Execution is organized around three pieces (see engine.go):
+//
+//   - Engine owns all shared session state — candidate leasing, impact
+//     scoring (scoring.go), coverage accounting, redundancy clustering,
+//     feedback weighting, and stop/progress logic. There is exactly one
+//     engine per session regardless of deployment mode.
+//   - Executor is the deployment seam: it runs one leased candidate and
+//     returns the observed outcome, touching no shared state. The local
+//     executor runs tests in-process; package rpcnode adapts remote node
+//     managers reporting over TCP to the same engine.
+//   - Workers lease candidates in batches (Config.Batch) and a single
+//     reducer folds outcomes back, so the parallel hot path takes the
+//     session lock once per batch instead of twice per test.
+//
+// Run is the high-level entry point; advanced callers (distributed
+// coordinators, custom executors, throughput benchmarks) build an Engine
+// directly via NewEngine and drive it with RunWith, Lease and Fold.
 package core
 
 import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"afex/internal/cluster"
-	"afex/internal/dsl"
 	"afex/internal/explore"
 	"afex/internal/faultspace"
 	"afex/internal/inject"
 	"afex/internal/prog"
 	"afex/internal/quality"
 )
-
-// ImpactConfig scores an outcome the way §6.4 step 3 suggests:
-// "allocate scores to each event of interest, such as 1 point for each
-// newly covered basic block, 10 points for each hang bug found, 20
-// points for each crash".
-type ImpactConfig struct {
-	// PerNewBlock is the score per basic block not covered by any earlier
-	// test in this session.
-	PerNewBlock float64
-	// Failed is the score when the injected fault makes the test fail.
-	Failed float64
-	// Crash is the score for a process crash.
-	Crash float64
-	// Hang is the score for a hang.
-	Hang float64
-	// Relevance optionally weighs the impact by the statistical
-	// environment model (§7.5): the measured impact is multiplied by the
-	// normalized probability of the failed function's fault class.
-	Relevance *quality.RelevanceModel
-	// Score, if non-nil, replaces the additive scoring entirely: it
-	// receives the outcome, the count of newly covered blocks, the armed
-	// plan and the test id, and returns the impact. Sessions with an
-	// explicit search target use it to encode that target (e.g. "a
-	// malloc fault that fails an ln test is what we are looking for").
-	// Relevance still applies on top.
-	Score func(out prog.Outcome, newBlocks int, plan inject.Plan, testID int) float64
-}
-
-// DefaultImpact returns the scoring used throughout the evaluation.
-func DefaultImpact() ImpactConfig {
-	return ImpactConfig{PerNewBlock: 1, Failed: 10, Crash: 20, Hang: 15}
-}
 
 // Config describes one fault-exploration session.
 type Config struct {
@@ -77,6 +63,12 @@ type Config struct {
 	// Workers is the number of concurrent node managers; 0 or 1 runs the
 	// fully deterministic sequential loop.
 	Workers int
+	// Batch is the number of candidates a worker leases from the session
+	// per lock acquisition when Workers > 1 (amortizing coordination the
+	// way the RPC protocol amortizes round-trips). 0 selects
+	// DefaultBatch. Sequential sessions always lease one candidate at a
+	// time, so Batch never affects their determinism.
+	Batch int
 	// Feedback enables the §7.4 result-quality feedback loop: the
 	// fitness of a new result is weighted by (1 - max similarity) to all
 	// previously seen injection stacks.
@@ -128,6 +120,10 @@ type Record struct {
 	TestID int
 	// Plan is the armed injection plan.
 	Plan inject.Plan
+	// Skipped reports that the injector could not express the scenario
+	// (a practical hole in the fault space): the record carries a
+	// zero-impact outcome and is tallied in ResultSet.Holes.
+	Skipped bool
 	// Outcome is what the sensors observed.
 	Outcome prog.Outcome
 	// NewBlocks counts basic blocks this test covered first.
@@ -164,6 +160,10 @@ type ResultSet struct {
 	Failed   int
 	Crashed  int
 	Hung     int
+	// Holes counts executed scenarios the injector could not express
+	// (Record.Skipped): zero-impact runs that would otherwise vanish
+	// silently from the accounting.
+	Holes int
 
 	// UniqueFailures and UniqueCrashes count redundancy clusters among
 	// failure- and crash-inducing records (distinct stack traces at the
@@ -191,28 +191,6 @@ type ResultSet struct {
 	crashClusters *cluster.Set
 }
 
-// session carries the mutable state shared by managers.
-type session struct {
-	cfg      Config
-	explorer explore.Explorer
-	plugin   inject.Plugin
-	axes     []string
-
-	mu sync.Mutex
-	// pending counts candidates handed out but not yet reported, so the
-	// parallel session does not overshoot Iterations.
-	pending       int
-	covered       map[int]struct{}
-	recovered     map[int]struct{}
-	recoverySet   map[int]struct{}
-	allStacks     *cluster.Set
-	failClusters  *cluster.Set
-	crashClusters *cluster.Set
-	res           *ResultSet
-	stopped       bool
-	deadline      time.Time
-}
-
 // Run executes a fault-exploration session and returns its results.
 func Run(cfg Config) (*ResultSet, error) {
 	if cfg.Target == nil {
@@ -221,72 +199,11 @@ func Run(cfg Config) (*ResultSet, error) {
 	if cfg.Space == nil || cfg.Space.Size() == 0 {
 		return nil, fmt.Errorf("core: Config.Space is nil or empty")
 	}
-	if cfg.Algorithm == "" {
-		cfg.Algorithm = "fitness"
+	e, err := NewEngine(cfg, nil)
+	if err != nil {
+		return nil, err
 	}
-	ex := explore.New(cfg.Algorithm, cfg.Space, cfg.Explore)
-	if ex == nil {
-		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
-	}
-	if cfg.ClusterThreshold == 0 {
-		cfg.ClusterThreshold = 1
-	}
-	if cfg.Impact.PerNewBlock == 0 && cfg.Impact.Failed == 0 && cfg.Impact.Crash == 0 &&
-		cfg.Impact.Hang == 0 && cfg.Impact.Relevance == nil && cfg.Impact.Score == nil {
-		cfg.Impact = DefaultImpact()
-	}
-
-	if cfg.ProgressEvery <= 0 {
-		cfg.ProgressEvery = 100
-	}
-	s := &session{
-		cfg:           cfg,
-		explorer:      ex,
-		covered:       make(map[int]struct{}),
-		recovered:     make(map[int]struct{}),
-		recoverySet:   recoveryBlocks(cfg.Target),
-		allStacks:     cluster.NewSet(cfg.ClusterThreshold),
-		failClusters:  cluster.NewSet(cfg.ClusterThreshold),
-		crashClusters: cluster.NewSet(cfg.ClusterThreshold),
-		res: &ResultSet{
-			Target:    cfg.Target.Name,
-			Algorithm: cfg.Algorithm,
-			SpaceSize: cfg.Space.Size(),
-			CrashIDs:  make(map[string]int),
-		},
-	}
-	if len(cfg.Space.Spaces) > 0 {
-		for _, a := range cfg.Space.Spaces[0].Axes {
-			s.axes = append(s.axes, a.Name)
-		}
-	}
-
-	start := time.Now()
-	if cfg.TimeBudget > 0 {
-		s.deadline = start.Add(cfg.TimeBudget)
-	}
-	workers := cfg.Workers
-	if workers <= 1 {
-		s.runSequential()
-	} else {
-		s.runParallel(workers)
-	}
-	s.res.Elapsed = time.Since(start)
-
-	if fg, ok := ex.(*explore.FitnessGuided); ok && len(cfg.Space.Spaces) > 0 {
-		s.res.Sensitivities = fg.Sensitivities(0)
-	}
-	s.res.UniqueFailures = s.failClusters.Len()
-	s.res.UniqueCrashes = s.crashClusters.Len()
-	if cfg.Target.NumBlocks > 0 {
-		s.res.Coverage = float64(len(s.covered)) / float64(cfg.Target.NumBlocks)
-	}
-	if len(s.recoverySet) > 0 {
-		s.res.RecoveryCoverage = float64(len(s.recovered)) / float64(len(s.recoverySet))
-	}
-	s.res.failClusters = s.failClusters
-	s.res.crashClusters = s.crashClusters
-	return s.res, nil
+	return e.RunLocal(), nil
 }
 
 func recoveryBlocks(p *prog.Program) map[int]struct{} {
@@ -299,192 +216,6 @@ func recoveryBlocks(p *prog.Program) map[int]struct{} {
 		}
 	}
 	return set
-}
-
-func (s *session) runSequential() {
-	for {
-		if s.cfg.Iterations > 0 && s.res.Executed >= s.cfg.Iterations {
-			return
-		}
-		c, ok := s.explorer.Next()
-		if !ok {
-			return
-		}
-		rec, outcome := s.execute(c)
-		if stop := s.report(c, rec, outcome); stop {
-			return
-		}
-	}
-}
-
-func (s *session) runParallel(workers int) {
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				s.mu.Lock()
-				if s.stopped || (s.cfg.Iterations > 0 && s.res.Executed+s.pending >= s.cfg.Iterations) {
-					s.mu.Unlock()
-					return
-				}
-				c, ok := s.explorer.Next()
-				if ok {
-					s.pending++
-				}
-				s.mu.Unlock()
-				if !ok {
-					return
-				}
-				rec, outcome := s.execute(c)
-				if stop := s.report(c, rec, outcome); stop {
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// execute runs one candidate on a node manager: convert the scenario to
-// injector configuration, run the test, observe the outcome. No shared
-// state is touched, so it runs outside the session lock.
-func (s *session) execute(c explore.Candidate) (Record, prog.Outcome) {
-	scenario := dsl.ScenarioFor(s.cfg.Space, c.Point)
-	pt, plan, err := s.plugin.Convert(scenario)
-	if err != nil {
-		// A scenario the injector cannot express is a hole in practice:
-		// record a zero-impact run. (With spaces built by package trace
-		// this cannot happen; custom spaces may include e.g. functions
-		// the injector lacks.)
-		return Record{
-			Point:    c.Point,
-			Scenario: dsl.FormatScenario(scenario, s.axes),
-		}, prog.Outcome{}
-	}
-	outcome := prog.Run(s.cfg.Target, pt.TestID, plan)
-	return Record{
-		Point:    c.Point,
-		Scenario: dsl.FormatScenario(scenario, s.axes),
-		TestID:   pt.TestID,
-		Plan:     plan,
-	}, outcome
-}
-
-// report folds an executed test back into shared state and the explorer.
-// It returns true when the session should stop.
-func (s *session) report(c explore.Candidate, rec Record, outcome prog.Outcome) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.pending > 0 {
-		s.pending--
-	}
-
-	rec.ID = s.res.Executed
-	rec.Outcome = outcome
-	rec.Cluster = -1
-
-	// Coverage accounting: count blocks first covered by this run.
-	for b := range outcome.Blocks {
-		if _, seen := s.covered[b]; !seen {
-			s.covered[b] = struct{}{}
-			rec.NewBlocks++
-		}
-		if _, isRec := s.recoverySet[b]; isRec {
-			s.recovered[b] = struct{}{}
-		}
-	}
-
-	// Impact metric.
-	im := s.cfg.Impact
-	var impact float64
-	if im.Score != nil {
-		impact = im.Score(outcome, rec.NewBlocks, rec.Plan, rec.TestID)
-	} else {
-		impact = im.PerNewBlock * float64(rec.NewBlocks)
-		if outcome.Injected {
-			if outcome.Crashed {
-				impact += im.Crash
-			} else if outcome.Hung {
-				impact += im.Hang
-			} else if outcome.Failed {
-				impact += im.Failed
-			}
-		}
-	}
-	if im.Relevance != nil && len(rec.Plan.Faults) > 0 {
-		rec.Relevance = im.Relevance.Weight(rec.Plan.Faults[0].Function)
-		impact *= rec.Relevance
-	}
-	rec.Impact = impact
-
-	// Result-quality feedback (§7.4): scale fitness by dissimilarity to
-	// everything seen so far, then remember this stack.
-	rec.Fitness = impact
-	if outcome.Injected {
-		if s.cfg.Feedback {
-			sim := s.allStacks.MaxSimilarity(outcome.InjectionStack)
-			rec.Fitness = impact * cluster.FeedbackWeight(sim)
-		}
-		s.allStacks.Add(rec.ID, outcome.InjectionStack)
-	}
-
-	// Tally and cluster.
-	s.res.Executed++
-	if outcome.Injected {
-		s.res.Injected++
-	}
-	if outcome.Injected && outcome.Failed {
-		s.res.Failed++
-		id, _ := s.failClusters.Add(rec.ID, outcome.InjectionStack)
-		rec.Cluster = id
-		if outcome.Crashed {
-			s.res.Crashed++
-			s.crashClusters.Add(rec.ID, outcome.InjectionStack)
-			if outcome.CrashID != "" {
-				s.res.CrashIDs[outcome.CrashID]++
-			}
-		}
-		if outcome.Hung {
-			s.res.Hung++
-		}
-	}
-	s.res.Records = append(s.res.Records, rec)
-
-	s.explorer.Report(c, rec.Impact, rec.Fitness)
-
-	if s.cfg.Observe != nil {
-		s.cfg.Observe(rec)
-	}
-	if s.cfg.Progress != nil && s.res.Executed%s.cfg.ProgressEvery == 0 {
-		s.cfg.Progress(s.snapshotLocked())
-	}
-	if s.cfg.Stop != nil && s.cfg.Stop(s.snapshotLocked()) {
-		s.stopped = true
-		return true
-	}
-	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		s.stopped = true
-		return true
-	}
-	return s.stopped
-}
-
-func (s *session) snapshotLocked() Snapshot {
-	cov := 0.0
-	if s.cfg.Target.NumBlocks > 0 {
-		cov = float64(len(s.covered)) / float64(s.cfg.Target.NumBlocks)
-	}
-	return Snapshot{
-		Executed:    s.res.Executed,
-		Injected:    s.res.Injected,
-		Failed:      s.res.Failed,
-		Crashed:     s.res.Crashed,
-		Hung:        s.res.Hung,
-		NewCrashIDs: len(s.res.CrashIDs),
-		Coverage:    cov,
-	}
 }
 
 // FailedAt reports whether the i-th executed test was a failure-inducing
@@ -563,15 +294,8 @@ func (r *ResultSet) MeasurePrecision(target *prog.Program, im ImpactConfig, tria
 			v := 0.0
 			if im.Score != nil {
 				v = im.Score(out, 0, rec.Plan, rec.TestID)
-			} else if out.Injected {
-				switch {
-				case out.Crashed:
-					v = im.Crash
-				case out.Hung:
-					v = im.Hang
-				case out.Failed:
-					v = im.Failed
-				}
+			} else {
+				v = im.outcomeBase(out)
 			}
 			impacts[t] = v
 		}
@@ -612,6 +336,9 @@ func (r *ResultSet) Report(topK int) string {
 	fmt.Fprintf(&b, "  algorithm     %s\n", r.Algorithm)
 	fmt.Fprintf(&b, "  fault space   %d points\n", r.SpaceSize)
 	fmt.Fprintf(&b, "  tests         %d executed, %d injected\n", r.Executed, r.Injected)
+	if r.Holes > 0 {
+		fmt.Fprintf(&b, "  holes         %d scenarios the injector could not express\n", r.Holes)
+	}
 	fmt.Fprintf(&b, "  failures      %d (%d unique)\n", r.Failed, r.UniqueFailures)
 	fmt.Fprintf(&b, "  crashes       %d (%d unique), hangs %d\n", r.Crashed, r.UniqueCrashes, r.Hung)
 	fmt.Fprintf(&b, "  coverage      %.2f%% (recovery code %.2f%%)\n", 100*r.Coverage, 100*r.RecoveryCoverage)

@@ -1,0 +1,101 @@
+package explore
+
+// Batched candidate leasing. Fault-injection tests are embarrassingly
+// parallel (§6.1), so the execution engine runs many node managers
+// against one explorer. The explorer itself is cheap — §7.7 measures it
+// at thousands of generated tests per second — but every Next/Report
+// crosses the engine's session lock. The batched fast path lets the
+// engine lease n candidates (and fold n results) per lock acquisition,
+// amortizing coordination over the batch, exactly the way the RPC
+// protocol amortizes network round-trips.
+//
+// Third-party Explorer implementations need not know about batching:
+// BatchNext and ReportBatch fall back to per-candidate Next/Report calls
+// with identical semantics, so a batch of size 1 is always equivalent to
+// the unbatched path.
+
+// BatchNexter is the optional batched fast path of an Explorer: one call
+// produces up to n candidates. Implementations must return exactly the
+// candidates that n successive Next calls would have produced, so that
+// batched and unbatched sessions explore the same space.
+type BatchNexter interface {
+	// BatchNext returns up to n candidates; fewer (possibly zero) when
+	// the explorer is exhausted.
+	BatchNext(n int) []Candidate
+}
+
+// Feedback is one executed candidate's result, for ReportBatch.
+type Feedback struct {
+	C Candidate
+	// Impact is the measured impact IS(φ).
+	Impact float64
+	// Fitness is the (possibly feedback-weighted, §7.4) value the search
+	// should learn from.
+	Fitness float64
+}
+
+// BatchReporter is the optional batched counterpart of Report.
+// Implementations must be equivalent to reporting each Feedback in
+// order.
+type BatchReporter interface {
+	ReportBatch(batch []Feedback)
+}
+
+// BatchNext leases up to n candidates from ex. Explorers implementing
+// BatchNexter get one call; any other Explorer is driven by up to n
+// Next calls, stopping early on exhaustion. n <= 0 yields nil.
+func BatchNext(ex Explorer, n int) []Candidate {
+	if n <= 0 {
+		return nil
+	}
+	if b, ok := ex.(BatchNexter); ok {
+		return b.BatchNext(n)
+	}
+	out := make([]Candidate, 0, n)
+	for i := 0; i < n; i++ {
+		c, ok := ex.Next()
+		if !ok {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ReportBatch feeds a batch of executed candidates back to ex, in order.
+func ReportBatch(ex Explorer, batch []Feedback) {
+	if len(batch) == 0 {
+		return
+	}
+	if b, ok := ex.(BatchReporter); ok {
+		b.ReportBatch(batch)
+		return
+	}
+	for _, f := range batch {
+		ex.Report(f.C, f.Impact, f.Fitness)
+	}
+}
+
+// The fitness-guided and random explorers generate candidates one at a
+// time by construction (mutation, rejection sampling), and aging and
+// sensitivity updates are per-test parts of Algorithm 1 that must not
+// be coalesced — for them the generic per-candidate fallback above IS
+// the batched path, and the engine's win is paying one lock round-trip
+// per batch. Only enumeration has a genuinely cheaper bulk form:
+
+// BatchNext implements BatchNexter: a straight cut of the materialized
+// enumeration, with no per-candidate bookkeeping at all.
+func (e *Exhaustive) BatchNext(n int) []Candidate {
+	if e.next >= len(e.points) {
+		return nil
+	}
+	if rest := len(e.points) - e.next; n > rest {
+		n = rest
+	}
+	out := make([]Candidate, n)
+	for i := 0; i < n; i++ {
+		out[i] = Candidate{Point: e.points[e.next+i], MutatedAxis: -1}
+	}
+	e.next += n
+	return out
+}

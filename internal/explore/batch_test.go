@@ -1,0 +1,118 @@
+package explore
+
+import (
+	"testing"
+
+	"afex/internal/faultspace"
+)
+
+func batchSpace() *faultspace.Union {
+	return faultspace.NewUnion(faultspace.New("s",
+		faultspace.IntAxis("testID", 0, 3),
+		faultspace.SetAxis("function", "read", "write"),
+		faultspace.IntAxis("callNumber", 1, 2),
+	))
+}
+
+// plainExplorer hides the batch fast paths, exercising the fallback.
+type plainExplorer struct{ ex Explorer }
+
+func (p plainExplorer) Next() (Candidate, bool)          { return p.ex.Next() }
+func (p plainExplorer) Report(c Candidate, i, f float64) { p.ex.Report(c, i, f) }
+
+func TestBatchNextMatchesSequentialNext(t *testing.T) {
+	for _, alg := range []string{"fitness", "random", "exhaustive"} {
+		space := batchSpace()
+		a := New(alg, space, Config{Seed: 7})
+		b := New(alg, space, Config{Seed: 7})
+		var seq []Candidate
+		for i := 0; i < 6; i++ {
+			c, ok := a.Next()
+			if !ok {
+				break
+			}
+			seq = append(seq, c)
+			a.Report(c, 1, 1)
+		}
+		// Batched: one lease of 6, then the same reports.
+		batch := BatchNext(b, 6)
+		if len(batch) != len(seq) {
+			t.Fatalf("%s: batch leased %d, sequential %d", alg, len(batch), len(seq))
+		}
+		for i := range batch {
+			if batch[i].Point.Key() != seq[i].Point.Key() {
+				t.Errorf("%s: batch[%d] = %v, sequential %v", alg, i, batch[i].Point, seq[i].Point)
+			}
+		}
+	}
+}
+
+func TestBatchNextFallbackForThirdPartyExplorers(t *testing.T) {
+	space := batchSpace()
+	ex := plainExplorer{ex: NewExhaustive(space)}
+	got := BatchNext(ex, 5)
+	if len(got) != 5 {
+		t.Fatalf("fallback leased %d, want 5", len(got))
+	}
+	want := NewExhaustive(space)
+	for i, c := range got {
+		w, _ := want.Next()
+		if c.Point.Key() != w.Point.Key() {
+			t.Errorf("fallback[%d] = %v, want %v", i, c.Point, w.Point)
+		}
+	}
+	if rest := BatchNext(ex, 100); len(rest) != space.Size()-5 {
+		t.Errorf("second lease = %d candidates, want the remaining %d", len(rest), space.Size()-5)
+	}
+	if tail := BatchNext(ex, 3); len(tail) != 0 {
+		t.Errorf("exhausted explorer leased %d candidates", len(tail))
+	}
+	if BatchNext(ex, 0) != nil {
+		t.Error("BatchNext(0) should be nil")
+	}
+}
+
+func TestBatchNextExhaustiveCut(t *testing.T) {
+	space := batchSpace()
+	ex := NewExhaustive(space)
+	total := 0
+	for {
+		got := ex.BatchNext(7)
+		if len(got) == 0 {
+			break
+		}
+		total += len(got)
+	}
+	if total != space.Size() {
+		t.Errorf("batched enumeration covered %d points, want %d", total, space.Size())
+	}
+}
+
+func TestReportBatchEquivalence(t *testing.T) {
+	space := batchSpace()
+	a := NewFitnessGuided(space, Config{Seed: 3})
+	b := NewFitnessGuided(space, Config{Seed: 3})
+
+	ca := BatchNext(a, 8)
+	cb := BatchNext(b, 8)
+	var fb []Feedback
+	for i, c := range ca {
+		a.Report(c, float64(i), float64(i))
+	}
+	for i, c := range cb {
+		fb = append(fb, Feedback{C: c, Impact: float64(i), Fitness: float64(i)})
+	}
+	ReportBatch(b, fb)
+	if a.Executed() != b.Executed() || a.HistorySize() != b.HistorySize() {
+		t.Fatalf("batched report diverged: %d/%d vs %d/%d",
+			a.Executed(), a.HistorySize(), b.Executed(), b.HistorySize())
+	}
+	// Subsequent generation must be identical.
+	na := BatchNext(a, 4)
+	nb := BatchNext(b, 4)
+	for i := range na {
+		if na[i].Point.Key() != nb[i].Point.Key() {
+			t.Errorf("post-batch candidate %d differs: %v vs %v", i, na[i].Point, nb[i].Point)
+		}
+	}
+}

@@ -58,6 +58,13 @@ type Explorer interface {
 	Report(c Candidate, impact, fitness float64)
 }
 
+// Named is implemented by explorers that can report their algorithm
+// name; session result sets use it to label themselves when built from
+// a caller-provided explorer.
+type Named interface {
+	Name() string
+}
+
 // Config parameterizes the fitness-guided explorer. Zero values select
 // the defaults used throughout the evaluation.
 type Config struct {
@@ -192,6 +199,9 @@ func NewFitnessGuided(space *faultspace.Union, cfg Config) *FitnessGuided {
 	}
 	return fg
 }
+
+// Name implements Named.
+func (fg *FitnessGuided) Name() string { return "fitness" }
 
 // Executed reports how many tests have been reported back so far.
 func (fg *FitnessGuided) Executed() int { return fg.executedN }
@@ -430,6 +440,9 @@ func NewRandom(space *faultspace.Union, seed int64) *Random {
 	return &Random{space: space, rng: xrand.New(seed), history: make(map[string]bool)}
 }
 
+// Name implements Named.
+func (r *Random) Name() string { return "random" }
+
 // Next implements Explorer.
 func (r *Random) Next() (Candidate, bool) {
 	if r.space.Size() == 0 || len(r.history) >= r.space.Size() {
@@ -468,6 +481,9 @@ func NewExhaustive(space *faultspace.Union) *Exhaustive {
 	})
 	return e
 }
+
+// Name implements Named.
+func (e *Exhaustive) Name() string { return "exhaustive" }
 
 // Next implements Explorer.
 func (e *Exhaustive) Next() (Candidate, bool) {

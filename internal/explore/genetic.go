@@ -167,3 +167,6 @@ func (g *Genetic) Report(c Candidate, impact, fitness float64) {
 		impact:  impact,
 	})
 }
+
+// Name implements Named.
+func (g *Genetic) Name() string { return "genetic" }

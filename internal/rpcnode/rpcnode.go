@@ -11,6 +11,14 @@
 // work (selecting the next test) is tiny compared to executing one — §7.7
 // measures the explorer at thousands of generated tests per second — so a
 // single coordinator keeps many managers busy.
+//
+// The coordinator is a thin protocol adapter over the shared execution
+// engine (core.Engine): it owns only wire concerns — lease sequence
+// numbers, per-manager accounting, scenario marshalling — while
+// candidate leasing, impact scoring, coverage accounting, redundancy
+// clustering and stop logic are the engine's, exactly the same code the
+// in-process worker pool runs. A distributed session therefore produces
+// the same full core.ResultSet (Result method) a local one does.
 package rpcnode
 
 import (
@@ -20,6 +28,7 @@ import (
 	"net/rpc"
 	"sync"
 
+	"afex/internal/core"
 	"afex/internal/dsl"
 	"afex/internal/explore"
 	"afex/internal/faultspace"
@@ -53,6 +62,11 @@ type Result struct {
 	Stack []string
 	// Blocks are the covered basic blocks.
 	Blocks []int
+	// TestID is the target test the manager ran.
+	TestID int
+	// Skipped reports that the manager's injector could not express the
+	// scenario (a fault-space hole); the engine tallies it.
+	Skipped bool
 	// Manager identifies the reporting node, for the synopsis.
 	Manager string
 }
@@ -68,55 +82,46 @@ type Stats struct {
 	PerManager map[string]int
 }
 
-// Coordinator is the RPC service wrapping an explorer. It hands out
-// candidates and folds results back, scoring impact with a pluggable
-// function. It is safe for concurrent RPC access.
+// Coordinator is the RPC service adapting remote node managers to the
+// shared execution engine. It is safe for concurrent RPC access.
 type Coordinator struct {
-	mu       sync.Mutex
-	space    *faultspace.Union
-	explorer explore.Explorer
-	budget   int
-	seq      int
-	leases   map[int]explore.Candidate
-	stats    Stats
-	covered  map[int]struct{}
-	impact   func(Result, int) float64
-	done     bool
-	// axes caches axis names for scenario formatting.
-	axes []string
+	engine *core.Engine
+	space  *faultspace.Union
+	axes   []string
+
+	mu         sync.Mutex
+	seq        int
+	leases     map[int]lease
+	perManager map[string]int
 }
 
 // NewCoordinator wraps an explorer. budget caps executed tests (0 = until
 // the explorer exhausts). impact scores a result given the count of newly
-// covered blocks; nil selects 1/block + 10 fail + 20 crash + 15 hang.
+// covered blocks; nil selects the engine's default scoring (1/block +
+// 10 fail + 20 crash + 15 hang).
 func NewCoordinator(space *faultspace.Union, ex explore.Explorer, budget int, impact func(Result, int) float64) *Coordinator {
-	if impact == nil {
-		impact = func(r Result, newBlocks int) float64 {
-			v := float64(newBlocks)
-			if !r.Injected {
-				return v
-			}
-			switch {
-			case r.Crashed:
-				v += 20
-			case r.Hung:
-				v += 15
-			case r.Failed:
-				v += 10
-			}
-			return v
+	cfg := core.Config{Space: space, Iterations: budget}
+	if impact != nil {
+		// Adapt the wire-level scoring hook to the engine's single scoring
+		// path: the Result is reconstructed from the outcome (Seq and
+		// Manager are protocol state, not fault properties).
+		cfg.Impact.Score = func(out prog.Outcome, newBlocks int, plan inject.Plan, testID int) float64 {
+			return impact(wireResult(out, testID), newBlocks)
 		}
 	}
-	c := &Coordinator{
-		space:    space,
-		explorer: ex,
-		budget:   budget,
-		leases:   make(map[int]explore.Candidate),
-		covered:  make(map[int]struct{}),
-		impact:   impact,
+	engine, err := core.NewEngine(cfg, ex)
+	if err != nil {
+		// The explorer is caller-provided, so the only way here is a nil
+		// explorer with an unusable space — a programming error.
+		panic(fmt.Sprintf("rpcnode: %v", err))
 	}
-	c.stats.PerManager = make(map[string]int)
-	if len(space.Spaces) > 0 {
+	c := &Coordinator{
+		engine:     engine,
+		space:      space,
+		leases:     make(map[int]lease),
+		perManager: make(map[string]int),
+	}
+	if space != nil && len(space.Spaces) > 0 {
 		for _, a := range space.Spaces[0].Axes {
 			c.axes = append(c.axes, a.Name)
 		}
@@ -124,85 +129,130 @@ func NewCoordinator(space *faultspace.Union, ex explore.Explorer, budget int, im
 	return c
 }
 
+// lease is one outstanding task: the candidate plus its formatted
+// scenario, kept so the report path does not re-marshal it.
+type lease struct {
+	cand     explore.Candidate
+	scenario string
+}
+
+// wireResult reconstructs the wire view of an outcome for custom impact
+// hooks.
+func wireResult(out prog.Outcome, testID int) Result {
+	blocks := make([]int, 0, len(out.Blocks))
+	for b := range out.Blocks {
+		blocks = append(blocks, b)
+	}
+	return Result{
+		Failed:   out.Failed,
+		Crashed:  out.Crashed,
+		Hung:     out.Hung,
+		Injected: out.Injected,
+		CrashID:  out.CrashID,
+		Stack:    out.InjectionStack,
+		Blocks:   blocks,
+		TestID:   testID,
+	}
+}
+
 // NextTest leases the next candidate to a manager. A Task with Done set
 // means the session is over.
 func (c *Coordinator) NextTest(managerID string, task *Task) error {
+	cands := c.engine.Lease(1)
+	if len(cands) == 0 {
+		task.Done = true
+		return nil
+	}
+	cand := cands[0]
+	scenario := dsl.FormatScenario(dsl.ScenarioFor(c.space, cand.Point), c.axes)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.done || (c.budget > 0 && c.stats.Executed+len(c.leases) >= c.budget) {
-		task.Done = true
-		return nil
-	}
-	cand, ok := c.explorer.Next()
-	if !ok {
-		task.Done = true
-		return nil
-	}
 	c.seq++
-	c.leases[c.seq] = cand
-	sc := dsl.ScenarioFor(c.space, cand.Point)
+	seq := c.seq
+	c.leases[seq] = lease{cand: cand, scenario: scenario}
+	c.mu.Unlock()
 	*task = Task{
-		Seq:      c.seq,
+		Seq:      seq,
 		Sub:      cand.Point.Sub,
 		Fault:    append([]int(nil), cand.Point.Fault...),
-		Scenario: dsl.FormatScenario(sc, c.axes),
+		Scenario: scenario,
 	}
 	return nil
 }
 
-// ReportResult folds a manager's result back into the explorer.
+// ReportResult folds a manager's result back through the engine — the
+// same scoring, coverage and clustering path local sessions use.
 func (c *Coordinator) ReportResult(res Result, ack *bool) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	cand, ok := c.leases[res.Seq]
+	ls, ok := c.leases[res.Seq]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("rpcnode: result for unknown lease %d", res.Seq)
 	}
 	delete(c.leases, res.Seq)
-	newBlocks := 0
-	for _, b := range res.Blocks {
-		if _, seen := c.covered[b]; !seen {
-			c.covered[b] = struct{}{}
-			newBlocks++
+	c.perManager[res.Manager]++
+	c.mu.Unlock()
+
+	out := prog.Outcome{
+		Failed:         res.Failed,
+		Crashed:        res.Crashed,
+		Hung:           res.Hung,
+		CrashID:        res.CrashID,
+		Injected:       res.Injected,
+		InjectionStack: res.Stack,
+	}
+	if len(res.Blocks) > 0 {
+		out.Blocks = make(map[int]struct{}, len(res.Blocks))
+		for _, b := range res.Blocks {
+			out.Blocks[b] = struct{}{}
 		}
 	}
-	impact := c.impact(res, newBlocks)
-	c.explorer.Report(cand, impact, impact)
-	c.stats.Executed++
-	c.stats.PerManager[res.Manager]++
-	if res.Injected {
-		c.stats.Injected++
-		if res.Failed {
-			c.stats.Failed++
-		}
-		if res.Crashed {
-			c.stats.Crashed++
-		}
-		if res.Hung {
-			c.stats.Hung++
-		}
+	rec := core.Record{
+		Point:    ls.cand.Point,
+		Scenario: ls.scenario,
+		TestID:   res.TestID,
+		Skipped:  res.Skipped,
 	}
+	c.engine.Fold(ls.cand, rec, out)
 	*ack = true
 	return nil
 }
 
-// Stop ends the session; subsequent NextTest calls return Done.
-func (c *Coordinator) Stop() {
-	c.mu.Lock()
-	c.done = true
-	c.mu.Unlock()
+// SetTargetName labels the session's result set with the system under
+// test, which only the managers load.
+func (c *Coordinator) SetTargetName(name string) {
+	c.engine.SetTargetName(name)
 }
 
-// Stats returns a snapshot of the session statistics.
+// Stop ends the session; subsequent NextTest calls return Done.
+func (c *Coordinator) Stop() {
+	c.engine.Stop()
+}
+
+// Snapshot returns the session statistics.
 func (c *Coordinator) Snapshot() Stats {
+	snap := c.engine.Snapshot()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := c.stats
-	s.PerManager = make(map[string]int, len(c.stats.PerManager))
-	for k, v := range c.stats.PerManager {
-		s.PerManager[k] = v
+	st := Stats{
+		Executed:   snap.Executed,
+		Failed:     snap.Failed,
+		Crashed:    snap.Crashed,
+		Hung:       snap.Hung,
+		Injected:   snap.Injected,
+		PerManager: make(map[string]int, len(c.perManager)),
 	}
-	return s
+	for k, v := range c.perManager {
+		st.PerManager[k] = v
+	}
+	return st
+}
+
+// Result seals and returns the session's full result set — records,
+// redundancy clusters, crash identities, the synopsis — identical in
+// shape to what a local core.Run produces. Call it once the managers are
+// done (it fixes Elapsed on first call).
+func (c *Coordinator) Result() *core.ResultSet {
+	return c.engine.Finish()
 }
 
 // Server serves a Coordinator over TCP.
@@ -308,30 +358,19 @@ func (m *Manager) RunOne() (done bool, err error) {
 	}
 	pt, plan, err := m.plugin.Convert(sc)
 	if err != nil {
-		// Report a zero-impact execution; the coordinator still needs the
-		// lease back.
+		// Report the hole; the coordinator still needs the lease back and
+		// the engine tallies the skip.
 		var ack bool
-		return false, m.client.Call("Coordinator.ReportResult", Result{Seq: task.Seq, Manager: m.ID}, &ack)
+		return false, m.client.Call("Coordinator.ReportResult",
+			Result{Seq: task.Seq, Skipped: true, Manager: m.ID}, &ack)
 	}
 	out := prog.Run(m.Target, pt.TestID, plan)
 	for extra := 1; extra < m.Work; extra++ {
 		out = prog.Run(m.Target, pt.TestID, plan)
 	}
-	blocks := make([]int, 0, len(out.Blocks))
-	for b := range out.Blocks {
-		blocks = append(blocks, b)
-	}
-	res := Result{
-		Seq:      task.Seq,
-		Failed:   out.Failed,
-		Crashed:  out.Crashed,
-		Hung:     out.Hung,
-		Injected: out.Injected,
-		CrashID:  out.CrashID,
-		Stack:    out.InjectionStack,
-		Blocks:   blocks,
-		Manager:  m.ID,
-	}
+	res := wireResult(out, pt.TestID)
+	res.Seq = task.Seq
+	res.Manager = m.ID
 	var ack bool
 	return false, m.client.Call("Coordinator.ReportResult", res, &ack)
 }
