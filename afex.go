@@ -44,6 +44,17 @@
 // stay bit-for-bit deterministic). Advanced callers can build an Engine
 // directly with NewEngine and drive it with a custom Executor — that is
 // exactly how the distributed Coordinator is built.
+//
+// # Scale
+//
+// Fault spaces are cheap no matter how many points they span: numeric
+// axes are lazy (values format on demand, O(1) memory per axis) and
+// Space.Size saturates in int64 instead of overflowing, so pair and
+// detailed spaces with billions of points build in microseconds.
+// Options.Shards partitions a space into disjoint regions
+// (Space.Shard), each explored by an independent fitness-guided search
+// with candidates striped across the shards — the way to keep many
+// workers, local or remote, from mining the same vicinity.
 package afex
 
 import (
@@ -163,8 +174,13 @@ func DetailedSpaceFor(target *System, nFuncs, callLo, callHi int) *Space {
 // (function, callNumber) × (function2, callNumber2), both call axes
 // including the no-injection point 0. Pair exploration triggers
 // retry-exhaustion bugs — recovery code that survives one fault but not
-// a second on the same path — that no single-fault scan can reach. The
-// space grows quadratically; keep nFuncs and callHi small.
+// a second on the same path — that no single-fault scan can reach.
+//
+// The space grows quadratically in points, but numeric axes are lazy
+// (O(1) memory per axis, values formatted on demand) and sizes are
+// computed in saturating 64-bit arithmetic, so building and exploring a
+// billion-point pair space is cheap; use Options.Shards to spread the
+// search over disjoint regions of it.
 func PairSpaceFor(target *System, nFuncs, callHi int) *Space {
 	return Profile(target).BuildPairSpace(nFuncs, callHi)
 }

@@ -113,6 +113,40 @@ func TestPublicDistributedCluster(t *testing.T) {
 	}
 }
 
+func TestPublicShardedCoordinator(t *testing.T) {
+	target, _ := Target("coreutils")
+	space := SpaceFor(target, 19, 0, 2)
+	coord := NewShardedCoordinator(space, ExploreOptions{Seed: 5}, 40, 4)
+	srv, err := ServeCoordinator("127.0.0.1:0", coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mgr, err := DialManager(srv.Addr(), "itest", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	n, err := mgr.RunUntilDone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("sharded cluster executed %d, want 40", n)
+	}
+	res := coord.Result()
+	if res.Algorithm != "sharded-fitness" || res.Executed != 40 {
+		t.Errorf("result: algorithm %q executed %d", res.Algorithm, res.Executed)
+	}
+	seen := map[string]bool{}
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("distributed sharded session executed %v twice", rec.Point)
+		}
+		seen[rec.Point.Key()] = true
+	}
+}
+
 func TestPublicTopPerformanceFaults(t *testing.T) {
 	target, _ := Target("httpd")
 	space := SpaceFor(target, 19, 1, 10)
@@ -167,7 +201,7 @@ func TestPublicStopTarget(t *testing.T) {
 	if res.Crashed < 1 {
 		t.Error("stop target not reached")
 	}
-	if res.Executed >= space.Size() {
+	if int64(res.Executed) >= space.Size() {
 		t.Error("session did not stop early")
 	}
 }

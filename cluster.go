@@ -33,6 +33,18 @@ func NewCoordinator(space *Space, cfg ExploreOptions, budget int) *Coordinator {
 	return rpcnode.NewCoordinator(space, explore.NewFitnessGuided(space, cfg), budget, nil)
 }
 
+// NewShardedCoordinator is NewCoordinator with the space partitioned
+// into shards disjoint regions (Space.Shard), one independent
+// fitness-guided search per region, candidates striped across them — so
+// remote node managers always work disjoint parts of the space. shards
+// <= 1 degenerates to NewCoordinator.
+func NewShardedCoordinator(space *Space, cfg ExploreOptions, budget, shards int) *Coordinator {
+	if shards <= 1 {
+		return NewCoordinator(space, cfg, budget)
+	}
+	return rpcnode.NewCoordinator(space, explore.NewSharded(space, shards, cfg), budget, nil)
+}
+
 // ServeCoordinator starts serving the coordinator on addr ("host:port";
 // ":0" picks an ephemeral port, see CoordinatorServer.Addr).
 func ServeCoordinator(addr string, c *Coordinator) (*CoordinatorServer, error) {

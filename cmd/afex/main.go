@@ -5,11 +5,11 @@
 // Usage:
 //
 //	afex explore --target mysqld [--algorithm fitness] [--iterations 1000]
-//	             [--seed 1] [--feedback] [--workers 4] [--batch 16] [--funcs 19]
-//	             [--call-lo 1] [--call-hi 100] [--top 10] [--repro]
+//	             [--seed 1] [--feedback] [--workers 4] [--batch 16] [--shards 4]
+//	             [--funcs 19] [--call-lo 1] [--call-hi 100] [--top 10] [--repro]
 //	afex replay  --target mysqld --scenario "testID 5 function read errno EIO retval -1 callNumber 3"
 //	afex profile --target coreutils [--funcs 19]
-//	afex serve   --target coreutils --addr :7070 [--iterations 500]
+//	afex serve   --target coreutils --addr :7070 [--iterations 500] [--shards 4]
 //	afex worker  --target coreutils --addr host:7070 --id mgr01
 //	afex targets
 package main
@@ -82,6 +82,7 @@ func cmdExplore(args []string) error {
 	feedback := fs.Bool("feedback", false, "enable redundancy feedback (§7.4)")
 	workers := fs.Int("workers", 1, "concurrent node managers")
 	batch := fs.Int("batch", 0, "candidates leased per worker coordination round (0 = default; parallel mode only)")
+	shards := fs.Int("shards", 0, "partition the space into this many disjoint regions, one fitness search each (0/1 = unsharded)")
 	nFuncs := fs.Int("funcs", 19, "function-axis size")
 	callLo := fs.Int("call-lo", 1, "callNumber axis lower bound (0 adds a no-injection point)")
 	callHi := fs.Int("call-hi", 10, "callNumber axis upper bound")
@@ -116,6 +117,7 @@ func cmdExplore(args []string) error {
 		Iterations: *iterations,
 		Workers:    *workers,
 		Batch:      *batch,
+		Shards:     *shards,
 		Feedback:   *feedback,
 		TimeBudget: *budget,
 		Explore:    afex.ExploreOptions{Seed: *seed},
@@ -222,6 +224,7 @@ func cmdServe(args []string) error {
 	nFuncs := fs.Int("funcs", 19, "function-axis size")
 	callLo := fs.Int("call-lo", 1, "callNumber axis lower bound")
 	callHi := fs.Int("call-hi", 10, "callNumber axis upper bound")
+	shards := fs.Int("shards", 0, "partition the space into this many disjoint regions, one fitness search each (0/1 = unsharded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -230,7 +233,7 @@ func cmdServe(args []string) error {
 		return err
 	}
 	space := afex.SpaceFor(target, *nFuncs, *callLo, *callHi)
-	coord := afex.NewCoordinator(space, afex.ExploreOptions{Seed: *seed}, *iterations)
+	coord := afex.NewShardedCoordinator(space, afex.ExploreOptions{Seed: *seed}, *iterations, *shards)
 	coord.SetTargetName(target.Name)
 	srv, err := afex.ServeCoordinator(*addr, coord)
 	if err != nil {

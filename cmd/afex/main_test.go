@@ -45,6 +45,17 @@ func TestCmdExplorePairsAndErrno(t *testing.T) {
 	}
 }
 
+func TestCmdExploreSharded(t *testing.T) {
+	// A huge lazy pair space explored sharded: construction must be
+	// instant and the session must complete its budget.
+	if err := cmdExplore([]string{
+		"--target", "coreutils", "--iterations", "40", "--pairs",
+		"--funcs", "4", "--call-hi", "100000", "--shards", "4", "--workers", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCmdExploreUnknownTarget(t *testing.T) {
 	if err := cmdExplore([]string{"--target", "nope"}); err == nil {
 		t.Fatal("unknown target accepted")

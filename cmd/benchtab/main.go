@@ -22,7 +22,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	reps := flag.Int("reps", 3, "repetitions to average stochastic experiments over")
 	scale := flag.Float64("scale", 1.0, "iteration budget multiplier (use <1 for a quick pass)")
-	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig8,table4,table5,table6,fig9,scale,ablation")
+	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig8,table4,table5,table6,fig9,scale,ablation,sharding")
 	skipSlow := flag.Bool("skip-slow", false, "skip the slowest experiments (table1, scale)")
 	flag.Parse()
 
@@ -63,6 +63,7 @@ func main() {
 	show("fig9", func() fmt.Stringer { return experiments.Fig9(o) })
 	show("scale", func() fmt.Stringer { return experiments.Scalability(o, nil, 0, 0) })
 	show("ablation", func() fmt.Stringer { return experiments.Ablations(o) })
+	show("sharding", func() fmt.Stringer { return experiments.Sharding(o, 4) })
 
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "benchtab: nothing selected (check --only values)")

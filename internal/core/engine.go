@@ -42,7 +42,9 @@ type Engine struct {
 	cfg      Config
 	explorer explore.Explorer
 	plugin   inject.Plugin
-	axes     []string
+	// axisNames caches each subspace's axis names for the slice-based
+	// scenario path (no per-candidate map on the execution hot path).
+	axisNames [][]string
 
 	mu sync.Mutex
 	// pending counts candidates handed out but not yet folded back, so
@@ -74,9 +76,18 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 		if cfg.Algorithm == "" {
 			cfg.Algorithm = "fitness"
 		}
-		ex = explore.New(cfg.Algorithm, cfg.Space, cfg.Explore)
-		if ex == nil {
-			return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
+		if cfg.Shards > 1 {
+			if cfg.Algorithm != "fitness" && cfg.Algorithm != "fitness-guided" {
+				return nil, fmt.Errorf("core: Config.Shards requires the fitness algorithm, not %q", cfg.Algorithm)
+			}
+			sh := explore.NewSharded(cfg.Space, cfg.Shards, cfg.Explore)
+			cfg.Algorithm = sh.Name()
+			ex = sh
+		} else {
+			ex = explore.New(cfg.Algorithm, cfg.Space, cfg.Explore)
+			if ex == nil {
+				return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
+			}
 		}
 	}
 	if cfg.Algorithm == "" {
@@ -116,10 +127,9 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 	}
 	if cfg.Space != nil {
 		e.res.SpaceSize = cfg.Space.Size()
-		if len(cfg.Space.Spaces) > 0 {
-			for _, a := range cfg.Space.Spaces[0].Axes {
-				e.axes = append(e.axes, a.Name)
-			}
+		e.axisNames = make([][]string, len(cfg.Space.Spaces))
+		for i := range cfg.Space.Spaces {
+			e.axisNames[i] = dsl.AxisNames(cfg.Space, i)
 		}
 	}
 	e.start = time.Now()
@@ -132,8 +142,8 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 // Lease hands out up to max candidates under one lock acquisition,
 // bounded by the remaining Iterations budget (counting outstanding
 // leases, so the session never overshoots). It returns nil once the
-// session is stopped, the budget is committed, or the explorer is
-// exhausted.
+// session is stopped, the deadline has passed, the budget is committed,
+// or the explorer is exhausted.
 func (e *Engine) Lease(max int) []explore.Candidate {
 	if max <= 0 {
 		max = 1
@@ -141,6 +151,13 @@ func (e *Engine) Lease(max int) []explore.Candidate {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.stopped {
+		return nil
+	}
+	// Check the deadline here too, not only when folding: a session with
+	// slow tests (or none finishing) must stop handing out work the
+	// moment the TimeBudget elapses, not at the next fold.
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.stopped = true
 		return nil
 	}
 	if e.cfg.Iterations > 0 {
@@ -371,8 +388,12 @@ type localExecutor struct{ e *Engine }
 
 func (l *localExecutor) Execute(c explore.Candidate) (Record, prog.Outcome) {
 	e := l.e
-	scenario := dsl.ScenarioFor(e.cfg.Space, c.Point)
-	pt, plan, err := e.plugin.Convert(scenario)
+	// Slice-based scenario path: axis names are cached per subspace and
+	// values render in axis order, so converting and formatting a
+	// candidate allocates no intermediate map.
+	names := e.axisNames[c.Point.Sub]
+	vals := dsl.ValuesFor(e.cfg.Space, c.Point)
+	pt, plan, err := e.plugin.ConvertValues(names, vals)
 	if err != nil {
 		// A scenario the injector cannot express is a hole in practice:
 		// record a zero-impact run, marked Skipped so the result set can
@@ -381,14 +402,14 @@ func (l *localExecutor) Execute(c explore.Candidate) (Record, prog.Outcome) {
 		// lacks.)
 		return Record{
 			Point:    c.Point,
-			Scenario: dsl.FormatScenario(scenario, e.axes),
+			Scenario: dsl.FormatPairs(names, vals),
 			Skipped:  true,
 		}, prog.Outcome{}
 	}
 	outcome := prog.Run(e.cfg.Target, pt.TestID, plan)
 	return Record{
 		Point:    c.Point,
-		Scenario: dsl.FormatScenario(scenario, e.axes),
+		Scenario: dsl.FormatPairs(names, vals),
 		TestID:   pt.TestID,
 		Plan:     plan,
 	}, outcome

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"afex/internal/explore"
 	"afex/internal/faultspace"
@@ -221,6 +222,95 @@ func TestLeaseRespectsBudgetAndStop(t *testing.T) {
 	eng.Stop()
 	if after := eng.Lease(1); after != nil {
 		t.Fatal("stopped engine still leases")
+	}
+}
+
+// TestLeaseChecksDeadline closes the deadline gap: the TimeBudget used
+// to be checked only inside the fold path, so a session whose tests
+// never finished (or finished slowly) kept handing out candidates past
+// the deadline. Lease itself must refuse once the budget has elapsed,
+// with no fold required to notice.
+func TestLeaseChecksDeadline(t *testing.T) {
+	// The budget is generous so the first lease cannot lose the race
+	// against a stalled CI scheduler; the sleep then overshoots it.
+	const budget = 250 * time.Millisecond
+	eng, err := NewEngine(Config{
+		Target:     sessionTarget(),
+		Space:      sessionSpace(),
+		Algorithm:  "exhaustive",
+		TimeBudget: budget,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first := eng.Lease(2); len(first) != 2 {
+		t.Fatalf("pre-deadline lease handed out %d candidates, want 2", len(first))
+	}
+	time.Sleep(budget + 50*time.Millisecond)
+	// No fold has happened; the deadline alone must stop leasing.
+	if late := eng.Lease(1); late != nil {
+		t.Fatalf("lease granted %d candidates after the deadline with no fold", len(late))
+	}
+	if res := eng.Finish(); res.Executed != 0 {
+		t.Errorf("executed %d, want 0 (nothing was folded)", res.Executed)
+	}
+}
+
+// TestShardedSessionCoversDisjointRegions runs a full sharded session
+// end-to-end through the engine: the candidate budget is honoured, no
+// point executes twice, sequential sharded runs are deterministic, and
+// exhausting the budgetless session covers the whole space exactly once.
+func TestShardedSessionCoversDisjointRegions(t *testing.T) {
+	run := func() *ResultSet {
+		res, err := Run(Config{
+			Target:     sessionTarget(),
+			Space:      sessionSpace(),
+			Algorithm:  "fitness",
+			Shards:     4,
+			Explore:    explore.Config{Seed: 7},
+			Iterations: 0, // run to exhaustion
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Algorithm != "sharded-fitness" {
+		t.Errorf("algorithm label = %q", res.Algorithm)
+	}
+	if int64(res.Executed) != sessionSpace().Size() {
+		t.Fatalf("sharded session executed %d, want the whole %d-point space",
+			res.Executed, sessionSpace().Size())
+	}
+	seen := map[string]bool{}
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("point %v executed twice across shards", rec.Point)
+		}
+		seen[rec.Point.Key()] = true
+	}
+	// Bit-for-bit determinism of the sequential sharded session.
+	again := run()
+	for i := range res.Records {
+		if res.Records[i].Scenario != again.Records[i].Scenario {
+			t.Fatalf("sharded sequential run not deterministic at record %d: %q vs %q",
+				i, res.Records[i].Scenario, again.Records[i].Scenario)
+		}
+	}
+}
+
+// TestShardsRejectBaselineAlgorithms: sharding partitions fitness-guided
+// searches; asking for it with a baseline must fail loudly.
+func TestShardsRejectBaselineAlgorithms(t *testing.T) {
+	_, err := NewEngine(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "random",
+		Shards:    4,
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "Shards") {
+		t.Fatalf("err = %v, want a Shards/algorithm error", err)
 	}
 }
 

@@ -77,7 +77,7 @@ func TestTopPerformanceFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Executed != space.Size() {
+	if int64(res.Executed) != space.Size() {
 		t.Fatalf("executed %d", res.Executed)
 	}
 	if len(top) != 3 {

@@ -63,6 +63,14 @@ type Config struct {
 	// Workers is the number of concurrent node managers; 0 or 1 runs the
 	// fully deterministic sequential loop.
 	Workers int
+	// Shards partitions the fault space into this many disjoint regions
+	// (faultspace.Union.Shard), each explored by an independent
+	// fitness-guided search; candidates are striped across the shards, so
+	// workers — local or remote — always cover disjoint parts of the
+	// space. 0 or 1 runs one search over the whole space. Shards applies
+	// to the fitness algorithm only (the baselines have no per-region
+	// state worth splitting).
+	Shards int
 	// Batch is the number of candidates a worker leases from the session
 	// per lock acquisition when Workers > 1 (amortizing coordination the
 	// way the RPC protocol amortizes round-trips). 0 selects
@@ -151,7 +159,10 @@ type Record struct {
 type ResultSet struct {
 	Target    string
 	Algorithm string
-	SpaceSize int
+	// SpaceSize is the fault space's point count, in the saturating
+	// 64-bit arithmetic of faultspace.Space.Size — huge pair/detailed
+	// spaces report math.MaxInt64 rather than wrapping.
+	SpaceSize int64
 
 	Records []Record
 

@@ -405,7 +405,52 @@ func ScenarioFor(u *faultspace.Union, p faultspace.Point) Scenario {
 	sp := u.Spaces[p.Sub]
 	s := make(Scenario, len(sp.Axes))
 	for i, a := range sp.Axes {
-		s[a.Name] = a.Values[p.Fault[i]]
+		s[a.Name()] = a.Value(p.Fault[i])
 	}
 	return s
+}
+
+// AxisNames returns the axis names of subspace sub of u, in axis order —
+// the key order of the slice-based scenario path. Callers on hot paths
+// compute this once per subspace and reuse it.
+func AxisNames(u *faultspace.Union, sub int) []string {
+	sp := u.Spaces[sub]
+	names := make([]string, len(sp.Axes))
+	for i, a := range sp.Axes {
+		names[i] = a.Name()
+	}
+	return names
+}
+
+// ValuesFor renders the fault p of union u as attribute values in axis
+// order: the allocation-light sibling of ScenarioFor for per-candidate
+// execution paths, which pair with AxisNames of the same subspace
+// instead of a map.
+func ValuesFor(u *faultspace.Union, p faultspace.Point) []string {
+	sp := u.Spaces[p.Sub]
+	vals := make([]string, len(sp.Axes))
+	for i, a := range sp.Axes {
+		vals[i] = a.Value(p.Fault[i])
+	}
+	return vals
+}
+
+// FormatPairs renders parallel name/value slices in the Fig. 5 wire
+// format — FormatScenario for the slice-based scenario path. Both slices
+// must have equal length.
+func FormatPairs(names, vals []string) string {
+	size := 0
+	for i := range names {
+		size += len(names[i]) + len(vals[i]) + 2
+	}
+	b := make([]byte, 0, size)
+	for i := range names {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, names[i]...)
+		b = append(b, ' ')
+		b = append(b, vals[i]...)
+	}
+	return string(b)
 }

@@ -1,6 +1,7 @@
 package dsl
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -160,6 +161,121 @@ window : < 2 , 4 >
 	}
 }
 
+// TestDescriptionRoundTripProperty generates random descriptions and
+// checks Parse ∘ String is the identity — the parsed space, including
+// "< >" range axes, survives formatting and re-parsing structurally
+// equal, and builds into a union of identical shape and values.
+func TestDescriptionRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(spaces []uint8, seeds []uint16) bool {
+		if len(spaces) == 0 {
+			return true
+		}
+		if len(spaces) > 3 {
+			spaces = spaces[:3]
+		}
+		si := 0
+		next := func() int {
+			if len(seeds) == 0 {
+				return 0
+			}
+			v := int(seeds[si%len(seeds)])
+			si++
+			return v
+		}
+		d := &Description{}
+		for sp, raw := range spaces {
+			sd := SpaceDesc{}
+			if raw%2 == 0 {
+				sd.Subtype = "sub" + string(rune('a'+sp))
+			}
+			nParams := 1 + int(raw)%3
+			for p := 0; p < nParams; p++ {
+				name := "p" + string(rune('a'+p))
+				switch next() % 3 {
+				case 0:
+					n := 1 + next()%3
+					set := make([]string, n)
+					for i := range set {
+						set[i] = "v" + string(rune('a'+(next()%6))) + string(rune('a'+i))
+					}
+					sd.Params = append(sd.Params, Parameter{Name: name, Set: set})
+				case 1:
+					lo := next() % 50
+					sd.Params = append(sd.Params, Parameter{Name: name, Lo: lo, Hi: lo + next()%100, Kind: Point})
+				default:
+					lo := next() % 50
+					sd.Params = append(sd.Params, Parameter{Name: name, Lo: lo, Hi: lo + next()%100, Kind: Range})
+				}
+			}
+			d.Spaces = append(d.Spaces, sd)
+		}
+		d2, err := Parse(d.String())
+		if err != nil {
+			t.Logf("re-parse failed: %v\n%s", err, d.String())
+			return false
+		}
+		if !reflect.DeepEqual(d, d2) {
+			t.Logf("round trip not structurally equal:\n%s", d.String())
+			return false
+		}
+		// The built unions must agree axis by axis, value by value.
+		u, u2 := d.Build(), d2.Build()
+		if u.Size() != u2.Size() || len(u.Spaces) != len(u2.Spaces) {
+			return false
+		}
+		for i := range u.Spaces {
+			a, b := u.Spaces[i], u2.Spaces[i]
+			if a.Name != b.Name || a.Dims() != b.Dims() {
+				return false
+			}
+			for k := range a.Axes {
+				if a.Axes[k].Name() != b.Axes[k].Name() || a.Axes[k].Len() != b.Axes[k].Len() {
+					return false
+				}
+				for _, idx := range []int{0, a.Axes[k].Len() - 1} {
+					if a.Axes[k].Value(idx) != b.Axes[k].Value(idx) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatPairsMatchesFormatScenario(t *testing.T) {
+	names := []string{"testID", "function", "callNumber"}
+	vals := []string{"3", "read", "7"}
+	got := FormatPairs(names, vals)
+	want := FormatScenario(Scenario{"testID": "3", "function": "read", "callNumber": "7"}, names)
+	if got != want {
+		t.Errorf("FormatPairs = %q, FormatScenario = %q", got, want)
+	}
+}
+
+func TestAxisNamesAndValuesFor(t *testing.T) {
+	d, err := Parse(`testID : [0,9] function : { read, write } callNumber : [1,5] ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := d.Build()
+	names := AxisNames(u, 0)
+	if len(names) != 3 || names[0] != "testID" || names[2] != "callNumber" {
+		t.Fatalf("AxisNames = %v", names)
+	}
+	pt := faultspace.Point{Sub: 0, Fault: faultspace.Fault{3, 1, 4}}
+	vals := ValuesFor(u, pt)
+	if len(vals) != 3 || vals[0] != "3" || vals[1] != "write" || vals[2] != "5" {
+		t.Fatalf("ValuesFor = %v", vals)
+	}
+	// The slice path and the map path must render the same wire format.
+	if FormatPairs(names, vals) != FormatScenario(ScenarioFor(u, pt), names) {
+		t.Error("slice and map scenario paths disagree")
+	}
+}
+
 func TestBuildAxisOrderMatchesSource(t *testing.T) {
 	d, err := Parse(`testID : [0,4] function : { a, b } callNumber : [1,2] ;`)
 	if err != nil {
@@ -169,8 +285,8 @@ func TestBuildAxisOrderMatchesSource(t *testing.T) {
 	axes := u.Spaces[0].Axes
 	want := []string{"testID", "function", "callNumber"}
 	for i, name := range want {
-		if axes[i].Name != name {
-			t.Fatalf("axis %d = %q, want %q", i, axes[i].Name, name)
+		if axes[i].Name() != name {
+			t.Fatalf("axis %d = %q, want %q", i, axes[i].Name(), name)
 		}
 	}
 }

@@ -226,3 +226,18 @@ func TestStringsRender(t *testing.T) {
 		}
 	}
 }
+
+// TestShardingFindsAtLeastAsManyClusters is the acceptance check for
+// sharded exploration: at the same iteration budget, a 4-shard session
+// must find at least as many unique failure clusters as the unsharded
+// run (disjoint regions cannot collapse into one over-mined vicinity).
+func TestShardingFindsAtLeastAsManyClusters(t *testing.T) {
+	r := Sharding(Opts{Seed: 1, Reps: 3}, 4)
+	if r.UniqueFailures[1] < r.UniqueFailures[0] {
+		t.Errorf("sharded unique failures %.1f < unsharded %.1f",
+			r.UniqueFailures[1], r.UniqueFailures[0])
+	}
+	if r.Failed[1] == 0 {
+		t.Error("sharded session found no failures at all")
+	}
+}

@@ -201,7 +201,7 @@ func Table6(o Opts) Table6Result {
 	// do not.
 	goal := map[string]bool{}
 	s0 := full.Spaces[0]
-	axisNames := []string{s0.Axes[0].Name, s0.Axes[1].Name, s0.Axes[2].Name}
+	axisNames := dsl.AxisNames(full, 0)
 	s0.Enumerate(func(f faultspace.Fault) bool {
 		if s0.Attr(f, 1) != "malloc" {
 			return true
@@ -268,8 +268,8 @@ func trimmedSpace(full *faultspace.Union, lnmv map[int]bool) *faultspace.Union {
 		}
 	}
 	var funcs []string
-	for _, fn := range s.Axes[1].Values {
-		if used[fn] {
+	for i := 0; i < s.Axes[1].Len(); i++ {
+		if fn := s.Axes[1].Value(i); used[fn] {
 			funcs = append(funcs, fn)
 		}
 	}
@@ -317,7 +317,7 @@ func samplesToFindAll(target *prog.Program, space *faultspace.Union, alg string,
 		Target:     target,
 		Space:      space,
 		Algorithm:  alg,
-		Iterations: space.Size() * 2,
+		Iterations: int(space.Size()) * 2,
 		Impact:     impact,
 		Explore:    explore.Config{Seed: seed},
 		Observe: func(rec core.Record) {

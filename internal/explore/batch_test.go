@@ -61,7 +61,7 @@ func TestBatchNextFallbackForThirdPartyExplorers(t *testing.T) {
 			t.Errorf("fallback[%d] = %v, want %v", i, c.Point, w.Point)
 		}
 	}
-	if rest := BatchNext(ex, 100); len(rest) != space.Size()-5 {
+	if rest := BatchNext(ex, 100); int64(len(rest)) != space.Size()-5 {
 		t.Errorf("second lease = %d candidates, want the remaining %d", len(rest), space.Size()-5)
 	}
 	if tail := BatchNext(ex, 3); len(tail) != 0 {
@@ -83,7 +83,7 @@ func TestBatchNextExhaustiveCut(t *testing.T) {
 		}
 		total += len(got)
 	}
-	if total != space.Size() {
+	if int64(total) != space.Size() {
 		t.Errorf("batched enumeration covered %d points, want %d", total, space.Size())
 	}
 }

@@ -222,7 +222,7 @@ func (fg *FitnessGuided) Next() (Candidate, bool) {
 	// candidate (vicinity exhausted); bounded retries then fall back to
 	// random seeds so the search keeps making progress. If the whole
 	// space is in History, give up.
-	if fg.space.Size() > 0 && len(fg.history) >= fg.space.Size() {
+	if fg.space.Size() > 0 && int64(len(fg.history)) >= fg.space.Size() {
 		return Candidate{}, false
 	}
 	for attempt := 0; attempt < 500; attempt++ {
@@ -445,7 +445,7 @@ func (r *Random) Name() string { return "random" }
 
 // Next implements Explorer.
 func (r *Random) Next() (Candidate, bool) {
-	if r.space.Size() == 0 || len(r.history) >= r.space.Size() {
+	if r.space.Size() == 0 || int64(len(r.history)) >= r.space.Size() {
 		return Candidate{}, false
 	}
 	for attempt := 0; attempt < 10000; attempt++ {

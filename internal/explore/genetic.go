@@ -62,7 +62,7 @@ func NewGenetic(space *faultspace.Union, cfg GeneticConfig) *Genetic {
 
 // Next implements Explorer.
 func (g *Genetic) Next() (Candidate, bool) {
-	if g.space.Size() > 0 && len(g.history) >= g.space.Size() {
+	if g.space.Size() > 0 && int64(len(g.history)) >= g.space.Size() {
 		return Candidate{}, false
 	}
 	for attempt := 0; attempt < 500; attempt++ {

@@ -1,0 +1,205 @@
+package explore
+
+import (
+	"afex/internal/faultspace"
+)
+
+// Sharded partitions the fault space into n disjoint regions
+// (faultspace.Union.Shard) and runs one independent fitness-guided
+// search per region. Candidates are striped across the shards
+// round-robin — BatchNext leases from shard 0, 1, 2, … in turn — so a
+// parallel session's workers are always spread over disjoint parts of
+// the space, and feedback for an executed candidate is routed back to
+// the shard that generated it. Exhausted shards drop out; the session
+// ends when every shard is exhausted.
+//
+// Each shard's search is seeded deterministically from the base seed, so
+// a sharded sequential session is bit-for-bit reproducible, exactly like
+// the unsharded one.
+//
+// Candidates are emitted in the *parent* space's coordinates (the engine
+// and its executors only know the parent), while each shard's search
+// runs in its own shard-local coordinates; the translation is a constant
+// per-axis index offset computed once at construction.
+type Sharded struct {
+	parent *faultspace.Union
+	shards []*shardSearch
+	rr     int
+	// inflight routes Report back to the generating shard: parent point
+	// key → (shard, shard-local candidate).
+	inflight map[string]pendingLease
+}
+
+type pendingLease struct {
+	shard int
+	local Candidate
+}
+
+// shardSearch is one shard's independent search plus the coordinate
+// translation onto the parent space.
+type shardSearch struct {
+	ex   *FitnessGuided
+	done bool
+	// axis[sub] is the index of the sliced axis in subspace sub (-1 when
+	// the shard covers the whole subspace); off[sub] is the index offset
+	// of the slice within the parent's axis.
+	axis []int
+	off  []int
+}
+
+// NewSharded builds a sharded fitness-guided explorer over space with n
+// shards. n < 1 is treated as 1; shards that come back empty (the space
+// is narrower than n along its widest axis) are dropped.
+func NewSharded(space *faultspace.Union, n int, cfg Config) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{parent: space, inflight: make(map[string]pendingLease)}
+	for i, su := range space.Shard(n) {
+		if su.Size() == 0 {
+			continue
+		}
+		sub := cfg
+		// Distinct deterministic stream per shard; shard 0 of a 1-shard
+		// session keeps the base seed, matching the unsharded explorer.
+		sub.Seed = cfg.Seed + int64(i)*1_000_003
+		st := &shardSearch{
+			ex:   NewFitnessGuided(su, sub),
+			axis: make([]int, len(su.Spaces)),
+			off:  make([]int, len(su.Spaces)),
+		}
+		for j, sp := range su.Spaces {
+			st.axis[j] = -1
+			parentSp := space.Spaces[j]
+			for k, a := range sp.Axes {
+				if a.Len() == parentSp.Axes[k].Len() {
+					continue
+				}
+				st.axis[j] = k
+				if a.Len() > 0 {
+					st.off[j] = parentSp.Axes[k].Index(a.Value(0))
+				}
+				break
+			}
+		}
+		s.shards = append(s.shards, st)
+	}
+	return s
+}
+
+// Name implements Named.
+func (s *Sharded) Name() string { return "sharded-fitness" }
+
+// Shards reports how many non-empty shards the explorer runs.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// toParent translates a shard-local candidate into parent coordinates.
+func (st *shardSearch) toParent(c Candidate) Candidate {
+	sub := c.Point.Sub
+	k := st.axis[sub]
+	if k < 0 || st.off[sub] == 0 {
+		return c
+	}
+	f := c.Point.Fault.Clone()
+	f[k] += st.off[sub]
+	c.Point = faultspace.Point{Sub: sub, Fault: f}
+	return c
+}
+
+// Next implements Explorer: one candidate from the next live shard in
+// round-robin order.
+func (s *Sharded) Next() (Candidate, bool) {
+	for scanned := 0; scanned < len(s.shards); scanned++ {
+		idx := s.rr
+		s.rr = (s.rr + 1) % len(s.shards)
+		st := s.shards[idx]
+		if st.done {
+			continue
+		}
+		local, ok := st.ex.Next()
+		if !ok {
+			st.done = true
+			continue
+		}
+		c := st.toParent(local)
+		s.inflight[c.Point.Key()] = pendingLease{shard: idx, local: local}
+		return c, true
+	}
+	return Candidate{}, false
+}
+
+// BatchNext implements BatchNexter: up to n candidates striped across
+// the live shards (shard 0, 1, 2, … round-robin), so a batch leased by
+// one worker still spans disjoint regions of the space.
+func (s *Sharded) BatchNext(n int) []Candidate {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Candidate, 0, n)
+	for len(out) < n {
+		c, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Report implements Explorer: feedback is routed to the shard that
+// generated the candidate, in that shard's local coordinates.
+func (s *Sharded) Report(c Candidate, impact, fitness float64) {
+	key := c.Point.Key()
+	p, ok := s.inflight[key]
+	if !ok {
+		return
+	}
+	delete(s.inflight, key)
+	s.shards[p.shard].ex.Report(p.local, impact, fitness)
+}
+
+// ReportBatch implements BatchReporter: the batch is split by owning
+// shard (preserving per-shard order — the only order a shard's
+// independent search can observe) and fed through each shard's batched
+// report path.
+func (s *Sharded) ReportBatch(batch []Feedback) {
+	if len(batch) == 0 {
+		return
+	}
+	perShard := make([][]Feedback, len(s.shards))
+	for _, fb := range batch {
+		key := fb.C.Point.Key()
+		p, ok := s.inflight[key]
+		if !ok {
+			continue
+		}
+		delete(s.inflight, key)
+		fb.C = p.local
+		perShard[p.shard] = append(perShard[p.shard], fb)
+	}
+	for i, st := range s.shards {
+		if len(perShard[i]) > 0 {
+			ReportBatch(st.ex, perShard[i])
+		}
+	}
+}
+
+// Executed reports how many tests have been reported back, summed over
+// shards.
+func (s *Sharded) Executed() int {
+	n := 0
+	for _, st := range s.shards {
+		n += st.ex.Executed()
+	}
+	return n
+}
+
+// HistorySize reports the number of distinct tests enqueued across all
+// shards (shards are disjoint, so the sum is exact).
+func (s *Sharded) HistorySize() int {
+	n := 0
+	for _, st := range s.shards {
+		n += st.ex.HistorySize()
+	}
+	return n
+}

@@ -5,6 +5,13 @@
 // have holes (invalid parameter combinations) and may be a union of
 // subspaces (the ";"-separated subspaces of the description language).
 //
+// Axes are behind the Axis interface (see axis.go): categorical axes
+// materialize their values, numeric range axes are lazy, so a space's
+// memory cost is O(axes), not O(points per axis). Sizes are computed in
+// saturating int64 arithmetic so even astronomically large products are
+// reported sanely, and Union.Shard partitions a space into disjoint
+// regions for concurrent exploration (see shard.go).
+//
 // The package provides the geometric machinery the exploration algorithm
 // and its evaluation rely on: Manhattan distance δ, D-vicinities, and the
 // relative linear density metric ρ that characterizes fault-space
@@ -12,52 +19,10 @@
 package faultspace
 
 import (
-	"fmt"
+	"math"
+	"strconv"
 	"strings"
 )
-
-// Axis is one totally ordered dimension of a fault space. Values are laid
-// out in the order ≺ of the paper; an attribute index i refers to
-// Values[i]. For numeric axes the Values are the decimal representations
-// of the range, so the index order coincides with numeric order.
-type Axis struct {
-	// Name identifies the injector parameter this axis feeds, e.g.
-	// "function", "errno", "callNumber", "testID".
-	Name string
-	// Values holds the ordered attribute values.
-	Values []string
-}
-
-// Len returns the number of attribute values on the axis.
-func (a Axis) Len() int { return len(a.Values) }
-
-// IndexOf returns the index of value v on the axis under ≺, or -1 if v is
-// not an attribute value of this axis.
-func (a Axis) IndexOf(v string) int {
-	for i, x := range a.Values {
-		if x == v {
-			return i
-		}
-	}
-	return -1
-}
-
-// IntAxis builds a numeric axis named name spanning [lo, hi] inclusive.
-func IntAxis(name string, lo, hi int) Axis {
-	if hi < lo {
-		lo, hi = hi, lo
-	}
-	vals := make([]string, 0, hi-lo+1)
-	for v := lo; v <= hi; v++ {
-		vals = append(vals, fmt.Sprintf("%d", v))
-	}
-	return Axis{Name: name, Values: vals}
-}
-
-// SetAxis builds a categorical axis from an explicit ordered value set.
-func SetAxis(name string, values ...string) Axis {
-	return Axis{Name: name, Values: append([]string(nil), values...)}
-}
 
 // Fault is a point in a fault space: a vector of attribute indices, one
 // per axis. Fault values are small and copied freely.
@@ -85,16 +50,21 @@ func (f Fault) Equal(g Fault) bool {
 }
 
 // Key returns a compact string identity for use in History sets and
-// deduplication maps.
+// deduplication maps. It is on the per-candidate hot path of every
+// explorer, so it formats into a stack buffer instead of fmt.
 func (f Fault) Key() string {
-	var b strings.Builder
+	var buf [64]byte
+	return string(f.appendKey(buf[:0]))
+}
+
+func (f Fault) appendKey(b []byte) []byte {
 	for i, v := range f {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", v)
+		b = strconv.AppendInt(b, int64(v), 10)
 	}
-	return b.String()
+	return b
 }
 
 // Space is a single fault hyperspace: the Cartesian product of its axes,
@@ -121,17 +91,29 @@ func New(name string, axes ...Axis) *Space {
 func (s *Space) Dims() int { return len(s.Axes) }
 
 // Size returns the number of points in the full Cartesian product,
-// ignoring holes. The paper quotes sizes this way (e.g. |Φ_MySQL| =
-// 2,179,300).
-func (s *Space) Size() int {
+// ignoring holes, in saturating int64 arithmetic: products beyond
+// math.MaxInt64 report math.MaxInt64 instead of silently wrapping. The
+// paper quotes sizes this way (e.g. |Φ_MySQL| = 2,179,300).
+func (s *Space) Size() int64 {
 	if len(s.Axes) == 0 {
 		return 0
 	}
-	n := 1
+	n := int64(1)
 	for _, a := range s.Axes {
-		n *= a.Len()
+		n = satMul(n, int64(a.Len()))
 	}
 	return n
+}
+
+// satMul multiplies non-negative a and b, saturating at math.MaxInt64.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
 }
 
 // Contains reports whether f is a valid point of the space: correct
@@ -153,13 +135,13 @@ func (s *Space) Contains(f Fault) bool {
 
 // Attr returns the attribute value of f on axis i (the human-readable
 // injector parameter).
-func (s *Space) Attr(f Fault, i int) string { return s.Axes[i].Values[f[i]] }
+func (s *Space) Attr(f Fault, i int) string { return s.Axes[i].Value(f[i]) }
 
 // Describe renders f as "name=value" pairs, the form node managers receive.
 func (s *Space) Describe(f Fault) string {
 	parts := make([]string, len(f))
 	for i := range f {
-		parts[i] = s.Axes[i].Name + "=" + s.Attr(f, i)
+		parts[i] = s.Axes[i].Name() + "=" + s.Attr(f, i)
 	}
 	return strings.Join(parts, " ")
 }
@@ -312,22 +294,22 @@ func (s *Space) LinearDensity(center Fault, k, d int, impact func(Fault) float64
 // shuffling a dimension's values eliminates whatever structure that
 // dimension had while preserving the space's size and contents.
 //
-// The returned space's axes share no storage with the original. Holes are
-// remapped so the same logical faults remain invalid.
+// The shuffled axis is materialized (a permutation has no lazy form);
+// the permutation argument is already O(len), so this adds no asymptotic
+// cost. Unshuffled axes are shared with the original. Holes are remapped
+// so the same logical faults remain invalid.
 func (s *Space) ShuffleAxis(k int, perm []int) *Space {
 	if len(perm) != s.Axes[k].Len() {
 		panic("faultspace: ShuffleAxis permutation has wrong length")
 	}
 	out := &Space{Name: s.Name, Axes: make([]Axis, len(s.Axes))}
-	for i, a := range s.Axes {
-		vals := append([]string(nil), a.Values...)
-		if i == k {
-			for oldIdx, newIdx := range perm {
-				vals[newIdx] = a.Values[oldIdx]
-			}
-		}
-		out.Axes[i] = Axis{Name: a.Name, Values: vals}
+	copy(out.Axes, s.Axes)
+	orig := axisValues(s.Axes[k])
+	vals := make([]string, len(orig))
+	for oldIdx, newIdx := range perm {
+		vals[newIdx] = orig[oldIdx]
 	}
+	out.Axes[k] = SetAxis(s.Axes[k].Name(), vals...)
 	if hole := s.Hole; hole != nil {
 		// Map a shuffled fault back to original indices before asking the
 		// original predicate.
@@ -354,11 +336,16 @@ type Union struct {
 // NewUnion builds a Union over the given subspaces.
 func NewUnion(spaces ...*Space) *Union { return &Union{Spaces: spaces} }
 
-// Size returns the total number of points across subspaces.
-func (u *Union) Size() int {
-	n := 0
+// Size returns the total number of points across subspaces, saturating
+// at math.MaxInt64.
+func (u *Union) Size() int64 {
+	n := int64(0)
 	for _, s := range u.Spaces {
-		n += s.Size()
+		sz := s.Size()
+		if n > math.MaxInt64-sz {
+			return math.MaxInt64
+		}
+		n += sz
 	}
 	return n
 }
@@ -370,7 +357,12 @@ type Point struct {
 }
 
 // Key returns a unique string identity for the point.
-func (p Point) Key() string { return fmt.Sprintf("%d:%s", p.Sub, p.Fault.Key()) }
+func (p Point) Key() string {
+	var buf [72]byte
+	b := strconv.AppendInt(buf[:0], int64(p.Sub), 10)
+	b = append(b, ':')
+	return string(p.Fault.appendKey(b))
+}
 
 // Random draws a subspace with probability proportional to its size, then
 // a uniform fault within it, so the union is sampled uniformly overall.
@@ -379,7 +371,7 @@ func (u *Union) Random(intn func(int) int) Point {
 	if total == 0 {
 		panic("faultspace: Random on empty union")
 	}
-	x := intn(total)
+	x := int64(intn(capInt(total)))
 	for i, s := range u.Spaces {
 		if x < s.Size() {
 			return Point{Sub: i, Fault: s.Random(intn)}
@@ -387,6 +379,15 @@ func (u *Union) Random(intn func(int) int) Point {
 		x -= s.Size()
 	}
 	panic("unreachable")
+}
+
+// capInt clamps an int64 to the platform int range (a no-op on 64-bit
+// hosts; saturated sizes stay drawable on 32-bit ones).
+func capInt(n int64) int {
+	if n > int64(math.MaxInt) {
+		return math.MaxInt
+	}
+	return int(n)
 }
 
 // Enumerate visits every valid point of every subspace in order.
@@ -404,4 +405,31 @@ func (u *Union) Enumerate(visit func(Point) bool) {
 			return
 		}
 	}
+}
+
+// RebasePoint translates a point of u onto the coordinates of parent,
+// matching attribute values axis by axis (indices may differ between the
+// two unions; values identify the fault). It returns ok == false when a
+// value of p does not exist on the corresponding parent axis. Shard
+// produces unions whose every point rebases onto the parent this way.
+func (u *Union) RebasePoint(parent *Union, p Point) (Point, bool) {
+	if p.Sub < 0 || p.Sub >= len(u.Spaces) || p.Sub >= len(parent.Spaces) {
+		return Point{}, false
+	}
+	sp, pp := u.Spaces[p.Sub], parent.Spaces[p.Sub]
+	if len(p.Fault) != len(sp.Axes) || len(sp.Axes) != len(pp.Axes) {
+		return Point{}, false
+	}
+	f := make(Fault, len(p.Fault))
+	for i, v := range p.Fault {
+		if v < 0 || v >= sp.Axes[i].Len() {
+			return Point{}, false
+		}
+		idx := pp.Axes[i].Index(sp.Axes[i].Value(v))
+		if idx < 0 {
+			return Point{}, false
+		}
+		f[i] = idx
+	}
+	return Point{Sub: p.Sub, Fault: f}, true
 }

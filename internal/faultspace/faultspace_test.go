@@ -1,6 +1,7 @@
 package faultspace
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -16,16 +17,60 @@ func testSpace() *Space {
 
 func TestAxisConstruction(t *testing.T) {
 	a := IntAxis("n", 3, 7)
-	if a.Len() != 5 || a.Values[0] != "3" || a.Values[4] != "7" {
-		t.Errorf("IntAxis(3,7) = %v", a.Values)
+	if a.Len() != 5 || a.Value(0) != "3" || a.Value(4) != "7" {
+		t.Errorf("IntAxis(3,7) = %v", axisValues(a))
 	}
 	rev := IntAxis("n", 7, 3)
-	if rev.Len() != 5 || rev.Values[0] != "3" {
-		t.Errorf("IntAxis should normalize reversed bounds, got %v", rev.Values)
+	if rev.Len() != 5 || rev.Value(0) != "3" {
+		t.Errorf("IntAxis should normalize reversed bounds, got %v", axisValues(rev))
 	}
 	s := SetAxis("f", "a", "b")
-	if s.IndexOf("b") != 1 || s.IndexOf("zz") != -1 {
-		t.Errorf("IndexOf misbehaves: %v", s)
+	if s.Index("b") != 1 || s.Index("zz") != -1 {
+		t.Errorf("Index misbehaves: %v", axisValues(s))
+	}
+}
+
+// TestIntAxisLazyRoundTrip checks the lazy integer axis is a faithful
+// bijection between indices and decimal values, including huge ranges no
+// materialized representation could hold.
+func TestIntAxisLazyRoundTrip(t *testing.T) {
+	a := IntAxis("call", -3, 1_000_000_000)
+	if a.Len() != 1_000_000_004 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for _, i := range []int{0, 1, 3, 4, 999, 1_000_000_003} {
+		v := a.Value(i)
+		if got := a.Index(v); got != i {
+			t.Errorf("Index(Value(%d)=%q) = %d", i, v, got)
+		}
+	}
+	// Non-canonical spellings that Atoi would accept must not index.
+	for _, bad := range []string{"", "007", "+1", "-0", "1e3", "2000000000", "x"} {
+		if got := a.Index(bad); got != -1 {
+			t.Errorf("Index(%q) = %d, want -1", bad, got)
+		}
+	}
+}
+
+// TestSizeSaturates checks that astronomically large products report
+// math.MaxInt64 instead of wrapping.
+func TestSizeSaturates(t *testing.T) {
+	s := New("huge",
+		IntAxis("a", 0, 1_000_000_000),
+		IntAxis("b", 0, 1_000_000_000),
+		IntAxis("c", 0, 1_000_000_000),
+	)
+	if s.Size() != math.MaxInt64 {
+		t.Errorf("Size = %d, want MaxInt64 saturation", s.Size())
+	}
+	u := NewUnion(s, s)
+	if u.Size() != math.MaxInt64 {
+		t.Errorf("union Size = %d, want MaxInt64 saturation", u.Size())
+	}
+	// A large-but-representable space must report exactly.
+	exact := New("big", IntAxis("a", 1, 100000), IntAxis("b", 1, 100000))
+	if exact.Size() != 10_000_000_000 {
+		t.Errorf("Size = %d, want 10^10", exact.Size())
 	}
 }
 
@@ -232,17 +277,17 @@ func TestShuffleAxisPreservesContent(t *testing.T) {
 		t.Fatal("size changed")
 	}
 	// open (index 0) should now be at index 3.
-	if sh.Axes[0].Values[3] != "open" || sh.Axes[0].Values[0] != "close" {
-		t.Errorf("shuffled axis = %v", sh.Axes[0].Values)
+	if sh.Axes[0].Value(3) != "open" || sh.Axes[0].Value(0) != "close" {
+		t.Errorf("shuffled axis = %v", axisValues(sh.Axes[0]))
 	}
 	// Same multiset of values.
-	for _, v := range s.Axes[0].Values {
-		if sh.Axes[0].IndexOf(v) == -1 {
+	for _, v := range axisValues(s.Axes[0]) {
+		if sh.Axes[0].Index(v) == -1 {
 			t.Errorf("value %q lost in shuffle", v)
 		}
 	}
 	// Original untouched.
-	if s.Axes[0].Values[0] != "open" {
+	if s.Axes[0].Value(0) != "open" {
 		t.Error("ShuffleAxis mutated the original space")
 	}
 }

@@ -1,0 +1,83 @@
+package faultspace
+
+// Sharding partitions one fault space into n disjoint regions so that n
+// independent explorers (local worker pools or distributed coordinators)
+// can search concurrently without overlapping work. The partition is
+// along each subspace's widest axis — the dimension with the most
+// attribute values — because that yields the most even split and keeps
+// every shard's remaining axes intact, preserving the structure the
+// fitness-guided search exploits.
+
+// Shard partitions the union into n pairwise-disjoint unions that
+// together cover exactly the parent's points: shard i holds the i-th
+// contiguous chunk of every subspace's widest axis. Shard subspace lists
+// stay parallel to the parent's (an exhausted chunk yields an empty
+// subspace), so subspace index Sub means the same thing in every shard.
+//
+// Points in a shard are shard-local: the sliced axis re-indexes from 0.
+// The sliced axis's *values* are preserved, so RebasePoint maps any shard
+// point back onto parent coordinates. Axes are shared or sliced, never
+// copied per value, so sharding a billion-point space costs O(axes × n).
+//
+// n < 1 is treated as 1. When n exceeds an axis's width the surplus
+// shards come back empty for that subspace.
+func (u *Union) Shard(n int) []*Union {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]*Union, n)
+	for i := range shards {
+		shards[i] = &Union{Spaces: make([]*Space, len(u.Spaces))}
+	}
+	for j, s := range u.Spaces {
+		k := widestAxis(s)
+		if k < 0 {
+			for i := range shards {
+				shards[i].Spaces[j] = &Space{Name: s.Name}
+			}
+			continue
+		}
+		w := s.Axes[k].Len()
+		base, rem := w/n, w%n
+		off := 0
+		for i := 0; i < n; i++ {
+			size := base
+			if i < rem {
+				size++
+			}
+			shards[i].Spaces[j] = s.sliceSpace(k, off, size)
+			off += size
+		}
+	}
+	return shards
+}
+
+// widestAxis returns the index of the axis with the most values (ties go
+// to the lowest index), or -1 for a zero-dimensional space.
+func widestAxis(s *Space) int {
+	k, w := -1, 0
+	for i, a := range s.Axes {
+		if a.Len() > w {
+			k, w = i, a.Len()
+		}
+	}
+	return k
+}
+
+// sliceSpace restricts axis k of s to n values starting at offset off.
+// The hole predicate is remapped so the same logical faults stay invalid
+// under the shard-local indices.
+func (s *Space) sliceSpace(k, off, n int) *Space {
+	axes := make([]Axis, len(s.Axes))
+	copy(axes, s.Axes)
+	axes[k] = sliceAxis(s.Axes[k], off, n)
+	out := &Space{Name: s.Name, Axes: axes, Hole: s.Hole}
+	if hole := s.Hole; hole != nil && off > 0 {
+		out.Hole = func(f Fault) bool {
+			g := f.Clone()
+			g[k] += off
+			return hole(g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package faultspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// shardFixture is a two-subspace union with mixed axis kinds and a hole,
+// exercising every sharding code path: set-axis slicing, lazy int-axis
+// slicing, empty chunks (axis narrower than the shard count), and hole
+// remapping.
+func shardFixture() *Union {
+	a := New("a",
+		SetAxis("function", "open", "close", "read", "write", "mmap"),
+		IntAxis("callNumber", 1, 13),
+		IntAxis("testID", 0, 2),
+	)
+	a.Hole = func(f Fault) bool { return f[0] == 1 && f[1] == 0 }
+	b := New("b",
+		IntAxis("x", 0, 2),
+		SetAxis("mode", "r", "w"),
+	)
+	return NewUnion(a, b)
+}
+
+// TestShardPartitionProperties is the shard-partition property test:
+// shards are pairwise disjoint, their sizes sum to the parent's Size(),
+// and every point of a shard rebases to a Contains-valid parent point.
+func TestShardPartitionProperties(t *testing.T) {
+	u := shardFixture()
+	for n := 1; n <= 17; n++ {
+		shards := u.Shard(n)
+		if len(shards) != n {
+			t.Fatalf("Shard(%d) returned %d unions", n, len(shards))
+		}
+		var sum int64
+		seen := map[string]int{}
+		for si, sh := range shards {
+			sum += sh.Size()
+			if len(sh.Spaces) != len(u.Spaces) {
+				t.Fatalf("n=%d shard %d has %d subspaces, want %d", n, si, len(sh.Spaces), len(u.Spaces))
+			}
+			sh.Enumerate(func(p Point) bool {
+				pp, ok := sh.RebasePoint(u, p)
+				if !ok {
+					t.Fatalf("n=%d shard %d point %s does not rebase", n, si, p.Key())
+				}
+				if !u.Spaces[pp.Sub].Contains(pp.Fault) {
+					t.Fatalf("n=%d shard %d point %s rebases outside the parent", n, si, p.Key())
+				}
+				if prev, dup := seen[pp.Key()]; dup {
+					t.Fatalf("n=%d parent point %s in shards %d and %d", n, pp.Key(), prev, si)
+				}
+				seen[pp.Key()] = si
+				return true
+			})
+		}
+		if sum != u.Size() {
+			t.Fatalf("n=%d shard sizes sum to %d, want %d", n, sum, u.Size())
+		}
+		// Coverage: every parent point appears in exactly one shard.
+		total := 0
+		u.Enumerate(func(p Point) bool {
+			total++
+			if _, ok := seen[p.Key()]; !ok {
+				t.Fatalf("n=%d parent point %s missing from every shard", n, p.Key())
+			}
+			return true
+		})
+		// seen counts only hole-free points, same as the parent walk; the
+		// size sum above already checked the hole-free totals agree.
+		if len(seen) != total {
+			t.Fatalf("n=%d shards enumerate %d points, parent %d", n, len(seen), total)
+		}
+	}
+}
+
+// TestShardRandomDrawsAreParentValid draws from each shard and checks
+// the rebased draw is Contains-valid in the parent and stays inside the
+// shard's own region.
+func TestShardRandomDrawsAreParentValid(t *testing.T) {
+	u := shardFixture()
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 3, 4, 7} {
+		for si, sh := range u.Shard(n) {
+			if sh.Size() == 0 {
+				continue
+			}
+			for i := 0; i < 200; i++ {
+				p := sh.Random(rng.Intn)
+				if !sh.Spaces[p.Sub].Contains(p.Fault) {
+					t.Fatalf("n=%d shard %d drew %s outside itself", n, si, p.Key())
+				}
+				pp, ok := sh.RebasePoint(u, p)
+				if !ok || !u.Spaces[pp.Sub].Contains(pp.Fault) {
+					t.Fatalf("n=%d shard %d draw %s not valid in parent", n, si, p.Key())
+				}
+			}
+		}
+	}
+}
+
+// TestShardPropertyRandomSpaces fuzzes the partition invariants over
+// randomly shaped unions.
+func TestShardPropertyRandomSpaces(t *testing.T) {
+	if err := quick.Check(func(dims, widths []uint8, shardsRaw uint8) bool {
+		if len(dims) == 0 {
+			return true
+		}
+		if len(dims) > 3 {
+			dims = dims[:3]
+		}
+		n := 1 + int(shardsRaw%6)
+		wi := 0
+		width := func() int {
+			if len(widths) == 0 {
+				return 1
+			}
+			w := 1 + int(widths[wi%len(widths)]%5)
+			wi++
+			return w
+		}
+		var spaces []*Space
+		for si, d := range dims {
+			nd := 1 + int(d%3)
+			axes := make([]Axis, nd)
+			for k := range axes {
+				if (si+k)%2 == 0 {
+					axes[k] = IntAxis("i", 0, width()-1)
+				} else {
+					vals := make([]string, width())
+					for j := range vals {
+						vals[j] = string(rune('a' + j))
+					}
+					axes[k] = SetAxis("s", vals...)
+				}
+			}
+			spaces = append(spaces, New("sp", axes...))
+		}
+		u := NewUnion(spaces...)
+		var sum int64
+		seen := map[string]bool{}
+		for _, sh := range u.Shard(n) {
+			sum += sh.Size()
+			ok := true
+			sh.Enumerate(func(p Point) bool {
+				pp, valid := sh.RebasePoint(u, p)
+				if !valid || !u.Spaces[pp.Sub].Contains(pp.Fault) || seen[pp.Key()] {
+					ok = false
+					return false
+				}
+				seen[pp.Key()] = true
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return sum == u.Size() && int64(len(seen)) == u.Size()
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardHugeSpaceIsCheap shards a space far too large to materialize:
+// the operation must stay O(axes × shards).
+func TestShardHugeSpaceIsCheap(t *testing.T) {
+	u := NewUnion(New("huge",
+		IntAxis("testID", 0, 999),
+		SetAxis("function", "read", "write", "malloc"),
+		IntAxis("callNumber", 0, 1_000_000_000),
+	))
+	shards := u.Shard(8)
+	var sum int64
+	for _, sh := range shards {
+		sum += sh.Size()
+	}
+	if sum != u.Size() {
+		t.Fatalf("shard sizes sum to %d, want %d", sum, u.Size())
+	}
+	// The widest axis is callNumber; each shard must hold a distinct
+	// contiguous value range of it.
+	lo := shards[0].Spaces[0].Axes[2]
+	hi := shards[7].Spaces[0].Axes[2]
+	if lo.Value(0) != "0" || hi.Value(hi.Len()-1) != "1000000000" {
+		t.Errorf("shard ranges: first starts %q, last ends %q", lo.Value(0), hi.Value(hi.Len()-1))
+	}
+}

@@ -142,15 +142,37 @@ type Plugin struct{}
 // The returned Point describes the primary fault; the Plan carries every
 // fault of a multi-fault scenario.
 func (Plugin) Convert(s dsl.Scenario) (Point, Plan, error) {
+	return convert(func(key string) string { return s[key] })
+}
+
+// ConvertValues is Convert for the slice-based scenario path: parallel
+// name/value slices in axis order (dsl.AxisNames / dsl.ValuesFor)
+// instead of a per-candidate map. Axis counts are small, so the linear
+// key scan beats building and hashing a map on every executed test.
+func (Plugin) ConvertValues(names, vals []string) (Point, Plan, error) {
+	return convert(func(key string) string {
+		for i, n := range names {
+			if n == key {
+				return vals[i]
+			}
+		}
+		return ""
+	})
+}
+
+// convert implements Convert/ConvertValues over a scenario accessor.
+// An absent key reads as "" — no axis value is ever the empty string, so
+// the two are equivalent.
+func convert(get func(string) string) (Point, Plan, error) {
 	var pt Point
 	var err error
-	if v, ok := s["testID"]; ok {
+	if v := get("testID"); v != "" {
 		pt.TestID, err = strconv.Atoi(v)
 		if err != nil {
 			return pt, Plan{}, fmt.Errorf("inject: bad testID %q: %v", v, err)
 		}
 	}
-	primary, err := convertSlot(s, "")
+	primary, err := convertSlot(get, "")
 	if err != nil {
 		return pt, Plan{}, err
 	}
@@ -160,7 +182,7 @@ func (Plugin) Convert(s dsl.Scenario) (Point, Plan, error) {
 	pt.Function = primary.Function
 	pt.CallNumber = primary.CallNumber
 	plan := Single(*primary)
-	if secondary, err := convertSlot(s, "2"); err != nil {
+	if secondary, err := convertSlot(get, "2"); err != nil {
 		return pt, Plan{}, err
 	} else if secondary != nil {
 		plan.Faults = append(plan.Faults, *secondary)
@@ -172,8 +194,8 @@ func (Plugin) Convert(s dsl.Scenario) (Point, Plan, error) {
 // primary fault, "2" the secondary. A missing function means the slot is
 // absent (nil, nil); a callNumber of 0 arms nothing but is still a valid
 // description (the no-injection point of spaces that include one).
-func convertSlot(s dsl.Scenario, suffix string) (*Fault, error) {
-	fn := s["function"+suffix]
+func convertSlot(get func(string) string, suffix string) (*Fault, error) {
+	fn := get("function" + suffix)
 	if fn == "" {
 		return nil, nil
 	}
@@ -181,7 +203,7 @@ func convertSlot(s dsl.Scenario, suffix string) (*Fault, error) {
 	if prof == nil {
 		return nil, fmt.Errorf("inject: unknown library function %q", fn)
 	}
-	cn := s["callNumber"+suffix]
+	cn := get("callNumber" + suffix)
 	if cn == "" {
 		cn = "1"
 	}
@@ -190,7 +212,7 @@ func convertSlot(s dsl.Scenario, suffix string) (*Fault, error) {
 		return nil, fmt.Errorf("inject: bad callNumber%s %q: %v", suffix, cn, err)
 	}
 	er := prof.Errors[0]
-	if v, ok := s["errno"+suffix]; ok {
+	if v := get("errno" + suffix); v != "" {
 		found := false
 		for _, e := range prof.Errors {
 			if e.Errno == v {
@@ -205,9 +227,9 @@ func convertSlot(s dsl.Scenario, suffix string) (*Fault, error) {
 			er = libc.ErrorReturn{Retval: er.Retval, Errno: v}
 		}
 	}
-	rv := s["retval"+suffix]
+	rv := get("retval" + suffix)
 	if rv == "" {
-		rv = s["retVal"+suffix] // the paper's Fig. 4 spells it both ways
+		rv = get("retVal" + suffix) // the paper's Fig. 4 spells it both ways
 	}
 	if rv != "" {
 		er.Retval, err = strconv.Atoi(rv)

@@ -212,3 +212,40 @@ func TestPluginConvertErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestConvertValuesMatchesConvert: the slice-based scenario path must
+// agree with the map path on every scenario shape, including two-fault
+// scenarios and profile-defaulted fields.
+func TestConvertValuesMatchesConvert(t *testing.T) {
+	var p Plugin
+	cases := []struct {
+		names []string
+		vals  []string
+	}{
+		{[]string{"testID", "function", "callNumber"}, []string{"3", "read", "2"}},
+		{[]string{"function", "errno", "retval", "callNumber"}, []string{"malloc", "ENOMEM", "0", "7"}},
+		{[]string{"testID", "function", "callNumber", "function2", "callNumber2"},
+			[]string{"1", "read", "2", "malloc", "5"}},
+		{[]string{"function"}, []string{"write"}}, // callNumber defaults to 1
+	}
+	for _, tc := range cases {
+		sc := dsl.Scenario{}
+		for i, n := range tc.names {
+			sc[n] = tc.vals[i]
+		}
+		mp, mplan, merr := p.Convert(sc)
+		vp, vplan, verr := p.ConvertValues(tc.names, tc.vals)
+		if (merr == nil) != (verr == nil) {
+			t.Fatalf("%v: errors disagree: %v vs %v", tc.names, merr, verr)
+		}
+		if mp != vp {
+			t.Errorf("%v: points disagree: %+v vs %+v", tc.names, mp, vp)
+		}
+		if mplan.String() != vplan.String() {
+			t.Errorf("%v: plans disagree: %q vs %q", tc.names, mplan, vplan)
+		}
+	}
+	if _, _, err := p.ConvertValues([]string{"callNumber"}, []string{"1"}); err == nil {
+		t.Error("missing function accepted by ConvertValues")
+	}
+}

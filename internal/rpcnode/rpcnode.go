@@ -87,7 +87,9 @@ type Stats struct {
 type Coordinator struct {
 	engine *core.Engine
 	space  *faultspace.Union
-	axes   []string
+	// axisNames caches each subspace's axis names for the slice-based
+	// scenario path (no per-lease map allocation).
+	axisNames [][]string
 
 	mu         sync.Mutex
 	seq        int
@@ -121,9 +123,10 @@ func NewCoordinator(space *faultspace.Union, ex explore.Explorer, budget int, im
 		leases:     make(map[int]lease),
 		perManager: make(map[string]int),
 	}
-	if space != nil && len(space.Spaces) > 0 {
-		for _, a := range space.Spaces[0].Axes {
-			c.axes = append(c.axes, a.Name)
+	if space != nil {
+		c.axisNames = make([][]string, len(space.Spaces))
+		for i := range space.Spaces {
+			c.axisNames[i] = dsl.AxisNames(space, i)
 		}
 	}
 	return c
@@ -164,7 +167,7 @@ func (c *Coordinator) NextTest(managerID string, task *Task) error {
 		return nil
 	}
 	cand := cands[0]
-	scenario := dsl.FormatScenario(dsl.ScenarioFor(c.space, cand.Point), c.axes)
+	scenario := dsl.FormatPairs(c.axisNames[cand.Point.Sub], dsl.ValuesFor(c.space, cand.Point))
 	c.mu.Lock()
 	c.seq++
 	seq := c.seq

@@ -71,7 +71,7 @@ func TestDistributedSessionEndToEnd(t *testing.T) {
 	wg.Wait()
 
 	st := coord.Snapshot()
-	if st.Executed != space.Size() {
+	if int64(st.Executed) != space.Size() {
 		t.Fatalf("executed %d, want the whole %d-point space", st.Executed, space.Size())
 	}
 	total := 0

@@ -137,8 +137,10 @@ func (sp *SuiteProfile) BuildSpace(nFuncs, callLo, callHi int) *faultspace.Union
 // same path — which no single-fault scan can trigger (§6's example
 // scenario injects an EINTR and an ENOMEM in one run).
 //
-// Pair spaces are quadratically larger than single-fault spaces; use
-// small nFuncs/callHi bounds.
+// Pair spaces are quadratically larger than single-fault spaces in
+// *points*, but the numeric axes are lazy, so construction cost and
+// memory stay O(axes) for any callHi — billion-point pair spaces are
+// fine to build and explore (shard them across workers for throughput).
 func (sp *SuiteProfile) BuildPairSpace(nFuncs, callHi int) *faultspace.Union {
 	funcs := sp.TopFunctions(nFuncs)
 	return faultspace.NewUnion(faultspace.New(

@@ -115,8 +115,8 @@ func TestBuildPairSpace(t *testing.T) {
 	}
 	names := []string{"testID", "function", "callNumber", "function2", "callNumber2"}
 	for i, n := range names {
-		if s.Axes[i].Name != n {
-			t.Errorf("axis %d = %q, want %q", i, s.Axes[i].Name, n)
+		if s.Axes[i].Name() != n {
+			t.Errorf("axis %d = %q, want %q", i, s.Axes[i].Name(), n)
 		}
 	}
 	// 3 tests × 3 funcs × 3 calls (0..2) × 3 funcs × 3 calls.
@@ -157,7 +157,7 @@ func TestBuildDetailedSpace(t *testing.T) {
 	// read has 3 errnos in its profile: per-function errno axes differ.
 	var readSpace, mallocSpace int
 	for i, s := range u.Spaces {
-		switch s.Axes[1].Values[0] {
+		switch s.Axes[1].Value(0) {
 		case "read":
 			readSpace = i
 		case "malloc":
