@@ -55,15 +55,30 @@
 // (Space.Shard), each explored by an independent fitness-guided search
 // with candidates striped across the shards — the way to keep many
 // workers, local or remote, from mining the same vicinity.
+//
+// # Persistence
+//
+// Options.StateDir makes a session durable and cumulative: every
+// executed scenario is appended to a JSONL journal, the session state
+// (explorer fitness state, redundancy clusters, similarity memory) is
+// snapshotted periodically, and runs sharing the directory never
+// re-execute each other's scenarios. Options.Resume continues a killed
+// run exactly where it stopped; ReplayJournal (CLI: afex replay)
+// re-executes recorded failures from their journaled injection plans.
+// NewPersistentCoordinator gives a distributed coordinator the same
+// durability. See the README's "Persistence & resume" section.
 package afex
 
 import (
+	"fmt"
+
 	"afex/internal/core"
 	"afex/internal/dsl"
 	"afex/internal/explore"
 	"afex/internal/faultspace"
 	"afex/internal/prog"
 	"afex/internal/quality"
+	"afex/internal/store"
 	"afex/internal/targets"
 	"afex/internal/trace"
 )
@@ -121,6 +136,11 @@ type (
 	// Executor is the engine's deployment seam: it runs one leased
 	// candidate and returns the observed outcome (the engine folds it).
 	Executor = core.Executor
+	// JournalEntry is one journaled scenario execution of a persistent
+	// session (Options.StateDir).
+	JournalEntry = store.Entry
+	// Meta describes a state directory: target, space signature, runs.
+	Meta = store.Meta
 )
 
 // DefaultBatch is the per-worker lease batch size used when
@@ -133,10 +153,88 @@ const DefaultBatch = core.DefaultBatch
 // Explore instead. Options.Target may be nil only when the engine will
 // be driven through RunWith with a custom Executor that runs tests
 // elsewhere; RunLocal and LocalExecutor require a target.
+//
+// NewEngine ignores Options.StateDir (it opens no files); use NewSession
+// for a persistent engine.
 func NewEngine(opts Options) (*Engine, error) { return core.NewEngine(opts, nil) }
 
-// Explore runs one fault-exploration session.
-func Explore(opts Options) (*Result, error) { return core.Run(opts) }
+// NewSession builds the execution engine with persistence wired up: when
+// Options.StateDir is set, it opens (creating if needed) the state
+// directory, verifies the journal was written for the same target and
+// fault space, loads prior scenario keys into the engine's novelty
+// filter, restores the journaled records and clusters — plus the
+// explorer's search state when Options.Resume is set — and installs the
+// store so every executed scenario is journaled and the session state is
+// snapshotted periodically and on Finish.
+//
+// The returned cleanup function flushes and closes the store (a no-op
+// without StateDir); call it after the engine finishes. Drive the engine
+// with RunLocal, or with RunWith for custom executors.
+func NewSession(opts Options) (*Engine, func() error, error) {
+	if opts.StateDir == "" {
+		eng, err := core.NewEngine(opts, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng, func() error { return nil }, nil
+	}
+	st, err := store.Open(opts.StateDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := st.Attach(&opts); err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	eng, err := core.NewEngine(opts, nil)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return eng, st.Close, nil
+}
+
+// Explore runs one fault-exploration session. With Options.StateDir set
+// the session is persistent: executed scenarios are journaled, runs
+// sharing the directory never re-execute each other's scenarios, and
+// Options.Resume continues a killed run where it stopped (see the
+// "Persistence & resume" section of the README).
+func Explore(opts Options) (*Result, error) {
+	if opts.StateDir == "" {
+		return core.Run(opts)
+	}
+	if opts.Target == nil {
+		return nil, fmt.Errorf("afex: Options.Target is nil")
+	}
+	if opts.Space == nil || opts.Space.Size() == 0 {
+		return nil, fmt.Errorf("afex: Options.Space is nil or empty")
+	}
+	eng, cleanup, err := NewSession(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := eng.RunLocal()
+	if err := cleanup(); err != nil {
+		return res, fmt.Errorf("afex: state store: %w", err)
+	}
+	return res, nil
+}
+
+// ReplayJournal loads the scenario journal at path — a state directory
+// or a journal.jsonl file — for reproduction (`afex replay`). Entries
+// come back in execution order.
+func ReplayJournal(path string) ([]JournalEntry, error) { return store.ReadJournal(path) }
+
+// StateMeta reads a state directory's metadata (target name, space
+// signature, run stamps).
+func StateMeta(dir string) (Meta, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return Meta{}, err
+	}
+	defer st.Close()
+	return st.Meta(), nil
+}
 
 // DefaultImpact returns the paper's suggested impact scoring: 1 point per
 // newly covered basic block, 10 per failed test, 20 per crash, 15 per

@@ -1,8 +1,10 @@
 package afex
 
 import (
+	"afex/internal/core"
 	"afex/internal/explore"
 	"afex/internal/rpcnode"
+	"afex/internal/store"
 )
 
 // Distributed-mode re-exports (§6.1/§7.7): an explorer served over TCP
@@ -43,6 +45,42 @@ func NewShardedCoordinator(space *Space, cfg ExploreOptions, budget, shards int)
 		return NewCoordinator(space, cfg, budget)
 	}
 	return rpcnode.NewCoordinator(space, explore.NewSharded(space, shards, cfg), budget, nil)
+}
+
+// NewPersistentCoordinator is NewShardedCoordinator backed by the
+// persistent exploration store: the coordinator journals every result
+// its managers report under stateDir, snapshots the session state, and —
+// on a directory with prior state — continues the same session, never
+// re-leasing a journaled scenario. resume additionally restores the
+// explorer's search state, so a restarted `afex serve` picks up exactly
+// where the killed one stopped. targetName is recorded in the store's
+// metadata (a coordinator never loads the target itself).
+//
+// The returned cleanup function flushes and closes the store; call it
+// after Coordinator.Result.
+func NewPersistentCoordinator(targetName string, space *Space, cfg ExploreOptions, budget, shards int, stateDir string, resume bool) (*Coordinator, func() error, error) {
+	ecfg := core.Config{Space: space, Iterations: budget, Resume: resume}
+	st, err := store.Open(stateDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := st.AttachNamed(&ecfg, targetName); err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	var ex explore.Explorer
+	if shards > 1 {
+		ex = explore.NewSharded(space, shards, cfg)
+	} else {
+		ex = explore.NewFitnessGuided(space, cfg)
+	}
+	coord, err := rpcnode.NewCoordinatorConfig(ecfg, ex, nil)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	coord.SetTargetName(targetName)
+	return coord, st.Close, nil
 }
 
 // ServeCoordinator starts serving the coordinator on addr ("host:port";

@@ -1,23 +1,34 @@
 // Command afex is the AFEX command-line interface: explore a target's
-// fault space, replay a specific scenario, profile a target, or serve /
-// join a distributed exploration cluster.
+// fault space, replay a specific scenario or a journal of recorded
+// failures, profile a target, or serve / join a distributed exploration
+// cluster.
 //
 // Usage:
 //
 //	afex explore --target mysqld [--algorithm fitness] [--iterations 1000]
 //	             [--seed 1] [--feedback] [--workers 4] [--batch 16] [--shards 4]
 //	             [--funcs 19] [--call-lo 1] [--call-hi 100] [--top 10] [--repro]
+//	             [--state-dir DIR] [--resume] [--progress 5s]
 //	afex replay  --target mysqld --scenario "testID 5 function read errno EIO retval -1 callNumber 3"
+//	afex replay  <state-dir-or-journal> [--target mysqld] [--all] [--trials 1]
 //	afex profile --target coreutils [--funcs 19]
 //	afex serve   --target coreutils --addr :7070 [--iterations 500] [--shards 4]
+//	             [--state-dir DIR] [--resume]
 //	afex worker  --target coreutils --addr host:7070 --id mgr01
 //	afex targets
+//
+// Exit status: 0 on success with no failures found, 1 on errors, 2 on
+// usage mistakes, and 3 when the exploration (or serve session) found
+// failure-inducing scenarios — so CI jobs can gate on "no new failure
+// clusters" while still distinguishing tool breakage.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"afex"
@@ -26,6 +37,13 @@ import (
 	"afex/internal/prog"
 	"afex/internal/trace"
 )
+
+// errFailuresFound signals the distinct CI-gating exit status: the run
+// itself succeeded, but failure-inducing scenarios exist.
+var errFailuresFound = errors.New("failure-inducing scenarios were found")
+
+// exitFailuresFound is the documented exit status for errFailuresFound.
+const exitFailuresFound = 3
 
 func main() {
 	if len(os.Args) < 2 {
@@ -57,6 +75,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "afex:", err)
+		if errors.Is(err, errFailuresFound) {
+			os.Exit(exitFailuresFound)
+		}
 		os.Exit(1)
 	}
 }
@@ -66,11 +87,13 @@ func usage() {
 
 commands:
   explore   search a target's fault space for high-impact faults
-  replay    re-inject one scenario and report its outcome
+  replay    re-inject one scenario — or a journal of recorded failures
   profile   run the suite under tracing; print the fault-space description
   serve     run an exploration coordinator for remote node managers
   worker    join a coordinator as a node manager
-  targets   list built-in targets`)
+  targets   list built-in targets
+
+exit status 3 means the exploration found failure-inducing scenarios.`)
 }
 
 func cmdExplore(args []string) error {
@@ -94,8 +117,14 @@ func cmdExplore(args []string) error {
 	out := fs.String("out", "", "write the full result tree (report, TSV, clusters, repro scripts, per-test logs) to this directory")
 	budget := fs.Duration("time-budget", 0, "stop after this much wall clock (0 = no limit)")
 	verbose := fs.Bool("verbose", false, "log progress every 100 tests")
+	stateDir := fs.String("state-dir", "", "persist the session here: journal every scenario, never re-execute one across runs; --iterations counts the whole session including prior runs")
+	resume := fs.Bool("resume", false, "with --state-dir: restore the explorer's search state and continue where the previous run stopped")
+	progress := fs.Duration("progress", 0, "print engine stats (tests run, failures, clusters, leases) on this interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *stateDir == "" {
+		return fmt.Errorf("--resume requires --state-dir")
 	}
 	target, err := afex.Target(*targetName)
 	if err != nil {
@@ -120,6 +149,8 @@ func cmdExplore(args []string) error {
 		Shards:     *shards,
 		Feedback:   *feedback,
 		TimeBudget: *budget,
+		StateDir:   *stateDir,
+		Resume:     *resume,
 		Explore:    afex.ExploreOptions{Seed: *seed},
 	}
 	if *verbose {
@@ -128,14 +159,23 @@ func cmdExplore(args []string) error {
 				s.Executed, s.Injected, s.Failed, s.Crashed, 100*s.Coverage)
 		}
 	}
-	res, err := afex.Explore(opts)
+	eng, cleanup, err := afex.NewSession(opts)
 	if err != nil {
 		return err
 	}
+	if *progress > 0 {
+		stop := startProgress(eng, *progress)
+		defer stop()
+	}
+	res := eng.RunLocal()
+	// A store flush failure must not discard the run's in-memory
+	// results: print and write everything first, surface the error last.
+	storeErr := cleanup()
 	fmt.Print(res.Report(*top))
 	if *out != "" {
 		if err := res.WriteDir(*out); err != nil {
-			return err
+			// Don't let the output-tree failure swallow a store error.
+			return errors.Join(storeErr, err)
 		}
 		fmt.Printf("full results written to %s\n", *out)
 	}
@@ -151,19 +191,56 @@ func cmdExplore(args []string) error {
 			fmt.Print(res.ReproScript(rec))
 		}
 	}
+	if storeErr != nil {
+		return fmt.Errorf("state store: %w", storeErr)
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d failures in %d clusters: %w", res.Failed, res.UniqueFailures, errFailuresFound)
+	}
 	return nil
 }
 
+// startProgress prints the engine's live tally — the long-run visibility
+// --progress asks for — until the returned stop function is called.
+func startProgress(eng *afex.Engine, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s := eng.Snapshot()
+				fmt.Fprintf(os.Stderr, "progress: executed=%d failures=%d clusters=%d leases=%d coverage=%.1f%%\n",
+					s.Executed, s.Failed, s.UniqueFailures, s.Pending, 100*s.Coverage)
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
 func cmdReplay(args []string) error {
+	// A positional first argument is a journal source: a state directory
+	// (written by explore/serve --state-dir) or a journal.jsonl file.
+	journal := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		journal, args = args[0], args[1:]
+	}
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	targetName := fs.String("target", "", "target system under test")
+	targetName := fs.String("target", "", "target system under test (journal mode: defaults to the state directory's recorded target)")
 	scenario := fs.String("scenario", "", "scenario in the wire format, e.g. \"testID 3 function read callNumber 2\"")
 	trials := fs.Int("trials", 1, "number of re-runs (impact precision uses >1)")
+	all := fs.Bool("all", false, "journal mode: replay every recorded failure, not just one per redundancy cluster")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if journal != "" {
+		return replayJournal(journal, *targetName, *trials, *all)
+	}
 	if *targetName == "" || *scenario == "" {
-		return fmt.Errorf("replay requires --target and --scenario")
+		return fmt.Errorf("replay requires --target and --scenario (or a journal path)")
 	}
 	target, err := afex.Target(*targetName)
 	if err != nil {
@@ -190,6 +267,85 @@ func cmdReplay(args []string) error {
 		}
 	}
 	return nil
+}
+
+// replayJournal re-executes the failures recorded in a persistent
+// session's journal — the reproduction path of the store: every entry
+// carries its armed injection plan, so a recorded failure replays
+// without re-searching the fault space. By default one representative
+// per redundancy cluster is replayed (the tests worth promoting into a
+// regression suite); --all replays every recorded failure.
+func replayJournal(path, targetName string, trials int, all bool) error {
+	entries, err := afex.ReplayJournal(path)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no journal entries at %s", path)
+	}
+	if targetName == "" {
+		meta, err := afex.StateMeta(path)
+		if err != nil || meta.Target == "" {
+			return fmt.Errorf("journal %s records no target; pass --target", path)
+		}
+		targetName = meta.Target
+	}
+	target, err := afex.Target(targetName)
+	if err != nil {
+		return err
+	}
+	if trials < 1 {
+		trials = 1
+	}
+
+	seenCluster := make(map[int]bool)
+	replayed, reproduced := 0, 0
+	for _, e := range entries {
+		if !e.Injected || !e.Failed {
+			continue
+		}
+		if !all {
+			if seenCluster[e.Cluster] {
+				continue
+			}
+			seenCluster[e.Cluster] = true
+		}
+		plan := inject.Plan{Faults: e.Plan}
+		var out prog.Outcome
+		ok := true
+		for t := 0; t < trials; t++ {
+			out = prog.Run(target, e.TestID, plan)
+			if out.Failed != e.Failed || out.Crashed != e.Crashed || out.Hung != e.Hung {
+				ok = false
+			}
+		}
+		replayed++
+		verdict := "DIVERGED"
+		if ok {
+			reproduced++
+			verdict = "reproduced"
+		}
+		fmt.Printf("#%d cluster=%d %s\n  recorded failed=%v crashed=%v hung=%v — replay failed=%v crashed=%v hung=%v: %s\n",
+			e.Seq, e.Cluster, e.Scenario,
+			e.Failed, e.Crashed, e.Hung, out.Failed, out.Crashed, out.Hung, verdict)
+	}
+	if replayed == 0 {
+		fmt.Printf("journal %s records no failures; nothing to replay\n", path)
+		return nil
+	}
+	fmt.Printf("reproduced %d/%d recorded failure%s against %s\n",
+		reproduced, replayed, plural(replayed), targetName)
+	if reproduced < replayed {
+		return fmt.Errorf("%d recorded failure(s) did not reproduce", replayed-reproduced)
+	}
+	return nil
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
 }
 
 func cmdProfile(args []string) error {
@@ -225,24 +381,41 @@ func cmdServe(args []string) error {
 	callLo := fs.Int("call-lo", 1, "callNumber axis lower bound")
 	callHi := fs.Int("call-hi", 10, "callNumber axis upper bound")
 	shards := fs.Int("shards", 0, "partition the space into this many disjoint regions, one fitness search each (0/1 = unsharded)")
+	stateDir := fs.String("state-dir", "", "persist the coordinator's session here; a restarted serve continues the same session")
+	resume := fs.Bool("resume", false, "with --state-dir: restore the explorer's search state from the last snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *stateDir == "" {
+		return fmt.Errorf("--resume requires --state-dir")
 	}
 	target, err := afex.Target(*targetName)
 	if err != nil {
 		return err
 	}
 	space := afex.SpaceFor(target, *nFuncs, *callLo, *callHi)
-	coord := afex.NewShardedCoordinator(space, afex.ExploreOptions{Seed: *seed}, *iterations, *shards)
-	coord.SetTargetName(target.Name)
+	var coord *afex.Coordinator
+	cleanup := func() error { return nil }
+	if *stateDir != "" {
+		coord, cleanup, err = afex.NewPersistentCoordinator(target.Name, space,
+			afex.ExploreOptions{Seed: *seed}, *iterations, *shards, *stateDir, *resume)
+		if err != nil {
+			return err
+		}
+	} else {
+		coord = afex.NewShardedCoordinator(space, afex.ExploreOptions{Seed: *seed}, *iterations, *shards)
+		coord.SetTargetName(target.Name)
+	}
 	srv, err := afex.ServeCoordinator(*addr, coord)
 	if err != nil {
+		cleanup()
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("coordinator serving %s exploration on %s (budget %d tests)\n", target.Name, srv.Addr(), *iterations)
 	fmt.Println("press Ctrl-C to stop; stats are printed when the budget is reached")
-	// Poll until the budget is consumed.
+	// Poll until the budget is consumed (a restored session counts its
+	// prior runs' tests toward the budget).
 	for {
 		time.Sleep(200 * time.Millisecond)
 		st := coord.Snapshot()
@@ -254,7 +427,14 @@ func cmdServe(args []string) error {
 			}
 			// The distributed session runs on the same engine as a local
 			// one, so the full synopsis is available here too.
-			fmt.Print(coord.Result().Report(10))
+			res := coord.Result()
+			fmt.Print(res.Report(10))
+			if err := cleanup(); err != nil {
+				return fmt.Errorf("state store: %w", err)
+			}
+			if res.Failed > 0 {
+				return fmt.Errorf("%d failures in %d clusters: %w", res.Failed, res.UniqueFailures, errFailuresFound)
+			}
 			return nil
 		}
 	}

@@ -1,27 +1,45 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"afex"
 )
+
+// readJournalEntries loads a state directory's journal.
+func readJournalEntries(dir string) ([]afex.JournalEntry, error) {
+	return afex.ReplayJournal(dir)
+}
 
 // The command functions are exercised directly; they print to stdout,
 // which the test harness captures.
 
+// noFailures strips the CI-gating sentinel: explorations that find
+// failures return errFailuresFound (exit status 3), which for these
+// tests means success.
+func noFailures(err error) error {
+	if errors.Is(err, errFailuresFound) {
+		return nil
+	}
+	return err
+}
+
 func TestCmdExplore(t *testing.T) {
-	if err := cmdExplore([]string{
+	if err := noFailures(cmdExplore([]string{
 		"--target", "coreutils", "--iterations", "40", "--call-lo", "0", "--call-hi", "2",
-	}); err != nil {
+	})); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdExploreWritesOutputTree(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "results")
-	if err := cmdExplore([]string{
+	if err := noFailures(cmdExplore([]string{
 		"--target", "httpd", "--iterations", "60", "--out", dir,
-	}); err != nil {
+	})); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "report.txt")); err != nil {
@@ -33,14 +51,14 @@ func TestCmdExploreWritesOutputTree(t *testing.T) {
 }
 
 func TestCmdExplorePairsAndErrno(t *testing.T) {
-	if err := cmdExplore([]string{
+	if err := noFailures(cmdExplore([]string{
 		"--target", "coreutils", "--iterations", "30", "--pairs", "--funcs", "4", "--call-hi", "2",
-	}); err != nil {
+	})); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdExplore([]string{
+	if err := noFailures(cmdExplore([]string{
 		"--target", "coreutils", "--iterations", "30", "--errno-axis",
-	}); err != nil {
+	})); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -48,11 +66,64 @@ func TestCmdExplorePairsAndErrno(t *testing.T) {
 func TestCmdExploreSharded(t *testing.T) {
 	// A huge lazy pair space explored sharded: construction must be
 	// instant and the session must complete its budget.
-	if err := cmdExplore([]string{
+	if err := noFailures(cmdExplore([]string{
 		"--target", "coreutils", "--iterations", "40", "--pairs",
 		"--funcs", "4", "--call-hi", "100000", "--shards", "4", "--workers", "2",
-	}); err != nil {
+	})); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCmdExploreFailuresExitStatus: a session that finds failures must
+// surface the distinct CI-gating sentinel.
+func TestCmdExploreFailuresExitStatus(t *testing.T) {
+	err := cmdExplore([]string{"--target", "mysqld", "--iterations", "150"})
+	if !errors.Is(err, errFailuresFound) {
+		t.Fatalf("mysqld exploration should report errFailuresFound, got %v", err)
+	}
+}
+
+// TestCmdExploreStateDirAndReplay: the full CLI persistence loop — two
+// runs sharing a state dir spend their budgets on disjoint scenarios,
+// a --resume run continues the session, and `afex replay <dir>`
+// reproduces the recorded failures.
+func TestCmdExploreStateDirAndReplay(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	base := []string{"--target", "mysqld", "--call-hi", "6", "--state-dir", dir}
+	if err := noFailures(cmdExplore(append(base, "--iterations", "60"))); err != nil {
+		t.Fatal(err)
+	}
+	// Second run: budget is cumulative, search continues via --resume.
+	if err := noFailures(cmdExplore(append(base, "--iterations", "120", "--resume"))); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readJournalEntries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 120 {
+		t.Fatalf("cumulative session journaled %d scenarios, want 120", len(entries))
+	}
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if seen[e.Key()] {
+			t.Fatalf("scenario %s executed twice across runs", e.Key())
+		}
+		seen[e.Key()] = true
+	}
+	// Journal replay must reproduce the recorded failures (the program
+	// models are deterministic).
+	if err := cmdReplay([]string{dir}); err != nil {
+		t.Fatalf("replay did not reproduce recorded failures: %v", err)
+	}
+	// Space mismatch must be refused, not silently merged.
+	if err := cmdExplore(append(base, "--iterations", "10", "--call-hi", "99")); err == nil {
+		t.Fatal("state dir accepted a run against a different space")
+	}
+	// --resume with no --state-dir is a usage error, not a silent
+	// fresh session.
+	if err := cmdExplore([]string{"--target", "mysqld", "--resume"}); err == nil {
+		t.Fatal("--resume without --state-dir accepted")
 	}
 }
 

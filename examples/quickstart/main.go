@@ -6,14 +6,24 @@
 //  1. pick a system under test,
 //  2. derive its fault space by profiling (the ltrace methodology of §7),
 //  3. explore with a budget of 250 tests,
-//  4. read the ranked, clustered results.
+//  4. read the ranked, clustered results,
+//  5. make the session persistent (StateDir), so later runs skip every
+//     scenario this one executed and a killed run resumes where it
+//     stopped.
 //
 // Run with: go run ./examples/quickstart
+//
+// The equivalent CLI session:
+//
+//	afex explore --target coreutils --state-dir ./state --iterations 250 --progress 5s
+//	afex explore --target coreutils --state-dir ./state --iterations 500 --resume
+//	afex replay  ./state   # re-execute the recorded failures
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"afex"
 )
@@ -56,6 +66,42 @@ func main() {
 	}
 	fmt.Printf("\nfitness-guided found %d failure-inducing faults; random found %d (%.1fx)\n",
 		res.Failed, rnd.Failed, float64(res.Failed)/float64(max(1, rnd.Failed)))
+
+	// Persistence: the same exploration against a state directory. Two
+	// runs sharing the directory form one cumulative session — the
+	// second run's budget is spent exclusively on scenarios the first
+	// never executed (its journal feeds a novelty filter), and a killed
+	// run resumes with Resume: true.
+	stateDir, err := os.MkdirTemp("", "afex-quickstart-state")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+
+	persistent := afex.Options{
+		Target:     target,
+		Space:      space,
+		Algorithm:  afex.FitnessGuided,
+		Iterations: 250,
+		StateDir:   stateDir,
+		Explore:    afex.ExploreOptions{Seed: 42},
+	}
+	if _, err := afex.Explore(persistent); err != nil {
+		log.Fatal(err)
+	}
+	persistent.Iterations = 500 // whole-session budget: 250 more tests
+	persistent.Resume = true    // continue the search where run 1 stopped
+	cum, err := afex.Explore(persistent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, err := afex.ReplayJournal(stateDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npersistent session: %d tests journaled across 2 runs, %d unique failure clusters\n",
+		len(entries), cum.UniqueFailures)
+	fmt.Printf("reproduce them any time with: afex replay %s\n", stateDir)
 }
 
 func max(a, b int) int {

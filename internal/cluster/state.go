@@ -1,0 +1,88 @@
+package cluster
+
+// Set serialization for the persistent exploration store: a snapshot of
+// a Set's clusters and similarity memory that rebuilds byte-for-byte
+// equivalent behaviour without re-running the clustering over every
+// stack. Cluster indices, representatives and member ids are preserved
+// exactly; the exact-match and length-bucket indexes are derived state
+// and are rebuilt on import.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SetState is a serializable snapshot of a Set.
+type SetState struct {
+	Threshold int `json:"threshold"`
+	// Clusters preserves cluster order (indices are cluster ids, recorded
+	// in session records).
+	Clusters []ClusterState `json:"clusters"`
+	// Stacks is every remembered stack occurrence — the MaxSimilarity
+	// memory. Occurrence multiplicity matters (an exact re-trigger must
+	// still answer similarity 1), order does not; stacks are sorted for
+	// stable snapshot bytes.
+	Stacks [][]string `json:"stacks"`
+}
+
+// ClusterState is one serialized redundancy cluster.
+type ClusterState struct {
+	Representative []string `json:"rep"`
+	Members        []int    `json:"members"`
+}
+
+// ExportState snapshots the set.
+func (s *Set) ExportState() *SetState {
+	st := &SetState{Threshold: s.Threshold}
+	st.Clusters = make([]ClusterState, len(s.clusters))
+	for i, c := range s.clusters {
+		st.Clusters[i] = ClusterState{
+			Representative: append([]string(nil), c.Representative...),
+			Members:        append([]int(nil), c.Members...),
+		}
+	}
+	for _, b := range s.allByLen {
+		for _, stacks := range b.byFirst {
+			for _, stack := range stacks {
+				st.Stacks = append(st.Stacks, append([]string(nil), stack...))
+			}
+		}
+	}
+	sort.Slice(st.Stacks, func(i, j int) bool {
+		return stackKey(st.Stacks[i]) < stackKey(st.Stacks[j])
+	})
+	return st
+}
+
+// NewSetFromState rebuilds a Set from a snapshot. The result clusters
+// and scores future stacks exactly as the exporting Set would have. A
+// nil state is an error, not an empty set — a snapshot missing its
+// cluster sets must make the caller fall back to journal replay rather
+// than silently losing the clusters.
+func NewSetFromState(st *SetState) (*Set, error) {
+	if st == nil {
+		return nil, fmt.Errorf("cluster: nil set snapshot")
+	}
+	s := NewSet(st.Threshold)
+	s.init()
+	for i, c := range st.Clusters {
+		if len(c.Members) == 0 {
+			return nil, fmt.Errorf("cluster: snapshot cluster %d has no members", i)
+		}
+		rep := append([]string(nil), c.Representative...)
+		key := stackKey(rep)
+		if _, dup := s.repByKey[key]; dup {
+			return nil, fmt.Errorf("cluster: snapshot has duplicate representative at cluster %d", i)
+		}
+		s.clusters = append(s.clusters, Cluster{
+			Representative: rep,
+			Members:        append([]int(nil), c.Members...),
+		})
+		s.repByKey[key] = i
+		s.repsByLen[len(rep)] = append(s.repsByLen[len(rep)], i)
+	}
+	for _, stack := range st.Stacks {
+		s.remember(stackKey(stack), stack)
+	}
+	return s, nil
+}

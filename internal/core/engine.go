@@ -8,6 +8,7 @@ import (
 	"afex/internal/cluster"
 	"afex/internal/dsl"
 	"afex/internal/explore"
+	"afex/internal/faultspace"
 	"afex/internal/inject"
 	"afex/internal/prog"
 )
@@ -15,6 +16,16 @@ import (
 // DefaultBatch is the number of candidates a worker leases per lock
 // acquisition when Config.Batch is unset and the session runs parallel.
 const DefaultBatch = 8
+
+// DefaultSnapshotEvery is the floor on the number of folded tests
+// between periodic session snapshots when Config.SnapshotEvery is unset
+// and a Store is attached; the defaulted interval then grows with
+// session size (Executed/8), since snapshots cost O(session) to
+// assemble. The cadence trades resume fidelity (post-snapshot records
+// replay from the journal with stale explorer randomness) against
+// fold-path overhead. An explicit Config.SnapshotEvery is honored
+// exactly.
+const DefaultSnapshotEvery = 256
 
 // Executor runs leased candidates against the system under test. It is
 // the deployment seam of the engine: the local implementation converts
@@ -42,6 +53,9 @@ type Engine struct {
 	cfg      Config
 	explorer explore.Explorer
 	plugin   inject.Plugin
+	// shardOf labels records with their owning shard in sharded
+	// sessions (nil otherwise).
+	shardOf func(faultspace.Point) int
 	// axisNames caches each subspace's axis names for the slice-based
 	// scenario path (no per-candidate map on the execution hot path).
 	axisNames [][]string
@@ -61,6 +75,14 @@ type Engine struct {
 	deadline      time.Time
 	start         time.Time
 	finished      bool
+	// prevElapsed accumulates wall clock from prior runs of a restored
+	// session; sinceSnap counts folds since the last periodic snapshot.
+	// adaptiveSnap (set when SnapshotEvery was defaulted) grows the
+	// snapshot interval with session size, keeping O(session) snapshot
+	// assembly amortized O(1) per fold.
+	prevElapsed  time.Duration
+	sinceSnap    int
+	adaptiveSnap bool
 }
 
 // NewEngine validates cfg and builds an engine. ex overrides the
@@ -108,9 +130,12 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 	if cfg.Batch <= 0 {
 		cfg.Batch = DefaultBatch
 	}
+	adaptiveSnap := cfg.SnapshotEvery <= 0
+	if adaptiveSnap {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
 	e := &Engine{
 		cfg:           cfg,
-		explorer:      ex,
 		covered:       make(map[int]struct{}),
 		recovered:     make(map[int]struct{}),
 		allStacks:     cluster.NewSet(cfg.ClusterThreshold),
@@ -132,6 +157,29 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 			e.axisNames[i] = dsl.AxisNames(cfg.Space, i)
 		}
 	}
+	// Persistence: rebuild session state from a recovered journal +
+	// snapshot, then put the cross-run novelty filter in front of the
+	// explorer so no journaled scenario key is ever executed twice.
+	if cfg.Restore != nil {
+		if err := e.applyRestore(cfg.Restore); err != nil {
+			return nil, err
+		}
+		var err error
+		if ex, err = restoreExplorer(ex, cfg.Restore); err != nil {
+			return nil, err
+		}
+	}
+	// Shard labels exist for the journal; the per-fold geometry lookup
+	// (O(shards), under the session lock) is only paid when a store is
+	// attached.
+	if sh, ok := ex.(*explore.Sharded); ok && cfg.Store != nil {
+		e.shardOf = sh.ShardOf
+	}
+	if len(cfg.Seen) > 0 {
+		ex = explore.NewNovel(ex, cfg.Seen)
+	}
+	e.explorer = ex
+	e.adaptiveSnap = adaptiveSnap
 	e.start = time.Now()
 	if cfg.TimeBudget > 0 {
 		e.deadline = e.start.Add(cfg.TimeBudget)
@@ -206,6 +254,12 @@ type ExecutedTest struct {
 // discarded, even when a Stop condition or the deadline fires mid-batch
 // (stopping only prevents further leases). It returns true when the
 // session should stop.
+//
+// When a Store is attached, each completed record is handed to it in
+// fold order (folds may come from concurrent RPC goroutines, so the
+// session lock is what provides that order). Store implementations only
+// enqueue here — journal encoding and file IO happen on the store's
+// background writer, never on the fold path.
 func (e *Engine) FoldBatch(batch []ExecutedTest) bool {
 	if len(batch) == 0 {
 		return false
@@ -221,6 +275,28 @@ func (e *Engine) FoldBatch(batch []ExecutedTest) bool {
 		stop = stop || stopped
 	}
 	explore.ReportBatch(e.explorer, feedback)
+	if e.cfg.Store != nil {
+		// The completed records are the last len(batch) folds, in order.
+		recs := e.res.Records[len(e.res.Records)-len(batch):]
+		for i := range recs {
+			e.cfg.Store.JournalRecord(batch[i].C, recs[i])
+		}
+		e.sinceSnap += len(batch)
+		// Snapshot assembly is O(session) under the lock, so with the
+		// default cadence the interval scales with session size
+		// (amortized O(1) per fold); an explicit SnapshotEvery is
+		// honored exactly — tests pin it to control resume fidelity.
+		threshold := e.cfg.SnapshotEvery
+		if e.adaptiveSnap {
+			if t := e.res.Executed / 8; t > threshold {
+				threshold = t
+			}
+		}
+		if e.sinceSnap >= threshold {
+			e.sinceSnap = 0
+			e.cfg.Store.SnapshotSession(e.sessionStateLocked())
+		}
+	}
 	return stop
 }
 
@@ -232,6 +308,10 @@ func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcom
 	rec.ID = e.res.Executed
 	rec.Outcome = outcome
 	rec.Cluster = -1
+	rec.Shard = -1
+	if e.shardOf != nil {
+		rec.Shard = e.shardOf(c.Point)
+	}
 
 	// Coverage accounting: count blocks first covered by this run.
 	for b := range outcome.Blocks {
@@ -332,28 +412,34 @@ func (e *Engine) snapshotLocked() Snapshot {
 		cov = float64(len(e.covered)) / float64(e.cfg.Target.NumBlocks)
 	}
 	return Snapshot{
-		Executed:    e.res.Executed,
-		Injected:    e.res.Injected,
-		Failed:      e.res.Failed,
-		Crashed:     e.res.Crashed,
-		Hung:        e.res.Hung,
-		NewCrashIDs: len(e.res.CrashIDs),
-		Coverage:    cov,
+		Executed:       e.res.Executed,
+		Injected:       e.res.Injected,
+		Failed:         e.res.Failed,
+		Crashed:        e.res.Crashed,
+		Hung:           e.res.Hung,
+		NewCrashIDs:    len(e.res.CrashIDs),
+		UniqueFailures: e.failClusters.Len(),
+		Pending:        e.pending,
+		Coverage:       cov,
 	}
 }
 
 // Finish seals and returns the result set: elapsed time, final
 // sensitivities, unique-cluster counts and coverage fractions. It is
-// idempotent; the first call fixes Elapsed.
+// idempotent; the first call fixes Elapsed and, when a Store is
+// attached, emits the final session snapshot.
 func (e *Engine) Finish() *ResultSet {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.finished {
+	first := !e.finished
+	if first {
 		e.finished = true
-		e.res.Elapsed = time.Since(e.start)
+		e.res.Elapsed = e.prevElapsed + time.Since(e.start)
 	}
-	if fg, ok := e.explorer.(*explore.FitnessGuided); ok && e.cfg.Space != nil && len(e.cfg.Space.Spaces) > 0 {
-		e.res.Sensitivities = fg.Sensitivities(0)
+	if s, ok := e.explorer.(explore.Sensitive); ok && e.cfg.Space != nil && len(e.cfg.Space.Spaces) > 0 {
+		if sens := s.Sensitivities(0); sens != nil {
+			e.res.Sensitivities = sens
+		}
 	}
 	e.res.UniqueFailures = e.failClusters.Len()
 	e.res.UniqueCrashes = e.crashClusters.Len()
@@ -365,6 +451,9 @@ func (e *Engine) Finish() *ResultSet {
 	}
 	e.res.failClusters = e.failClusters
 	e.res.crashClusters = e.crashClusters
+	if first && e.cfg.Store != nil {
+		e.cfg.Store.SnapshotSession(e.sessionStateLocked())
+	}
 	return e.res
 }
 

@@ -1,0 +1,208 @@
+package core
+
+// The engine's persistence seam. The engine itself never touches the
+// filesystem: a Store implementation (internal/store) receives every
+// folded record for the append-only journal and periodic SessionState
+// snapshots for crash recovery, and a Restore (built by the store from a
+// prior journal + snapshot) is applied by NewEngine so a session
+// continues exactly where the previous process stopped.
+//
+// Ordering contract: JournalRecord and SnapshotSession are called under
+// the session lock, in fold order (folds can arrive from concurrent RPC
+// goroutines; the lock is what serializes them). A SnapshotSession(st)
+// call is made only after every record with ID < st.Seq has been passed
+// to JournalRecord, so a store that writes in call order can guarantee
+// snapshot.Seq never runs ahead of the journal. Because these callbacks
+// extend the fold critical section, implementations must only enqueue —
+// internal/store pushes onto an unbounded in-memory queue and does all
+// JSON encoding and file IO on a background writer goroutine.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"afex/internal/cluster"
+	"afex/internal/explore"
+)
+
+// Store receives the engine's durable output. The engine serializes
+// calls (they happen under the session lock), so implementations need no
+// locking of their own beyond protecting their queue; they must never
+// block on IO.
+type Store interface {
+	// JournalRecord is called once per folded test with the completed
+	// record and the candidate that produced it (the candidate carries
+	// mutation provenance the record does not).
+	JournalRecord(c explore.Candidate, rec Record)
+	// SnapshotSession is called every Config.SnapshotEvery folds and on
+	// Finish with a consistent snapshot of the resumable session state.
+	SnapshotSession(st *SessionState)
+}
+
+// SessionState is the compact snapshot complementing the journal: the
+// parts of a session that would otherwise need replaying every executed
+// record to rebuild (explorer fitness state, redundancy clusters,
+// similarity memory) plus coverage counters for inspection. Records
+// themselves live in the journal only.
+type SessionState struct {
+	// Seq is the number of records folded (and journaled) when the
+	// snapshot was taken; everything the snapshot describes is a pure
+	// function of journal entries [0, Seq).
+	Seq int `json:"seq"`
+	// Elapsed is the cumulative session wall clock across runs.
+	Elapsed time.Duration `json:"elapsed"`
+	// Covered and Recovered are the covered basic blocks (all, and
+	// recovery-code ones), sorted.
+	Covered   []int `json:"covered,omitempty"`
+	Recovered []int `json:"recovered,omitempty"`
+	// Explorer is the search state, when the session's explorer supports
+	// export (fitness-guided and sharded do; the baselines are
+	// stateless and resume via the novelty filter alone).
+	Explorer *explore.State `json:"explorer,omitempty"`
+	// AllStacks is the §7.4 similarity memory; FailClusters and
+	// CrashClusters the redundancy clusters.
+	AllStacks     *cluster.SetState `json:"allStacks,omitempty"`
+	FailClusters  *cluster.SetState `json:"failClusters,omitempty"`
+	CrashClusters *cluster.SetState `json:"crashClusters,omitempty"`
+}
+
+// Restore is a recovered session handed to NewEngine via
+// Config.Restore: the journaled records (always), the latest snapshot
+// (when one was written), and the feedback for records the snapshot does
+// not cover yet.
+type Restore struct {
+	// State is the most recent snapshot, or nil when the session crashed
+	// before writing one — everything is then rebuilt from Records.
+	State *SessionState
+	// Records are the journaled records in execution order; their IDs
+	// must equal their indices.
+	Records []Record
+	// Tail is the explorer feedback for Records[State.Seq:] (all records
+	// when State is nil), replayed into the explorer so executed points
+	// enter its history even though the snapshot predates them.
+	Tail []explore.Feedback
+	// Elapsed is the prior runs' cumulative wall clock.
+	Elapsed time.Duration
+}
+
+// applyRestore rebuilds the engine's session state from a recovered
+// journal + snapshot. Counters and coverage are recomputed from the
+// records (the journal is the single source of truth); cluster sets come
+// from the snapshot with the tail re-added, or are rebuilt wholesale
+// when no snapshot exists. Called from NewEngine before any lease, so no
+// locking.
+func (e *Engine) applyRestore(r *Restore) error {
+	for i := range r.Records {
+		if r.Records[i].ID != i {
+			return fmt.Errorf("core: restore record %d has ID %d (journal out of order)", i, r.Records[i].ID)
+		}
+	}
+	seq := 0
+	if r.State != nil {
+		seq = r.State.Seq
+		if seq > len(r.Records) {
+			return fmt.Errorf("core: snapshot covers %d records but journal has %d", seq, len(r.Records))
+		}
+		var err error
+		if e.allStacks, err = cluster.NewSetFromState(r.State.AllStacks); err != nil {
+			return fmt.Errorf("core: restore similarity memory: %w", err)
+		}
+		if e.failClusters, err = cluster.NewSetFromState(r.State.FailClusters); err != nil {
+			return fmt.Errorf("core: restore failure clusters: %w", err)
+		}
+		if e.crashClusters, err = cluster.NewSetFromState(r.State.CrashClusters); err != nil {
+			return fmt.Errorf("core: restore crash clusters: %w", err)
+		}
+	}
+
+	e.res.Records = append([]Record(nil), r.Records...)
+	e.res.Executed = len(r.Records)
+	for i := range e.res.Records {
+		rec := &e.res.Records[i]
+		out := rec.Outcome
+		if rec.Skipped {
+			e.res.Holes++
+		}
+		if out.Injected {
+			e.res.Injected++
+		}
+		if out.Injected && out.Failed {
+			e.res.Failed++
+			if out.Crashed {
+				e.res.Crashed++
+				if out.CrashID != "" {
+					e.res.CrashIDs[out.CrashID]++
+				}
+			}
+			if out.Hung {
+				e.res.Hung++
+			}
+		}
+		for b := range out.Blocks {
+			e.covered[b] = struct{}{}
+			if _, isRec := e.recoverySet[b]; isRec {
+				e.recovered[b] = struct{}{}
+			}
+		}
+		// The snapshot's cluster sets cover records [0, seq); re-add the
+		// tail in fold order, which reproduces the live clustering
+		// exactly (Add is deterministic in insertion order).
+		if i >= seq && out.Injected {
+			e.allStacks.Add(rec.ID, out.InjectionStack)
+			if out.Failed {
+				e.failClusters.Add(rec.ID, out.InjectionStack)
+				if out.Crashed {
+					e.crashClusters.Add(rec.ID, out.InjectionStack)
+				}
+			}
+		}
+	}
+	e.prevElapsed = r.Elapsed
+	return nil
+}
+
+// restoreExplorer imports the snapshot's search state into ex and
+// replays the tail feedback, returning the explorer to use. It must run
+// before the novelty filter wraps ex.
+func restoreExplorer(ex explore.Explorer, r *Restore) (explore.Explorer, error) {
+	if r.State != nil && r.State.Explorer != nil {
+		se, ok := ex.(explore.StatefulExplorer)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot has %q explorer state but the session's explorer cannot import state",
+				r.State.Explorer.Algorithm)
+		}
+		if err := se.ImportState(r.State.Explorer); err != nil {
+			return nil, fmt.Errorf("core: restore explorer: %w", err)
+		}
+	}
+	explore.ReportBatch(ex, r.Tail)
+	return ex, nil
+}
+
+// sessionStateLocked builds a consistent snapshot; callers hold e.mu and
+// hand the result to the store after unlocking.
+func (e *Engine) sessionStateLocked() *SessionState {
+	st := &SessionState{
+		Seq:           e.res.Executed,
+		Elapsed:       e.prevElapsed + time.Since(e.start),
+		Covered:       sortedKeys(e.covered),
+		Recovered:     sortedKeys(e.recovered),
+		AllStacks:     e.allStacks.ExportState(),
+		FailClusters:  e.failClusters.ExportState(),
+		CrashClusters: e.crashClusters.ExportState(),
+	}
+	if se, ok := e.explorer.(explore.StatefulExplorer); ok {
+		st.Explorer = se.ExportState()
+	}
+	return st
+}
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -102,6 +102,43 @@ type Config struct {
 	// targets over record contents, e.g. "stop once these exact faults
 	// have been executed".
 	Observe func(Record)
+
+	// Persistence (see persist.go and internal/store). StateDir and
+	// Resume are declarative knobs consumed by the afex entry points
+	// (afex.NewSession / afex.Explore, cmd/afex): they open the store
+	// and fill Store, Seen and Restore below. Engines built directly
+	// through core.NewEngine use those three seams and ignore
+	// StateDir/Resume.
+
+	// StateDir, when non-empty, persists the session under this
+	// directory: an append-only journal of every executed scenario plus
+	// periodic snapshots. Runs sharing a StateDir form one cumulative
+	// session — scenario keys journaled by earlier runs are never
+	// executed again.
+	StateDir string
+	// Resume additionally restores the explorer's search state from the
+	// StateDir snapshot, so fitness-guided exploration continues where
+	// the previous run stopped instead of restarting its search (the
+	// journal-backed novelty filter applies either way).
+	Resume bool
+	// StateStamp is the run's timestamp-from-config recorded in the
+	// store's metadata (journal entries carry only their run index, so
+	// deterministic sessions produce deterministic journal bytes). Empty
+	// selects the current wall clock.
+	StateStamp string
+
+	// Store receives every folded record and periodic session
+	// snapshots.
+	Store Store
+	// Seen holds scenario keys executed by prior runs; the engine wraps
+	// the explorer in a novelty filter that never hands them out again.
+	Seen map[string]bool
+	// Restore, if non-nil, rebuilds the session (records, counters,
+	// clusters, explorer state) before the first lease.
+	Restore *Restore
+	// SnapshotEvery is the number of folds between periodic snapshots
+	// when a Store is attached (default DefaultSnapshotEvery).
+	SnapshotEvery int
 }
 
 // Snapshot is the running tally handed to Stop conditions and progress
@@ -113,7 +150,13 @@ type Snapshot struct {
 	Crashed     int
 	Hung        int
 	NewCrashIDs int
-	Coverage    float64
+	// UniqueFailures is the current number of failure redundancy
+	// clusters.
+	UniqueFailures int
+	// Pending counts candidates leased but not yet folded back — the
+	// outstanding work of in-flight workers or remote managers.
+	Pending  int
+	Coverage float64
 }
 
 // Record is one executed fault-injection test.
@@ -144,6 +187,9 @@ type Record struct {
 	// Cluster is the redundancy cluster id among failure-inducing
 	// records, or -1.
 	Cluster int
+	// Shard is the index of the shard that generated the candidate in a
+	// sharded session, or -1.
+	Shard int
 	// Relevance is the fault's probability of occurring in the modelled
 	// environment (§5 "Practical Relevance"), when the session has a
 	// relevance model; 0 otherwise.

@@ -38,8 +38,9 @@ type pendingLease struct {
 // shardSearch is one shard's independent search plus the coordinate
 // translation onto the parent space.
 type shardSearch struct {
-	ex   *FitnessGuided
-	done bool
+	ex    *FitnessGuided
+	space *faultspace.Union
+	done  bool
 	// axis[sub] is the index of the sliced axis in subspace sub (-1 when
 	// the shard covers the whole subspace); off[sub] is the index offset
 	// of the slice within the parent's axis.
@@ -64,9 +65,10 @@ func NewSharded(space *faultspace.Union, n int, cfg Config) *Sharded {
 		// session keeps the base seed, matching the unsharded explorer.
 		sub.Seed = cfg.Seed + int64(i)*1_000_003
 		st := &shardSearch{
-			ex:   NewFitnessGuided(su, sub),
-			axis: make([]int, len(su.Spaces)),
-			off:  make([]int, len(su.Spaces)),
+			ex:    NewFitnessGuided(su, sub),
+			space: su,
+			axis:  make([]int, len(su.Spaces)),
+			off:   make([]int, len(su.Spaces)),
 		}
 		for j, sp := range su.Spaces {
 			st.axis[j] = -1
@@ -146,16 +148,76 @@ func (s *Sharded) BatchNext(n int) []Candidate {
 	return out
 }
 
+// toLocal translates a parent-coordinate point into the shard's local
+// coordinates, reporting whether the shard owns it.
+func (st *shardSearch) toLocal(p faultspace.Point) (faultspace.Point, bool) {
+	if p.Sub < 0 || p.Sub >= len(st.axis) {
+		return faultspace.Point{}, false
+	}
+	f := p.Fault
+	if k := st.axis[p.Sub]; k >= 0 {
+		if k >= len(f) {
+			return faultspace.Point{}, false
+		}
+		g := f.Clone()
+		g[k] -= st.off[p.Sub]
+		f = g
+	}
+	if !st.space.Spaces[p.Sub].Contains(f) {
+		return faultspace.Point{}, false
+	}
+	return faultspace.Point{Sub: p.Sub, Fault: f}, true
+}
+
+// locate finds the shard owning a parent-coordinate point. Shards
+// partition the space, so at most one shard claims any point.
+func (s *Sharded) locate(p faultspace.Point) (int, faultspace.Point, bool) {
+	for i, st := range s.shards {
+		if local, ok := st.toLocal(p); ok {
+			return i, local, true
+		}
+	}
+	return 0, faultspace.Point{}, false
+}
+
+// ShardOf returns the index of the shard owning the parent-coordinate
+// point p, or -1 when no shard contains it. Sessions use it to label
+// records with their shard for the persistent journal.
+func (s *Sharded) ShardOf(p faultspace.Point) int {
+	if i, _, ok := s.locate(p); ok {
+		return i
+	}
+	return -1
+}
+
+// route resolves a reported candidate to its owning shard and
+// shard-local candidate: through the inflight table for leases this
+// explorer handed out, or by shard geometry for externally sourced
+// feedback — a persisted journal replayed on resume, or a novelty filter
+// marking a prior run's scenario as executed. Geometry-routed candidates
+// keep their mutation provenance: Shard slices axes without reordering
+// them, so a parent-space MutatedAxis indexes the same axis in the
+// shard-local space, and replayed tail feedback updates the same
+// sensitivity window a live fold would have.
+func (s *Sharded) route(c Candidate) (int, Candidate, bool) {
+	key := c.Point.Key()
+	if p, ok := s.inflight[key]; ok {
+		delete(s.inflight, key)
+		return p.shard, p.local, true
+	}
+	if i, local, ok := s.locate(c.Point); ok {
+		c.Point = local
+		return i, c, true
+	}
+	return 0, Candidate{}, false
+}
+
 // Report implements Explorer: feedback is routed to the shard that
 // generated the candidate, in that shard's local coordinates.
 func (s *Sharded) Report(c Candidate, impact, fitness float64) {
-	key := c.Point.Key()
-	p, ok := s.inflight[key]
-	if !ok {
-		return
+	if shard, local, ok := s.route(c); ok {
+		s.shards[shard].ex.Report(local, impact, fitness)
 	}
-	delete(s.inflight, key)
-	s.shards[p.shard].ex.Report(p.local, impact, fitness)
 }
 
 // ReportBatch implements BatchReporter: the batch is split by owning
@@ -168,14 +230,12 @@ func (s *Sharded) ReportBatch(batch []Feedback) {
 	}
 	perShard := make([][]Feedback, len(s.shards))
 	for _, fb := range batch {
-		key := fb.C.Point.Key()
-		p, ok := s.inflight[key]
+		shard, local, ok := s.route(fb.C)
 		if !ok {
 			continue
 		}
-		delete(s.inflight, key)
-		fb.C = p.local
-		perShard[p.shard] = append(perShard[p.shard], fb)
+		fb.C = local
+		perShard[shard] = append(perShard[shard], fb)
 	}
 	for i, st := range s.shards {
 		if len(perShard[i]) > 0 {

@@ -1,0 +1,329 @@
+package explore
+
+// Explorer state serialization. A persistent exploration session (see
+// internal/store) snapshots the explorer so a later process resumes the
+// search where it stopped: the priority pool, per-axis sensitivity
+// windows, History, and the exact RNG stream position all round-trip, so
+// a resumed sequential session generates the same candidates an
+// uninterrupted one would have.
+//
+// What is deliberately NOT exported is the queued set (candidates leased
+// but never folded back): a crash loses their outcomes, so they must be
+// regenerable, and dropping them from the state is exactly what lets the
+// resumed search lease them again.
+
+import (
+	"fmt"
+	"sort"
+
+	"afex/internal/faultspace"
+	"afex/internal/xrand"
+)
+
+// StatefulExplorer is implemented by explorers whose search state can be
+// exported for persistence and imported into a freshly constructed
+// explorer over the same space.
+type StatefulExplorer interface {
+	Explorer
+	// ExportState returns a serializable snapshot of the search state.
+	ExportState() *State
+	// ImportState replaces the explorer's state with a previously
+	// exported snapshot. The explorer must have been constructed over
+	// the same fault space (and, for sharded explorers, the same shard
+	// count) as the exporter; mismatches return an error.
+	ImportState(*State) error
+}
+
+// Sensitive is implemented by explorers that expose the normalized
+// per-axis sensitivity vector of a subspace (the §7.3 structure
+// analysis). The engine uses it to fill ResultSet.Sensitivities without
+// depending on a concrete explorer type.
+type Sensitive interface {
+	Sensitivities(sub int) []float64
+}
+
+// State is a serializable explorer snapshot. For the fitness-guided
+// explorer Searches has one entry; for the sharded explorer, one per
+// shard (in shard order) plus the round-robin cursor.
+type State struct {
+	// Algorithm names the exporting explorer ("fitness",
+	// "sharded-fitness"); imports verify it matches.
+	Algorithm string `json:"algorithm"`
+	// RR is the sharded explorer's round-robin cursor.
+	RR int `json:"rr,omitempty"`
+	// Searches holds one fitness-guided search state per shard.
+	Searches []SearchState `json:"searches"`
+}
+
+// SearchState is one fitness-guided search's serializable state.
+type SearchState struct {
+	// Rng pins the exact position in the random stream.
+	Rng xrand.State `json:"rng"`
+	// Pool is Qpriority in slice order (order matters: weighted
+	// selection and eviction walk it deterministically).
+	Pool []PoolEntry `json:"pool"`
+	// History holds every executed point key, sorted for stable bytes.
+	History []string `json:"history"`
+	// SeedsLeft counts remaining initial random seeds.
+	SeedsLeft int `json:"seedsLeft"`
+	// Executed is the number of tests reported back.
+	Executed int `json:"executed"`
+	// Sens is the per-subspace, per-axis sensitivity ring buffers.
+	Sens [][]WindowState `json:"sens"`
+}
+
+// PoolEntry is one serialized Qpriority member.
+type PoolEntry struct {
+	Sub     int     `json:"sub"`
+	Fault   []int   `json:"fault"`
+	Fitness float64 `json:"fitness"`
+	Impact  float64 `json:"impact"`
+}
+
+// WindowState is one serialized sensitivity ring buffer.
+type WindowState struct {
+	Vals []float64 `json:"vals"`
+	Next int       `json:"next"`
+}
+
+// ExportState implements StatefulExplorer.
+func (fg *FitnessGuided) ExportState() *State {
+	return &State{Algorithm: fg.Name(), Searches: []SearchState{fg.exportSearch()}}
+}
+
+// ImportState implements StatefulExplorer.
+func (fg *FitnessGuided) ImportState(st *State) error {
+	if st == nil || st.Algorithm != fg.Name() {
+		return fmt.Errorf("explore: state is %q, explorer is %q", stateAlg(st), fg.Name())
+	}
+	if len(st.Searches) != 1 {
+		return fmt.Errorf("explore: fitness state has %d searches, want 1", len(st.Searches))
+	}
+	return fg.importSearch(&st.Searches[0])
+}
+
+func stateAlg(st *State) string {
+	if st == nil {
+		return "<nil>"
+	}
+	return st.Algorithm
+}
+
+func (fg *FitnessGuided) exportSearch() SearchState {
+	st := SearchState{
+		Rng:       fg.rng.State(),
+		SeedsLeft: fg.seedsLeft,
+		Executed:  fg.executedN,
+	}
+	st.Pool = make([]PoolEntry, len(fg.pool))
+	for i, e := range fg.pool {
+		st.Pool[i] = PoolEntry{
+			Sub:     e.point.Sub,
+			Fault:   append([]int(nil), e.point.Fault...),
+			Fitness: e.fitness,
+			Impact:  e.impact,
+		}
+	}
+	st.History = make([]string, 0, len(fg.history))
+	for k := range fg.history {
+		st.History = append(st.History, k)
+	}
+	sort.Strings(st.History)
+	st.Sens = make([][]WindowState, len(fg.sens))
+	for i, ws := range fg.sens {
+		st.Sens[i] = make([]WindowState, len(ws))
+		for k, w := range ws {
+			st.Sens[i][k] = WindowState{Vals: append([]float64(nil), w.vals...), Next: w.next}
+		}
+	}
+	return st
+}
+
+func (fg *FitnessGuided) importSearch(st *SearchState) error {
+	if len(st.Sens) != len(fg.sens) {
+		return fmt.Errorf("explore: state has %d subspaces, space has %d", len(st.Sens), len(fg.sens))
+	}
+	for i := range st.Sens {
+		if len(st.Sens[i]) != len(fg.sens[i]) {
+			return fmt.Errorf("explore: state subspace %d has %d axes, space has %d", i, len(st.Sens[i]), len(fg.sens[i]))
+		}
+		for k := range st.Sens[i] {
+			w := &st.Sens[i][k]
+			if len(w.Vals) > fg.cfg.SensitivityWindow {
+				return fmt.Errorf("explore: state sensitivity window %d exceeds configured %d",
+					len(w.Vals), fg.cfg.SensitivityWindow)
+			}
+			// The ring cursor must index into Vals (or be 0 while the
+			// window is still filling); a corrupt cursor would panic on
+			// the first push after resume.
+			if w.Next < 0 || (w.Next != 0 && w.Next >= len(w.Vals)) {
+				return fmt.Errorf("explore: state sensitivity cursor %d out of range for window of %d", w.Next, len(w.Vals))
+			}
+		}
+	}
+	for _, pe := range st.Pool {
+		if pe.Sub < 0 || pe.Sub >= len(fg.space.Spaces) || !fg.space.Spaces[pe.Sub].Contains(faultspace.Fault(pe.Fault)) {
+			return fmt.Errorf("explore: pool entry %d:%v outside the space", pe.Sub, pe.Fault)
+		}
+	}
+
+	fg.rng = xrand.Restore(st.Rng)
+	fg.seedsLeft = st.SeedsLeft
+	fg.executedN = st.Executed
+	fg.pool = make([]*executed, len(st.Pool))
+	for i, pe := range st.Pool {
+		p := faultspace.Point{Sub: pe.Sub, Fault: append(faultspace.Fault(nil), pe.Fault...)}
+		fg.pool[i] = &executed{point: p, key: p.Key(), fitness: pe.Fitness, impact: pe.Impact}
+	}
+	fg.history = make(map[string]bool, len(st.History))
+	for _, k := range st.History {
+		fg.history[k] = true
+	}
+	fg.queued = make(map[string]bool)
+	fg.pending = nil
+	for i := range st.Sens {
+		for k := range st.Sens[i] {
+			w := newAxisWindow(fg.cfg.SensitivityWindow)
+			w.vals = append(w.vals, st.Sens[i][k].Vals...)
+			w.next = st.Sens[i][k].Next
+			for _, v := range w.vals {
+				w.sum += v
+			}
+			fg.sens[i][k] = w
+		}
+	}
+	return nil
+}
+
+// ExportState implements StatefulExplorer: one SearchState per shard
+// plus the round-robin cursor. Candidates in flight (leased, not folded)
+// are intentionally not part of the state — a crash loses their
+// outcomes, and omitting them lets the resumed search regenerate them.
+func (s *Sharded) ExportState() *State {
+	st := &State{Algorithm: s.Name(), RR: s.rr}
+	st.Searches = make([]SearchState, len(s.shards))
+	for i, sh := range s.shards {
+		st.Searches[i] = sh.ex.exportSearch()
+	}
+	return st
+}
+
+// ImportState implements StatefulExplorer. The explorer must have been
+// built over the same space with the same shard count.
+func (s *Sharded) ImportState(st *State) error {
+	if st == nil || st.Algorithm != s.Name() {
+		return fmt.Errorf("explore: state is %q, explorer is %q", stateAlg(st), s.Name())
+	}
+	if len(st.Searches) != len(s.shards) {
+		return fmt.Errorf("explore: state has %d shards, explorer has %d", len(st.Searches), len(s.shards))
+	}
+	for i, sh := range s.shards {
+		if err := sh.ex.importSearch(&st.Searches[i]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		sh.done = false
+	}
+	s.rr = st.RR
+	if len(s.shards) > 0 {
+		s.rr %= len(s.shards)
+	}
+	s.inflight = make(map[string]pendingLease)
+	return nil
+}
+
+// Novel filters an explorer through a set of already-executed scenario
+// keys — the cross-run novelty filter of the persistent store. Candidates
+// whose key was executed by a previous run are not handed out again;
+// instead they are reported back to the inner explorer with zero fitness
+// (the §7.4 feedback value of a scenario whose outcome is already known),
+// which also marks them executed so the inner search never regenerates
+// them. Every skip strictly grows the inner explorer's History, so
+// filtering terminates: Next returns false only when the inner explorer
+// is exhausted.
+type Novel struct {
+	inner Explorer
+	seen  map[string]bool
+}
+
+// NewNovel wraps inner with the seen-key filter. A nil or empty seen set
+// degenerates to the inner explorer's behaviour (the wrapper stays
+// transparent: Name, batching and state passthrough all delegate).
+func NewNovel(inner Explorer, seen map[string]bool) *Novel {
+	return &Novel{inner: inner, seen: seen}
+}
+
+// Name implements Named with the inner explorer's name.
+func (n *Novel) Name() string {
+	if nd, ok := n.inner.(Named); ok {
+		return nd.Name()
+	}
+	return "novel"
+}
+
+// Next implements Explorer, skipping seen candidates.
+func (n *Novel) Next() (Candidate, bool) {
+	for {
+		c, ok := n.inner.Next()
+		if !ok {
+			return Candidate{}, false
+		}
+		if !n.seen[c.Point.Key()] {
+			return c, true
+		}
+		n.inner.Report(c, 0, 0)
+	}
+}
+
+// BatchNext implements BatchNexter over the inner explorer's batched
+// path, topping the batch up after filtering.
+func (n *Novel) BatchNext(k int) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Candidate, 0, k)
+	for len(out) < k {
+		batch := BatchNext(n.inner, k-len(out))
+		if len(batch) == 0 {
+			break
+		}
+		for _, c := range batch {
+			if n.seen[c.Point.Key()] {
+				n.inner.Report(c, 0, 0)
+				continue
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Report implements Explorer by delegation.
+func (n *Novel) Report(c Candidate, impact, fitness float64) { n.inner.Report(c, impact, fitness) }
+
+// ReportBatch implements BatchReporter by delegation.
+func (n *Novel) ReportBatch(batch []Feedback) { ReportBatch(n.inner, batch) }
+
+// Sensitivities delegates to the inner explorer when it is Sensitive.
+func (n *Novel) Sensitivities(sub int) []float64 {
+	if s, ok := n.inner.(Sensitive); ok {
+		return s.Sensitivities(sub)
+	}
+	return nil
+}
+
+// ExportState delegates to the inner explorer; nil when the inner
+// explorer is stateless.
+func (n *Novel) ExportState() *State {
+	if se, ok := n.inner.(StatefulExplorer); ok {
+		return se.ExportState()
+	}
+	return nil
+}
+
+// ImportState delegates to the inner explorer.
+func (n *Novel) ImportState(st *State) error {
+	if se, ok := n.inner.(StatefulExplorer); ok {
+		return se.ImportState(st)
+	}
+	return fmt.Errorf("explore: %s explorer has no importable state", n.Name())
+}

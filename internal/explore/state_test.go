@@ -1,0 +1,178 @@
+package explore
+
+import (
+	"encoding/json"
+	"testing"
+
+	"afex/internal/faultspace"
+)
+
+func stateSpace() *faultspace.Union {
+	return faultspace.NewUnion(faultspace.New("s",
+		faultspace.IntAxis("testID", 0, 5),
+		faultspace.SetAxis("function", "read", "write", "malloc", "close"),
+		faultspace.IntAxis("callNumber", 0, 9),
+	))
+}
+
+// fakeImpact gives the search something deterministic to learn from.
+func fakeImpact(c Candidate) float64 {
+	v := 1.0
+	for _, x := range c.Point.Fault {
+		v += float64(x % 7)
+	}
+	return v
+}
+
+// drive runs n Next/Report rounds, returning the executed keys in order.
+func driveKeys(ex Explorer, n int) []string {
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		c, ok := ex.Next()
+		if !ok {
+			break
+		}
+		keys = append(keys, c.Point.Key())
+		ex.Report(c, fakeImpact(c), fakeImpact(c))
+	}
+	return keys
+}
+
+// TestFitnessStateRoundTrip: a fresh explorer that imports a mid-run
+// snapshot must generate exactly the stream the exporter would have —
+// including through a JSON round-trip, which is how the store persists
+// it.
+func TestFitnessStateRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 5}
+	orig := NewFitnessGuided(stateSpace(), cfg)
+	driveKeys(orig, 60)
+
+	blob, err := json.Marshal(orig.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	clone := NewFitnessGuided(stateSpace(), cfg)
+	if err := clone.ImportState(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := driveKeys(orig, 80), driveKeys(clone, 80)
+	if len(a) != len(b) {
+		t.Fatalf("continuation lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("continuations diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShardedStateRoundTrip: same property for the sharded explorer,
+// whose state carries one search per shard plus the round-robin cursor.
+func TestShardedStateRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 3}
+	orig := NewSharded(stateSpace(), 3, cfg)
+	driveKeys(orig, 45)
+
+	blob, err := json.Marshal(orig.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	clone := NewSharded(stateSpace(), 3, cfg)
+	if err := clone.ImportState(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := driveKeys(orig, 60), driveKeys(clone, 60)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sharded continuations diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestImportStateRejectsMismatch: importing into an explorer over a
+// different space shape (or the wrong algorithm) must fail loudly.
+func TestImportStateRejectsMismatch(t *testing.T) {
+	st := NewFitnessGuided(stateSpace(), Config{Seed: 1}).ExportState()
+	other := NewFitnessGuided(faultspace.NewUnion(faultspace.New("s",
+		faultspace.IntAxis("only", 0, 3),
+	)), Config{Seed: 1})
+	if err := other.ImportState(st); err == nil {
+		t.Fatal("import across space shapes succeeded")
+	}
+	sh := NewSharded(stateSpace(), 2, Config{Seed: 1})
+	if err := sh.ImportState(st); err == nil {
+		t.Fatal("sharded import of fitness state succeeded")
+	}
+	if err := sh.ImportState(NewSharded(stateSpace(), 4, Config{Seed: 1}).ExportState()); err == nil {
+		t.Fatal("sharded import across shard counts succeeded")
+	}
+}
+
+// TestNovelFilter: seen keys are never handed out, everything else is,
+// and the filter terminates by exhausting the inner explorer.
+func TestNovelFilter(t *testing.T) {
+	space := stateSpace()
+	seen := make(map[string]bool)
+	// Mark every point with testID index 0 as seen (one sixth of the
+	// space).
+	space.Enumerate(func(p faultspace.Point) bool {
+		if p.Fault[0] == 0 {
+			seen[p.Key()] = true
+		}
+		return true
+	})
+	n := NewNovel(NewFitnessGuided(space, Config{Seed: 8}), seen)
+	got := make(map[string]bool)
+	for {
+		c, ok := n.Next()
+		if !ok {
+			break
+		}
+		key := c.Point.Key()
+		if seen[key] {
+			t.Fatalf("novelty filter emitted seen key %s", key)
+		}
+		if got[key] {
+			t.Fatalf("duplicate candidate %s", key)
+		}
+		got[key] = true
+		n.Report(c, 1, 1)
+	}
+	if want := int(space.Size()) - len(seen); len(got) != want {
+		t.Fatalf("novelty filter emitted %d candidates, want %d", len(got), want)
+	}
+}
+
+// TestShardedReportWithoutLease: feedback for a candidate the explorer
+// never leased (journal replay on resume) must still land in the owning
+// shard's history so the point is not regenerated.
+func TestShardedReportWithoutLease(t *testing.T) {
+	space := stateSpace()
+	s := NewSharded(space, 3, Config{Seed: 2})
+	p := faultspace.Point{Sub: 0, Fault: faultspace.Fault{4, 2, 7}}
+	before := s.HistorySize()
+	s.Report(Candidate{Point: p, MutatedAxis: -1}, 3, 3)
+	if s.HistorySize() != before+1 {
+		t.Fatalf("unleased report did not enter history: %d -> %d", before, s.HistorySize())
+	}
+	for i := 0; i < int(space.Size()); i++ {
+		c, ok := s.Next()
+		if !ok {
+			break
+		}
+		if c.Point.Key() == p.Key() {
+			t.Fatalf("point %s regenerated after external report", p.Key())
+		}
+		s.Report(c, 1, 1)
+	}
+}

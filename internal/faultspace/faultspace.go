@@ -19,6 +19,7 @@
 package faultspace
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 	"strings"
@@ -348,6 +349,84 @@ func (u *Union) Size() int64 {
 		n += sz
 	}
 	return n
+}
+
+// Signature returns a stable structural digest of the union, used by the
+// persistent exploration store to verify that a journal or snapshot
+// written against one space is only ever resumed against a compatible
+// one: same subspaces in the same order, same axis names and lengths,
+// same values. Journal entries address faults by attribute *index*, so
+// even a reordering of one axis's values would silently reinterpret
+// every journaled coordinate — the signature therefore hashes axis
+// values, not just endpoints.
+//
+// Lazy numeric range axes (IntAxis) are fully determined by their
+// bounds and hash exactly in O(1). Every other axis hashes its complete
+// value list — for materialized axes that is the memory already paid at
+// construction. The one exception: a third-party lazy Axis
+// implementation longer than 2^16 values falls back to endpoint +
+// interior probes to keep the signature cheap; none exists in this
+// module.
+//
+// The signature deliberately ignores Hole predicates (functions do not
+// serialize); a resumed session with a different hole set still explores
+// only valid points, because holes are re-checked at generation time.
+func Signature(u *Union) string {
+	var b strings.Builder
+	for i, s := range u.Spaces {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(s.Name)
+		b.WriteByte('(')
+		for k, a := range s.Axes {
+			if k > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s[%d:%x]", a.Name(), a.Len(), axisDigest(a))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// axisDigest is an FNV-1a hash over the axis's (index, value) pairs:
+// exact O(1) bounds hash for lazy integer ranges, exhaustive for every
+// other axis (probe-sampled only for third-party lazy axes past 2^16
+// values, where exhaustion would defeat their laziness).
+func axisDigest(a Axis) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(idx int, v string) {
+		h ^= uint64(idx)
+		h *= prime64
+		for i := 0; i < len(v); i++ {
+			h ^= uint64(v[i])
+			h *= prime64
+		}
+		h ^= 0xff // value terminator, so ("ab","c") != ("a","bc")
+		h *= prime64
+	}
+	if ia, ok := a.(*intAxis); ok {
+		mix(-1, "int-range")
+		mix(ia.lo, strconv.Itoa(ia.lo))
+		mix(ia.hi, strconv.Itoa(ia.hi))
+		return h
+	}
+	n := a.Len()
+	if n <= 1<<16 {
+		for i := 0; i < n; i++ {
+			mix(i, a.Value(i))
+		}
+		return h
+	}
+	for _, i := range []int{0, 1, n / 3, n / 2, 2 * n / 3, n - 2, n - 1} {
+		mix(i, a.Value(i))
+	}
+	return h
 }
 
 // Point identifies a fault within a Union.

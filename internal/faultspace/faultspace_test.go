@@ -361,3 +361,32 @@ func TestPointKeyDistinguishesSubspaces(t *testing.T) {
 		t.Error("points in different subspaces share a key")
 	}
 }
+
+// TestSignatureDetectsValueChanges: journal entries address faults by
+// attribute index, so the store's compatibility signature must change
+// when axis values change — including interior-only reorderings that
+// keep name, length and endpoints identical.
+func TestSignatureDetectsValueChanges(t *testing.T) {
+	sig := func(vals ...string) string {
+		return Signature(NewUnion(New("s", SetAxis("function", vals...), IntAxis("call", 1, 9))))
+	}
+	a := sig("open", "read", "write", "close")
+	if a != sig("open", "read", "write", "close") {
+		t.Fatal("signature not deterministic")
+	}
+	if a == sig("open", "write", "read", "close") {
+		t.Fatal("interior value reordering not detected")
+	}
+	if a == sig("open", "read", "write") {
+		t.Fatal("length change not detected")
+	}
+	big := func(hi int) string {
+		return Signature(NewUnion(New("s", IntAxis("call", 0, hi))))
+	}
+	if big(1_000_000) == big(2_000_000) {
+		t.Fatal("large-axis range change not detected")
+	}
+	if big(1_000_000) != big(1_000_000) {
+		t.Fatal("large-axis signature not deterministic")
+	}
+}

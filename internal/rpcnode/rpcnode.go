@@ -91,6 +91,11 @@ type Coordinator struct {
 	// scenario path (no per-lease map allocation).
 	axisNames [][]string
 
+	// plugin converts leased scenarios back into injection plans when
+	// folding results, so persistent coordinators journal a replayable
+	// Plan (managers report outcomes, not plans). Zero value is ready.
+	plugin inject.Plugin
+
 	mu         sync.Mutex
 	seq        int
 	leases     map[int]lease
@@ -102,7 +107,24 @@ type Coordinator struct {
 // covered blocks; nil selects the engine's default scoring (1/block +
 // 10 fail + 20 crash + 15 hang).
 func NewCoordinator(space *faultspace.Union, ex explore.Explorer, budget int, impact func(Result, int) float64) *Coordinator {
-	cfg := core.Config{Space: space, Iterations: budget}
+	c, err := NewCoordinatorConfig(core.Config{Space: space, Iterations: budget}, ex, impact)
+	if err != nil {
+		// The explorer is caller-provided, so the only way here is a nil
+		// explorer with an unusable space — a programming error.
+		panic(fmt.Sprintf("rpcnode: %v", err))
+	}
+	return c
+}
+
+// NewCoordinatorConfig is NewCoordinator with the full engine
+// configuration exposed, for sessions that need more than a space and a
+// budget — most importantly persistent coordinators: a Config carrying
+// Store/Seen/Restore (wired by store.Attach) makes a restarted
+// `afex serve` continue the same journaled session, with prior scenario
+// keys never handed to managers again. cfg.Space must be set; cfg.Impact
+// is overridden by impact when non-nil.
+func NewCoordinatorConfig(cfg core.Config, ex explore.Explorer, impact func(Result, int) float64) (*Coordinator, error) {
+	space := cfg.Space
 	if impact != nil {
 		// Adapt the wire-level scoring hook to the engine's single scoring
 		// path: the Result is reconstructed from the outcome (Seq and
@@ -113,9 +135,7 @@ func NewCoordinator(space *faultspace.Union, ex explore.Explorer, budget int, im
 	}
 	engine, err := core.NewEngine(cfg, ex)
 	if err != nil {
-		// The explorer is caller-provided, so the only way here is a nil
-		// explorer with an unusable space — a programming error.
-		panic(fmt.Sprintf("rpcnode: %v", err))
+		return nil, fmt.Errorf("rpcnode: %w", err)
 	}
 	c := &Coordinator{
 		engine:     engine,
@@ -129,7 +149,7 @@ func NewCoordinator(space *faultspace.Union, ex explore.Explorer, budget int, im
 			c.axisNames[i] = dsl.AxisNames(space, i)
 		}
 	}
-	return c
+	return c, nil
 }
 
 // lease is one outstanding task: the candidate plus its formatted
@@ -214,6 +234,16 @@ func (c *Coordinator) ReportResult(res Result, ack *bool) error {
 		Scenario: ls.scenario,
 		TestID:   res.TestID,
 		Skipped:  res.Skipped,
+	}
+	// Rebuild the armed plan from the scenario (the wire Result carries
+	// only the outcome), so a persistent session's journal can replay
+	// this failure without re-searching the space.
+	if !res.Skipped {
+		if sc, err := dsl.ParseScenario(ls.scenario); err == nil {
+			if _, plan, err := c.plugin.Convert(sc); err == nil {
+				rec.Plan = plan
+			}
+		}
 	}
 	c.engine.Fold(ls.cand, rec, out)
 	*ack = true

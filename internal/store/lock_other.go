@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// Platforms without flock get no single-writer guard; keeping one
+// process per state directory is then the operator's responsibility.
+func (s *Store) lockDir() error { return nil }
+
+func (s *Store) unlockDir() {}

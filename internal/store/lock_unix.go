@@ -1,0 +1,38 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive, non-blocking advisory lock on dir/lock,
+// so at most one process writes a state directory at a time — two
+// concurrent runs would interleave journal sequences and race the
+// meta.json rewrite into a corrupt merged session. The kernel releases
+// the lock when the process dies, so a SIGKILLed run never wedges its
+// directory.
+func (s *Store) lockDir() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return fmt.Errorf("store: state directory %s is in use by another process (%v)", s.dir, err)
+	}
+	s.lock = f
+	return nil
+}
+
+func (s *Store) unlockDir() {
+	if s.lock == nil {
+		return
+	}
+	syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN)
+	s.lock.Close()
+	s.lock = nil
+}

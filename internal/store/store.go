@@ -1,0 +1,674 @@
+// Package store is AFEX's persistent exploration store: an append-only
+// JSONL journal of every executed scenario plus periodic compact
+// snapshots, kept in a state directory that outlives any single process.
+// It is what turns a one-shot exploration into a resumable, incrementally
+// smarter search service:
+//
+//   - crash-safe resume: the journal is the source of truth for executed
+//     records; the snapshot carries the state that would otherwise need
+//     O(session) replay (explorer fitness state, redundancy clusters,
+//     similarity memory). A SIGKILLed session restarts exactly where it
+//     stopped, re-executing at most the entries that had not reached the
+//     journal yet.
+//   - cross-run novelty: scenario keys loaded from prior journals feed
+//     the engine's novelty filter, so two runs against the same target
+//     never re-execute identical scenarios — every test of a new run
+//     spends budget on an unexplored point.
+//   - reproduction: `afex replay` re-executes journaled failures
+//     directly from their recorded injection plans.
+//
+// The store never blocks the execution hot path: the engine's
+// JournalRecord/SnapshotSession callbacks (made under the session lock,
+// which is what keeps the journal in fold order) only push onto an
+// unbounded in-memory queue; one background writer goroutine does all
+// JSON encoding and file IO, flushing whenever it drains the queue.
+//
+// Layout of a state directory:
+//
+//	meta.json     target name, space signature, run count, run stamps
+//	journal.jsonl one Entry per executed scenario, append-only
+//	snapshot.json latest core.SessionState, replaced atomically
+//
+// Timestamps are deliberately "from config": journal entries carry only
+// their run index (keeping journal bytes deterministic for a
+// deterministic session); the wall-clock stamp of each run — caller
+// provided, defaulting to the current time — lives once in meta.json.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"afex/internal/core"
+	"afex/internal/explore"
+	"afex/internal/faultspace"
+	"afex/internal/inject"
+	"afex/internal/prog"
+)
+
+const (
+	metaName     = "meta.json"
+	journalName  = "journal.jsonl"
+	snapshotName = "snapshot.json"
+	lockName     = "lock"
+
+	// Version guards the on-disk format.
+	Version = 1
+)
+
+// Meta describes a state directory.
+type Meta struct {
+	Version int `json:"version"`
+	// Target is the system under test all runs in this directory share.
+	Target string `json:"target"`
+	// SpaceSignature is the faultspace.Signature every run must match —
+	// a journal written against one space must never seed exploration of
+	// another.
+	SpaceSignature string `json:"spaceSignature"`
+	// Runs counts sessions that appended to this directory.
+	Runs int `json:"runs"`
+	// Stamps records one caller-provided timestamp per run.
+	Stamps []string `json:"stamps,omitempty"`
+}
+
+// Entry is one journaled scenario execution: the candidate's coordinates
+// and provenance, the observed outcome, and the session's scoring of it.
+type Entry struct {
+	// Seq is the record's session-wide execution index (== core.Record.ID).
+	Seq int `json:"seq"`
+	// Run indexes Meta.Stamps: which run executed this entry.
+	Run int `json:"run"`
+	// Sub and Fault are the point's coordinates; Shard the owning shard
+	// of a sharded session (-1 otherwise).
+	Sub   int   `json:"sub"`
+	Fault []int `json:"fault"`
+	Shard int   `json:"shard"`
+	// MutatedAxis and ParentKey are the candidate's mutation provenance
+	// (replayed into the explorer when resuming past a snapshot).
+	MutatedAxis int    `json:"mutatedAxis"`
+	ParentKey   string `json:"parentKey,omitempty"`
+
+	Scenario string         `json:"scenario,omitempty"`
+	TestID   int            `json:"testID"`
+	Plan     []inject.Fault `json:"plan,omitempty"`
+	Skipped  bool           `json:"skipped,omitempty"`
+
+	Injected bool     `json:"injected,omitempty"`
+	Failed   bool     `json:"failed,omitempty"`
+	Crashed  bool     `json:"crashed,omitempty"`
+	Hung     bool     `json:"hung,omitempty"`
+	CrashID  string   `json:"crashID,omitempty"`
+	Stack    []string `json:"stack,omitempty"`
+	Blocks   []int    `json:"blocks,omitempty"`
+
+	NewBlocks int     `json:"newBlocks,omitempty"`
+	Impact    float64 `json:"impact"`
+	Fitness   float64 `json:"fitness"`
+	Relevance float64 `json:"relevance,omitempty"`
+	Cluster   int     `json:"cluster"`
+}
+
+// Key returns the entry's scenario key (the novelty/deduplication
+// identity, identical to faultspace.Point.Key).
+func (e *Entry) Key() string {
+	return faultspace.Point{Sub: e.Sub, Fault: e.Fault}.Key()
+}
+
+// Record rebuilds the core record the entry was journaled from. The
+// outcome's block set and the injection plan round-trip; per-trial state
+// like Precision does not (it is measured, not explored).
+func (e *Entry) Record() core.Record {
+	out := prog.Outcome{
+		Failed:         e.Failed,
+		Crashed:        e.Crashed,
+		Hung:           e.Hung,
+		CrashID:        e.CrashID,
+		Injected:       e.Injected,
+		InjectionStack: e.Stack,
+	}
+	if len(e.Blocks) > 0 {
+		out.Blocks = make(map[int]struct{}, len(e.Blocks))
+		for _, b := range e.Blocks {
+			out.Blocks[b] = struct{}{}
+		}
+	}
+	return core.Record{
+		ID:        e.Seq,
+		Point:     faultspace.Point{Sub: e.Sub, Fault: append(faultspace.Fault(nil), e.Fault...)},
+		Scenario:  e.Scenario,
+		TestID:    e.TestID,
+		Plan:      inject.Plan{Faults: append([]inject.Fault(nil), e.Plan...)},
+		Skipped:   e.Skipped,
+		Outcome:   out,
+		NewBlocks: e.NewBlocks,
+		Impact:    e.Impact,
+		Fitness:   e.Fitness,
+		Cluster:   e.Cluster,
+		Relevance: e.Relevance,
+		Shard:     e.Shard,
+	}
+}
+
+// Feedback rebuilds the explorer feedback for resume replay.
+func (e *Entry) Feedback() explore.Feedback {
+	return explore.Feedback{
+		C: explore.Candidate{
+			Point:       faultspace.Point{Sub: e.Sub, Fault: append(faultspace.Fault(nil), e.Fault...)},
+			MutatedAxis: e.MutatedAxis,
+			ParentKey:   e.ParentKey,
+		},
+		Impact:  e.Impact,
+		Fitness: e.Fitness,
+	}
+}
+
+func entryFrom(run int, c explore.Candidate, rec core.Record) *Entry {
+	e := &Entry{
+		Seq:         rec.ID,
+		Run:         run,
+		Sub:         rec.Point.Sub,
+		Fault:       append([]int(nil), rec.Point.Fault...),
+		Shard:       rec.Shard,
+		MutatedAxis: c.MutatedAxis,
+		ParentKey:   c.ParentKey,
+		Scenario:    rec.Scenario,
+		TestID:      rec.TestID,
+		Plan:        append([]inject.Fault(nil), rec.Plan.Faults...),
+		Skipped:     rec.Skipped,
+		Injected:    rec.Outcome.Injected,
+		Failed:      rec.Outcome.Failed,
+		Crashed:     rec.Outcome.Crashed,
+		Hung:        rec.Outcome.Hung,
+		CrashID:     rec.Outcome.CrashID,
+		Stack:       append([]string(nil), rec.Outcome.InjectionStack...),
+		NewBlocks:   rec.NewBlocks,
+		Impact:      rec.Impact,
+		Fitness:     rec.Fitness,
+		Relevance:   rec.Relevance,
+		Cluster:     rec.Cluster,
+	}
+	if len(rec.Outcome.Blocks) > 0 {
+		e.Blocks = sortedBlocks(rec.Outcome.Blocks)
+	}
+	return e
+}
+
+func sortedBlocks(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// msg is one queued writer operation. Records are queued raw — the
+// Entry (including the sorted block list) is built on the writer
+// goroutine, so the fold path really does pay enqueue cost only.
+type msg struct {
+	rec  *core.Record
+	cand explore.Candidate
+	run  int
+	snap *core.SessionState
+}
+
+// Store is an open state directory. It implements core.Store.
+type Store struct {
+	dir  string
+	meta Meta
+	run  int
+
+	journal *os.File
+	bw      *bufio.Writer
+	lock    *os.File
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []msg
+	queued    int64
+	processed int64
+	closed    bool
+	err       error
+
+	wg sync.WaitGroup
+}
+
+// Open opens (creating if needed) a state directory and starts the
+// background writer. The directory is locked against concurrent writers
+// (flock on unix; a dead process's lock is released by the kernel).
+// Callers must Close the store to flush the journal tail and release
+// the lock.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, meta: Meta{Version: Version}}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.lockDir(); err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, metaName))
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &s.meta); err != nil {
+			s.unlockDir()
+			return nil, fmt.Errorf("store: corrupt %s: %w", metaName, err)
+		}
+		if s.meta.Version != Version {
+			s.unlockDir()
+			return nil, fmt.Errorf("store: %s has format version %d, this build reads %d", dir, s.meta.Version, Version)
+		}
+	case os.IsNotExist(err):
+	default:
+		s.unlockDir()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// A SIGKILL mid-append can leave a torn final line. Readers drop it,
+	// but appending after it would fuse the torn bytes with the next
+	// entry into permanent mid-file corruption — truncate it away before
+	// opening for append (we hold the directory lock, so no other writer
+	// can race the repair).
+	if err := repairJournalTail(filepath.Join(dir, journalName)); err != nil {
+		s.unlockDir()
+		return nil, fmt.Errorf("store: repair journal: %w", err)
+	}
+	s.journal, err = os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.unlockDir()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.bw = bufio.NewWriterSize(s.journal, 1<<16)
+	s.wg.Add(1)
+	go s.writerLoop()
+	return s, nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Meta returns a copy of the directory metadata.
+func (s *Store) Meta() Meta {
+	m := s.meta
+	m.Stamps = append([]string(nil), s.meta.Stamps...)
+	return m
+}
+
+// Begin registers a new run against the directory, verifying that the
+// target and fault space match what previous runs journaled (resuming a
+// journal against a different space would corrupt the session). stamp is
+// the run's timestamp-from-config; empty selects the current wall clock.
+func (s *Store) Begin(target, spaceSig, stamp string) error {
+	if s.meta.Runs > 0 {
+		if s.meta.SpaceSignature != spaceSig {
+			return fmt.Errorf("store: %s was journaled for a different fault space\n  have %s\n  want %s",
+				s.dir, spaceSig, s.meta.SpaceSignature)
+		}
+		if s.meta.Target != target {
+			return fmt.Errorf("store: %s was journaled for target %q, not %q", s.dir, s.meta.Target, target)
+		}
+	} else {
+		s.meta.Target = target
+		s.meta.SpaceSignature = spaceSig
+	}
+	if stamp == "" {
+		stamp = time.Now().UTC().Format(time.RFC3339)
+	}
+	s.run = s.meta.Runs
+	s.meta.Runs++
+	s.meta.Stamps = append(s.meta.Stamps, stamp)
+	return s.writeAtomic(metaName, mustJSON(&s.meta))
+}
+
+// JournalRecord implements core.Store: enqueue only, never IO.
+func (s *Store) JournalRecord(c explore.Candidate, rec core.Record) {
+	s.enqueue(msg{rec: &rec, cand: c, run: s.run})
+}
+
+// SnapshotSession implements core.Store: enqueue only, never IO.
+func (s *Store) SnapshotSession(st *core.SessionState) {
+	s.enqueue(msg{snap: st})
+}
+
+func (s *Store) enqueue(m msg) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, m)
+	s.queued++
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Sync blocks until everything enqueued before the call has been written
+// and flushed, returning the first writer error if any.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.queued
+	for s.processed < target && s.err == nil {
+		s.cond.Wait()
+	}
+	return s.err
+}
+
+// Close drains the queue, flushes and closes the journal, and releases
+// the directory lock. The store is unusable afterwards; further
+// JournalRecord calls are dropped.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		defer s.mu.Unlock()
+		return s.err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+	s.setErr(s.bw.Flush())
+	s.setErr(s.journal.Close())
+	s.unlockDir()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Store) writerLoop() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		batch := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+		if len(batch) == 0 {
+			s.cond.Broadcast()
+			return // closed and drained
+		}
+		for i := range batch {
+			s.process(&batch[i])
+		}
+		// One flush per drained batch: syscalls amortize under load,
+		// the journal tail is promptly durable when idle.
+		s.setErr(s.bw.Flush())
+		s.mu.Lock()
+		s.processed += int64(len(batch))
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+}
+
+func (s *Store) process(m *msg) {
+	switch {
+	case m.rec != nil:
+		raw, err := json.Marshal(entryFrom(m.run, m.cand, *m.rec))
+		if err != nil {
+			s.setErr(err)
+			return
+		}
+		raw = append(raw, '\n')
+		_, err = s.bw.Write(raw)
+		s.setErr(err)
+	case m.snap != nil:
+		// The journal must never lag a snapshot that references it.
+		if err := s.bw.Flush(); err != nil {
+			s.setErr(err)
+			return
+		}
+		raw, err := json.MarshalIndent(m.snap, "", " ")
+		if err != nil {
+			s.setErr(err)
+			return
+		}
+		s.setErr(s.writeAtomic(snapshotName, raw))
+	}
+}
+
+func (s *Store) setErr(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// repairJournalTail truncates a journal to the end of its last
+// newline-terminated entry, discarding the torn tail a crash mid-append
+// leaves behind. A missing journal is fine.
+func repairJournalTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil
+	}
+	// Scan backward for the last newline; the torn tail is everything
+	// after it (at most one buffered write, but scan arbitrarily far).
+	buf := make([]byte, 64<<10)
+	off := size
+	for off > 0 {
+		n := int64(len(buf))
+		if n > off {
+			n = off
+		}
+		off -= n
+		if _, err := f.ReadAt(buf[:n], off); err != nil {
+			return err
+		}
+		if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+			end := off + int64(i) + 1
+			if end == size {
+				return nil // no torn tail
+			}
+			return f.Truncate(end)
+		}
+	}
+	return f.Truncate(0) // a single torn line and nothing else
+}
+
+// writeAtomic replaces dir/name via a temp file + rename, so readers
+// never observe a partially written file.
+func (s *Store) writeAtomic(name string, data []byte) error {
+	tmp := filepath.Join(s.dir, name+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, name))
+}
+
+func mustJSON(v any) []byte {
+	raw, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		panic(err) // Meta marshalling cannot fail
+	}
+	return raw
+}
+
+// ReadJournal loads the entries of a journal file (or of the journal
+// inside a state directory). A truncated final line — the signature of a
+// crash mid-append — is dropped silently; corruption anywhere else is an
+// error. Duplicate scenario keys keep the first occurrence.
+func ReadJournal(path string) ([]Entry, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, journalName)
+	}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lines := bytes.Split(raw, []byte{'\n'})
+	entries := make([]Entry, 0, len(lines))
+	seen := make(map[string]bool, len(lines))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			if i >= len(lines)-2 {
+				break // torn tail write from a crash; the entry never happened
+			}
+			return nil, fmt.Errorf("store: corrupt journal %s at line %d: %w", path, i+1, err)
+		}
+		if key := e.Key(); !seen[key] {
+			seen[key] = true
+			entries = append(entries, e)
+		}
+	}
+	return entries, nil
+}
+
+// LoadEntries reads the store's journal.
+func (s *Store) LoadEntries() ([]Entry, error) {
+	return ReadJournal(filepath.Join(s.dir, journalName))
+}
+
+// LoadSnapshot reads the latest session snapshot; (nil, nil) when none
+// exists. A snapshot that fails to decode is treated as absent — resume
+// then rebuilds everything from the journal alone.
+func (s *Store) LoadSnapshot() (*core.SessionState, error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var st core.SessionState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, nil // unreadable snapshot: fall back to the journal
+	}
+	return &st, nil
+}
+
+// Recover rebuilds a core.Restore from the directory's journal and
+// snapshot: records and explorer-tail feedback from the journal, cluster
+// and search state from the snapshot when one is usable. It returns nil
+// when the directory holds no prior state.
+func (s *Store) Recover() (*core.Restore, error) {
+	entries, err := s.LoadEntries()
+	if err != nil {
+		return nil, err
+	}
+	snap, err := s.LoadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 && snap == nil {
+		return nil, nil
+	}
+	// The journal is the source of truth. A snapshot that claims more
+	// records than the journal holds (possible only if journal bytes
+	// were lost after a snapshot flush, e.g. manual truncation), or that
+	// is missing its cluster sets (hand-edited or partially decoded),
+	// cannot be trusted; rebuild from the journal alone.
+	contiguous := true
+	for i := range entries {
+		if entries[i].Seq != i {
+			contiguous = false
+			entries[i].Seq = i
+		}
+	}
+	if snap != nil && (snap.Seq > len(entries) || !contiguous ||
+		snap.AllStacks == nil || snap.FailClusters == nil || snap.CrashClusters == nil) {
+		snap = nil
+	}
+	r := &core.Restore{State: snap}
+	r.Records = make([]core.Record, len(entries))
+	for i := range entries {
+		r.Records[i] = entries[i].Record()
+	}
+	// Prior wall clock is known only as of the last snapshot; runtime
+	// between it and a crash is not recoverable (the journal carries no
+	// per-entry clock by design), so cumulative Elapsed under-reports by
+	// at most one snapshot interval per crash.
+	tailFrom := 0
+	if snap != nil {
+		tailFrom = snap.Seq
+		r.Elapsed = snap.Elapsed
+	}
+	if tailFrom < len(entries) {
+		r.Tail = make([]explore.Feedback, 0, len(entries)-tailFrom)
+		for i := tailFrom; i < len(entries); i++ {
+			r.Tail = append(r.Tail, entries[i].Feedback())
+		}
+	}
+	return r, nil
+}
+
+// Attach wires the store into an exploration config: it registers the
+// run (verifying target/space compatibility), loads prior scenario keys
+// into the novelty filter, recovers the session for continuation —
+// dropping the explorer search state unless cfg.Resume asks for it — and
+// installs the store as the engine's persistence seam. It is the one
+// call sites need between store.Open and core.NewEngine.
+func (s *Store) Attach(cfg *core.Config) error {
+	target := ""
+	if cfg.Target != nil {
+		target = cfg.Target.Name
+	}
+	return s.AttachNamed(cfg, target)
+}
+
+// AttachNamed is Attach with the target name supplied explicitly, for
+// sessions whose engine has no local Target — distributed coordinators,
+// where only the remote managers load the system under test.
+func (s *Store) AttachNamed(cfg *core.Config, target string) error {
+	sig := ""
+	if cfg.Space != nil {
+		sig = faultspace.Signature(cfg.Space)
+	}
+	if err := s.Begin(target, sig, cfg.StateStamp); err != nil {
+		return err
+	}
+	r, err := s.Recover()
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if !cfg.Resume {
+			// Continuation without --resume: keep the cumulative records
+			// and clusters, but give the search a fresh start — prior
+			// points are excluded by the novelty filter, not replayed
+			// into a new explorer's state.
+			r.Tail = nil
+			if r.State != nil {
+				r.State.Explorer = nil
+			}
+		}
+		cfg.Restore = r
+		cfg.Seen = make(map[string]bool, len(r.Records))
+		for i := range r.Records {
+			cfg.Seen[r.Records[i].Point.Key()] = true
+		}
+	}
+	cfg.Store = s
+	return nil
+}

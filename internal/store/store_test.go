@@ -1,0 +1,242 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"afex/internal/core"
+	"afex/internal/explore"
+	"afex/internal/faultspace"
+	"afex/internal/inject"
+	"afex/internal/prog"
+)
+
+func testRecord(id int) (explore.Candidate, core.Record) {
+	c := explore.Candidate{
+		Point:       faultspace.Point{Sub: 0, Fault: faultspace.Fault{id, id % 3, id % 5}},
+		MutatedAxis: id % 3,
+		ParentKey:   "0:1,2,3",
+	}
+	rec := core.Record{
+		ID:       id,
+		Point:    c.Point,
+		Scenario: "testID 1 function read callNumber 2",
+		TestID:   1,
+		Plan:     inject.Single(inject.Fault{Function: "read", CallNumber: 2}),
+		Outcome: prog.Outcome{
+			Injected:       true,
+			Failed:         id%2 == 0,
+			InjectionStack: []string{"main", "serve", "read"},
+			Blocks:         map[int]struct{}{1: {}, 2: {}, id%7 + 3: {}},
+		},
+		NewBlocks: 1,
+		Impact:    float64(10 + id),
+		Fitness:   float64(10 + id),
+		Cluster:   id % 4,
+		Shard:     -1,
+	}
+	return c, rec
+}
+
+// TestJournalRoundTrip: entries written through the async writer come
+// back as equivalent records, in order.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("demo", "sig", "2026-07-30T00:00:00Z"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		c, rec := testRecord(i)
+		s.JournalRecord(c, rec)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if m := s2.Meta(); m.Target != "demo" || m.Runs != 1 || m.Stamps[0] != "2026-07-30T00:00:00Z" {
+		t.Fatalf("meta did not round-trip: %+v", m)
+	}
+	entries, err := s2.LoadEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("journal has %d entries, want %d", len(entries), n)
+	}
+	for i, e := range entries {
+		_, want := testRecord(i)
+		got := e.Record()
+		if got.ID != i || got.Scenario != want.Scenario || got.Impact != want.Impact ||
+			got.Cluster != want.Cluster || len(got.Outcome.Blocks) != len(want.Outcome.Blocks) ||
+			got.Plan.Faults[0] != want.Plan.Faults[0] {
+			t.Fatalf("entry %d did not round-trip:\n got %+v\nwant %+v", i, got, want)
+		}
+		if e.Feedback().C.MutatedAxis != i%3 {
+			t.Fatalf("entry %d lost mutation provenance", i)
+		}
+	}
+}
+
+// TestBeginRejectsMismatch: a state directory refuses runs against a
+// different space or target.
+func TestBeginRejectsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("demo", "sigA", ""); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, _ := Open(dir)
+	if err := s2.Begin("demo", "sigB", ""); err == nil {
+		t.Fatal("space signature mismatch accepted")
+	}
+	if err := s2.Begin("other", "sigA", ""); err == nil {
+		t.Fatal("target mismatch accepted")
+	}
+	if err := s2.Begin("demo", "sigA", ""); err != nil {
+		t.Fatalf("matching run rejected: %v", err)
+	}
+	s2.Close()
+}
+
+// TestTornTailDropped: a crash can tear the journal's final line; the
+// loader must drop it and keep everything before it.
+func TestTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Begin("demo", "sig", "")
+	for i := 0; i < 10; i++ {
+		c, rec := testRecord(i)
+		s.JournalRecord(c, rec)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, "journal.jsonl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Fatalf("torn journal loaded %d entries, want 9", len(entries))
+	}
+}
+
+// TestTornTailRepairedOnOpen: appending after a crash must not fuse the
+// torn tail with the next entry into permanent mid-file corruption —
+// Open truncates the torn bytes before the journal reopens for append,
+// so a crash → resume → replay cycle keeps the journal readable.
+func TestTornTailRepairedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Begin("demo", "sig", "")
+	for i := 0; i < 10; i++ {
+		c, rec := testRecord(i)
+		s.JournalRecord(c, rec)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, "journal.jsonl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Resume": reopen and append more entries after the torn tail.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Begin("demo", "sig", "")
+	for i := 9; i < 15; i++ {
+		c, rec := testRecord(i)
+		rec.ID = i
+		s2.JournalRecord(c, rec)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("journal unreadable after crash+resume: %v", err)
+	}
+	if len(entries) != 15 {
+		t.Fatalf("journal has %d entries, want 15 (9 surviving + 6 appended)", len(entries))
+	}
+	for i, e := range entries {
+		if e.Seq != i {
+			t.Fatalf("entry %d has seq %d — torn tail fused with an append", i, e.Seq)
+		}
+	}
+}
+
+// TestRecoverSnapshotAheadOfJournal: a snapshot claiming more records
+// than the journal holds must be discarded, not trusted.
+func TestRecoverSnapshotAheadOfJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Begin("demo", "sig", "")
+	for i := 0; i < 5; i++ {
+		c, rec := testRecord(i)
+		s.JournalRecord(c, rec)
+	}
+	s.SnapshotSession(&core.SessionState{Seq: 99})
+	s.Close()
+
+	s2, _ := Open(dir)
+	defer s2.Close()
+	r, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || len(r.Records) != 5 {
+		t.Fatalf("recover: %+v", r)
+	}
+	if r.State != nil {
+		t.Fatal("over-claiming snapshot was not discarded")
+	}
+	if len(r.Tail) != 5 {
+		t.Fatalf("journal-only recovery should replay all %d records, got %d", 5, len(r.Tail))
+	}
+}
+
+// TestRecoverEmpty: an empty directory recovers to nil (fresh session).
+func TestRecoverEmpty(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != nil {
+		t.Fatalf("empty store recovered %+v", r)
+	}
+}

@@ -19,13 +19,69 @@ import (
 // Rand is a deterministic random source. It wraps math/rand.Rand with the
 // sampling distributions Algorithm 1 needs. A zero Rand is not usable;
 // construct one with New.
+//
+// A Rand's position in its stream is exportable (State/Restore): the
+// underlying source is the stock math/rand generator behind a wrapper
+// that counts raw draws, so the full generator state is just
+// ⟨seed, draws⟩ and restoring replays that many draws from a fresh
+// source. Streams are bit-for-bit identical to rand.New(rand.NewSource)
+// — exporting costs one counter increment per draw, nothing else.
 type Rand struct {
-	src *rand.Rand
+	src   *rand.Rand
+	seed  int64
+	draws uint64
 }
+
+// State is a Rand's exact position in its stream, serializable as two
+// integers. Persistent exploration sessions snapshot it so a resumed
+// search draws the same values an uninterrupted one would have.
+type State struct {
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+}
+
+// countedSource counts every raw draw taken from the wrapped stock
+// source. math/rand.Rand derives all its distributions purely from the
+// source stream, so the count pins down the generator's entire state.
+type countedSource struct {
+	inner rand.Source64
+	n     *uint64
+}
+
+func (s countedSource) Int63() int64 {
+	*s.n++
+	return s.inner.Int63()
+}
+
+func (s countedSource) Uint64() uint64 {
+	*s.n++
+	return s.inner.Uint64()
+}
+
+func (s countedSource) Seed(seed int64) { s.inner.Seed(seed) }
 
 // New returns a Rand seeded with seed. Equal seeds yield equal streams.
 func New(seed int64) *Rand {
-	return &Rand{src: rand.New(rand.NewSource(seed))}
+	r := &Rand{seed: seed}
+	r.src = rand.New(countedSource{inner: rand.NewSource(seed).(rand.Source64), n: &r.draws})
+	return r
+}
+
+// State returns the Rand's current stream position.
+func (r *Rand) State() State { return State{Seed: r.seed, Draws: r.draws} }
+
+// Restore returns a Rand positioned exactly at st: the same future values
+// as the Rand that exported it. The stock generator's raw draws cost a
+// few nanoseconds each, so fast-forwarding even millions of draws is
+// cheap next to a single fault-injection test.
+func Restore(st State) *Rand {
+	r := New(st.Seed)
+	src := r.src
+	for i := uint64(0); i < st.Draws; i++ {
+		src.Uint64()
+	}
+	r.draws = st.Draws
+	return r
 }
 
 // Sub derives an independent, reproducible sub-stream identified by id.

@@ -2,6 +2,7 @@ package xrand
 
 import (
 	"math"
+	mrand "math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -234,3 +235,50 @@ func TestPermAndShuffle(t *testing.T) {
 		t.Errorf("Shuffle changed multiset: %v", xs)
 	}
 }
+
+// TestStateRestore: a restored Rand must produce exactly the stream the
+// exporting Rand would have produced — across every distribution the
+// explorer draws from, and from any export point.
+func TestStateRestore(t *testing.T) {
+	r := New(99)
+	// Burn an arbitrary mixed prefix so the export point is mid-stream.
+	for i := 0; i < 257; i++ {
+		r.Intn(17)
+		r.Float64()
+		r.Gaussian(40, 11, 3.5)
+		r.Weighted([]float64{1, 2, 3, 0, 5})
+	}
+	st := r.State()
+	clone := Restore(st)
+	for i := 0; i < 500; i++ {
+		if a, b := r.Intn(1000), clone.Intn(1000); a != b {
+			t.Fatalf("Intn diverged at %d: %d vs %d", i, a, b)
+		}
+		if a, b := r.Gaussian(64, 30, 12), clone.Gaussian(64, 30, 12); a != b {
+			t.Fatalf("Gaussian diverged at %d: %d vs %d", i, a, b)
+		}
+		w := []float64{0.5, 0, 3, 1, 1, 9}
+		if a, b := r.InverseWeighted(w), clone.InverseWeighted(w); a != b {
+			t.Fatalf("InverseWeighted diverged at %d: %d vs %d", i, a, b)
+		}
+	}
+	if r.State() != clone.State() {
+		t.Fatalf("states diverged: %+v vs %+v", r.State(), clone.State())
+	}
+}
+
+// TestStateMatchesStockStream: wrapping the source for draw counting must
+// not change the values relative to the stock math/rand stream.
+func TestStateMatchesStockStream(t *testing.T) {
+	r := New(7)
+	stock := newStockRand(7)
+	for i := 0; i < 1000; i++ {
+		if a, b := r.Int63(), stock.Int63(); a != b {
+			t.Fatalf("stream changed vs stock math/rand at draw %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
+// newStockRand builds an unwrapped math/rand generator for stream
+// comparison.
+func newStockRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }

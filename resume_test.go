@@ -1,0 +1,300 @@
+package afex
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Crash-safe resume property tests. The contract of the persistent
+// store (Options.StateDir):
+//
+//  1. a scenario key that reached the journal is never executed again —
+//     not by a resumed run, not by any later run sharing the directory;
+//  2. a sequential session killed after k folds and resumed with
+//     --resume produces, merged, exactly the records an uninterrupted
+//     run would have produced (the explorer's pool, sensitivity windows
+//     and RNG stream all continue bit-for-bit).
+//
+// The "kill" is simulated by stopping the engine mid-run and abandoning
+// it without Finish — the process state is discarded exactly as SIGKILL
+// would discard it; only what the store wrote survives.
+
+func resumeOptions(seed int64, n int, dir string) Options {
+	target, err := Target("mysqld")
+	if err != nil {
+		panic(err)
+	}
+	return Options{
+		Target:     target,
+		Space:      SpaceFor(target, 10, 0, 5),
+		Algorithm:  FitnessGuided,
+		Iterations: n,
+		Feedback:   true,
+		StateDir:   dir,
+		Explore:    ExploreOptions{Seed: seed},
+	}
+}
+
+func TestCrashResumeProperty(t *testing.T) {
+	const total = 120
+	for _, seed := range []int64{1, 2, 3} {
+		for _, killAt := range []int{1, 17, 59} {
+			t.Run(fmt.Sprintf("seed=%d/kill=%d", seed, killAt), func(t *testing.T) {
+				// Reference: one uninterrupted run, no persistence.
+				ref, err := Explore(resumeOptions(seed, total, ""))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Interrupted: same session against a state dir, killed
+				// after killAt folds. SnapshotEvery 1 pins the snapshot to
+				// the kill point, which is what makes clause 2 exact; the
+				// journal alone (coarser snapshots) still guarantees
+				// clause 1.
+				dir := t.TempDir()
+				opts := resumeOptions(seed, total, dir)
+				opts.SnapshotEvery = 1
+				opts.StateStamp = "run-0"
+				kill := killAt
+				opts.Stop = func(s Snapshot) bool { return s.Executed >= kill }
+				eng, cleanup, err := NewSession(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.RunWith(eng.LocalExecutor())
+				// The crash: no Finish, no report — only the store's writes
+				// survive. cleanup flushes them, standing in for the bytes
+				// the dead process had already handed to the kernel.
+				if err := cleanup(); err != nil {
+					t.Fatal(err)
+				}
+
+				// Resume and run to completion.
+				ropts := resumeOptions(seed, total, dir)
+				ropts.Resume = true
+				ropts.StateStamp = "run-1"
+				res, err := Explore(ropts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if len(res.Records) != total {
+					t.Fatalf("merged session has %d records, want %d", len(res.Records), total)
+				}
+				seen := make(map[string]bool, total)
+				for _, rec := range res.Records {
+					key := rec.Point.Key()
+					if seen[key] {
+						t.Fatalf("scenario %s executed twice", key)
+					}
+					seen[key] = true
+				}
+				if res.Executed != ref.Executed || res.Failed != ref.Failed ||
+					res.Crashed != ref.Crashed || res.UniqueFailures != ref.UniqueFailures {
+					t.Fatalf("merged tallies diverge from uninterrupted run:\n got executed=%d failed=%d crashed=%d unique=%d\nwant executed=%d failed=%d crashed=%d unique=%d",
+						res.Executed, res.Failed, res.Crashed, res.UniqueFailures,
+						ref.Executed, ref.Failed, ref.Crashed, ref.UniqueFailures)
+				}
+				for i := range ref.Records {
+					a, b := ref.Records[i], res.Records[i]
+					if a.Scenario != b.Scenario || a.Impact != b.Impact || a.Fitness != b.Fitness ||
+						a.Cluster != b.Cluster || a.Outcome.Failed != b.Outcome.Failed ||
+						a.Outcome.Crashed != b.Outcome.Crashed {
+						t.Fatalf("record %d diverges from uninterrupted run:\n got %+v\nwant %+v", i, b, a)
+					}
+				}
+				if res.Coverage != ref.Coverage || res.RecoveryCoverage != ref.RecoveryCoverage {
+					t.Fatalf("coverage diverges: got %.4f/%.4f want %.4f/%.4f",
+						res.Coverage, res.RecoveryCoverage, ref.Coverage, ref.RecoveryCoverage)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashResumeCoarseSnapshots: with the default snapshot cadence the
+// kill point usually falls past the last snapshot, so resume replays the
+// journal tail into the explorer. Exact record-for-record equality no
+// longer holds (the RNG resumes from the snapshot), but the hard
+// invariants must: no re-execution, full budget, and a merged result at
+// least as diverse as the journal tail guarantees.
+func TestCrashResumeCoarseSnapshots(t *testing.T) {
+	const total, killAt = 90, 47
+	dir := t.TempDir()
+	opts := resumeOptions(7, total, dir)
+	opts.SnapshotEvery = 20 // snapshots at 20 and 40; kill at 47 leaves a 7-record tail
+	opts.Stop = func(s Snapshot) bool { return s.Executed >= killAt }
+	eng, cleanup, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunWith(eng.LocalExecutor())
+	if err := cleanup(); err != nil {
+		t.Fatal(err)
+	}
+
+	ropts := resumeOptions(7, total, dir)
+	ropts.Resume = true
+	res, err := Explore(ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != total || len(res.Records) != total {
+		t.Fatalf("resumed session executed %d, want %d", res.Executed, total)
+	}
+	seen := make(map[string]bool, total)
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("scenario %s executed twice", rec.Point.Key())
+		}
+		seen[rec.Point.Key()] = true
+	}
+}
+
+// TestCrashResumeParallelWorkers: the persistence path under the
+// concurrent engine (batched leases, reducer folding, async journal
+// writer) — run under -race in CI. Parallel sessions are not
+// bit-reproducible, so the assertions are the hard invariants only.
+func TestCrashResumeParallelWorkers(t *testing.T) {
+	const total, killAt = 140, 63
+	dir := t.TempDir()
+	opts := resumeOptions(5, total, dir)
+	opts.Workers = 4
+	opts.Batch = 8
+	opts.Stop = func(s Snapshot) bool { return s.Executed >= killAt }
+	eng, cleanup, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunWith(eng.LocalExecutor())
+	if err := cleanup(); err != nil {
+		t.Fatal(err)
+	}
+
+	ropts := resumeOptions(5, total, dir)
+	ropts.Resume = true
+	ropts.Workers = 4
+	res, err := Explore(ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != total {
+		t.Fatalf("resumed parallel session executed %d, want %d", res.Executed, total)
+	}
+	seen := make(map[string]bool, total)
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("scenario %s executed twice", rec.Point.Key())
+		}
+		seen[rec.Point.Key()] = true
+	}
+	entries, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != total {
+		t.Fatalf("journal has %d entries, want %d", len(entries), total)
+	}
+}
+
+// TestPersistentCoordinatorResume: a killed-and-restarted distributed
+// coordinator continues the same session — remote managers never
+// re-execute a journaled scenario, and the final result set spans both
+// incarnations.
+func TestPersistentCoordinatorResume(t *testing.T) {
+	target, err := Target("coreutils")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := SpaceFor(target, 8, 0, 3)
+	dir := t.TempDir()
+
+	runServe := func(budget int, resume bool) *Result {
+		coord, cleanup, err := NewPersistentCoordinator(target.Name, space,
+			ExploreOptions{Seed: 9}, budget, 2, dir, resume)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeCoordinator("127.0.0.1:0", coord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		mgr, err := DialManager(srv.Addr(), "m1", target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		if _, err := mgr.RunUntilDone(); err != nil {
+			t.Fatal(err)
+		}
+		res := coord.Result()
+		if err := cleanup(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := runServe(30, false)
+	if first.Executed != 30 {
+		t.Fatalf("first serve session executed %d, want 30", first.Executed)
+	}
+	merged := runServe(75, true)
+	if merged.Executed != 75 {
+		t.Fatalf("restarted serve session executed %d total, want 75", merged.Executed)
+	}
+	entries, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 75 {
+		t.Fatalf("journal has %d entries, want 75", len(entries))
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if seen[e.Key()] {
+			t.Fatalf("scenario %s leased twice across serve incarnations", e.Key())
+		}
+		seen[e.Key()] = true
+		// Managers report outcomes, not plans; the coordinator must
+		// rebuild the armed plan from the scenario so `afex replay` can
+		// reproduce serve-mode failures.
+		if e.Failed && !e.Skipped && len(e.Plan) == 0 {
+			t.Fatalf("serve journal entry %d (failed) has no injection plan", e.Seq)
+		}
+	}
+}
+
+// TestStateDirNoveltyWithoutResume: two independent runs (no --resume)
+// sharing a state dir must spend their budgets on disjoint scenarios —
+// the cross-run novelty property: equal budget, strictly more distinct
+// scenarios than either run alone.
+func TestStateDirNoveltyWithoutResume(t *testing.T) {
+	dir := t.TempDir()
+	first, err := Explore(resumeOptions(11, 50, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed != 50 {
+		t.Fatalf("first run executed %d, want 50", first.Executed)
+	}
+	// Same seed, same everything: without the store this run would
+	// re-execute the identical 50 scenarios.
+	second, err := Explore(resumeOptions(11, 100, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Executed != 100 {
+		t.Fatalf("cumulative session executed %d, want 100", second.Executed)
+	}
+	seen := make(map[string]bool)
+	for _, rec := range second.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("scenario %s executed twice across runs", rec.Point.Key())
+		}
+		seen[rec.Point.Key()] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("cumulative session covered %d distinct scenarios, want 100", len(seen))
+	}
+}

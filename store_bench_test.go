@@ -1,0 +1,154 @@
+package afex
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"afex/internal/core"
+	"afex/internal/explore"
+	"afex/internal/faultspace"
+	"afex/internal/inject"
+	"afex/internal/prog"
+	"afex/internal/store"
+)
+
+// Persistent-store benchmarks. Run with:
+//
+//	go test -bench 'BenchmarkJournalAppend|BenchmarkResumeLoad' -benchtime 1x
+//
+// BenchmarkJournalAppend measures the cost the engine pays per folded
+// record: JournalRecord is an enqueue (the fold path holds the session
+// lock while calling it), with JSON encoding and file IO amortized by
+// the store's background writer. BenchmarkResumeLoad measures the other
+// end — rebuilding a core.Restore from a journal at session scale.
+
+func benchJournalRecord(i int) (explore.Candidate, core.Record) {
+	c := explore.Candidate{
+		Point:       faultspace.Point{Sub: 0, Fault: faultspace.Fault{i % 20, i % 7, i % 60}},
+		MutatedAxis: i % 3,
+	}
+	rec := core.Record{
+		ID:       i,
+		Point:    c.Point,
+		Scenario: "testID 4 function read errno EIO retval -1 callNumber 17",
+		TestID:   4,
+		Plan:     inject.Single(inject.Fault{Function: "read", CallNumber: 17}),
+		Outcome: prog.Outcome{
+			Injected:       true,
+			Failed:         i%5 == 0,
+			InjectionStack: []string{"main", "srv!serve", "libc!read"},
+			Blocks:         map[int]struct{}{1: {}, 2: {}, 3: {}, i%29 + 4: {}},
+		},
+		NewBlocks: i % 2,
+		Impact:    float64(i % 37),
+		Fitness:   float64(i % 37),
+		Cluster:   i % 11,
+		Shard:     -1,
+	}
+	return c, rec
+}
+
+func BenchmarkJournalAppend(b *testing.B) {
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Begin("bench", "sig", "bench"); err != nil {
+		b.Fatal(err)
+	}
+	// Pre-build the records: the benchmark measures the store, not the
+	// synthesis of test data.
+	cands := make([]explore.Candidate, 512)
+	recs := make([]core.Record, 512)
+	for i := range recs {
+		cands[i], recs[i] = benchJournalRecord(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.JournalRecord(cands[i%512], recs[i%512])
+	}
+	if err := st.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkResumeLoad(b *testing.B) {
+	const entries = 10000
+	dir := b.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Begin("bench", "sig", "bench"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < entries; i++ {
+		c, rec := benchJournalRecord(i)
+		// Resume loading dedupes by scenario key; give every entry a
+		// distinct one.
+		rec.Point = faultspace.Point{Sub: 0, Fault: faultspace.Fault{i, i % 7, i % 60}}
+		c.Point = rec.Point
+		rec.ID = i
+		st.JournalRecord(c, rec)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := s.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r == nil || len(r.Records) != entries {
+			b.Fatalf("recovered %v", r)
+		}
+		s.Close()
+		b.ReportMetric(float64(entries), "records")
+	}
+}
+
+// BenchmarkEngineThroughputStore is BenchmarkEngineThroughput's
+// workers=4 configuration with a state directory attached — the <5%
+// journal-overhead budget of the persistent store is checked by
+// comparing the two tests/sec metrics.
+func BenchmarkEngineThroughputStore(b *testing.B) {
+	const iterations = 96
+	root := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		opts := Options{
+			Target:     benchTarget(),
+			Space:      benchSpace(),
+			Algorithm:  Random,
+			Iterations: iterations,
+			Workers:    4,
+			StateDir:   filepath.Join(root, fmt.Sprint(i)),
+			StateStamp: "bench",
+			Explore:    ExploreOptions{Seed: int64(i + 1)},
+		}
+		eng, cleanup, err := NewSession(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		eng.RunWith(&pacedExecutor{inner: eng.LocalExecutor(), service: 2 * time.Millisecond})
+		res := eng.Finish()
+		if err := cleanup(); err != nil {
+			b.Fatal(err)
+		}
+		if res.Executed != iterations {
+			b.Fatalf("executed %d, want %d", res.Executed, iterations)
+		}
+		b.ReportMetric(float64(res.Executed)/time.Since(start).Seconds(), "tests/sec")
+	}
+}
