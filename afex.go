@@ -52,9 +52,23 @@
 // Space.Size saturates in int64 instead of overflowing, so pair and
 // detailed spaces with billions of points build in microseconds.
 // Options.Shards partitions a space into disjoint regions
-// (Space.Shard), each explored by an independent fitness-guided search
-// with candidates striped across the shards — the way to keep many
-// workers, local or remote, from mining the same vicinity.
+// (Space.Shard), each explored by an independent instance of the
+// selected algorithm with candidates striped across the shards — the
+// way to keep many workers, local or remote, from mining the same
+// vicinity. Sharding composes with every registered strategy
+// (sharded-random, sharded-genetic, sharded-portfolio, …); the
+// exploration stack always composes in the order strategy → sharded →
+// novelty filter.
+//
+// # Choosing an algorithm
+//
+// Options.Algorithm picks the search strategy (see Algorithms for the
+// registry): fitness-guided when the failure landscape has structure to
+// learn, random for flat landscapes or tiny budgets, exhaustive when
+// the space is small enough to enumerate, genetic to reproduce the
+// paper's abandoned-baseline comparison — and portfolio when the
+// landscape is unknown: a UCB1 bandit splits the budget across fitness,
+// random and genetic arms at runtime and tracks the best of them.
 //
 // # Persistence
 //
@@ -83,9 +97,15 @@ import (
 	"afex/internal/trace"
 )
 
-// Algorithm names accepted by Options.Algorithm.
+// Algorithm names accepted by Options.Algorithm. They resolve through
+// the exploration strategy registry (Algorithms lists it); an unknown
+// name fails session construction with an error naming every valid
+// choice. Sharding (Options.Shards) composes with all of them, in the
+// documented composition order strategy → sharded → novelty filter.
 const (
-	// FitnessGuided is Algorithm 1 of the paper: the adaptive search.
+	// FitnessGuided is Algorithm 1 of the paper: the adaptive
+	// fitness-guided search (stochastic beam search with sensitivity
+	// analysis, Gaussian mutation and aging). The default.
 	FitnessGuided = "fitness"
 	// Random samples the space uniformly without replacement.
 	Random = "random"
@@ -95,7 +115,19 @@ const (
 	// first and abandoned as inefficient (§3); it is provided so that
 	// comparison can be reproduced.
 	Genetic = "genetic"
+	// Portfolio is the adaptive multi-armed-bandit meta-explorer: a
+	// UCB1 bandit runs fitness, random and genetic arms over the same
+	// space, re-allocating each lease to whichever arm is currently
+	// earning the most impact-weighted fitness. Use it when the failure
+	// landscape's structure is unknown — it tracks the best fixed
+	// algorithm without betting the session on one up front. Result
+	// sets report the per-arm budget split (Result.Arms).
+	Portfolio = "portfolio"
 )
+
+// Algorithms returns the sorted names of every registered exploration
+// strategy — the valid values of Options.Algorithm.
+func Algorithms() []string { return explore.Strategies() }
 
 // Re-exported core types. The type aliases keep one set of documentation
 // and let advanced callers drop down to the internal packages' richer
@@ -114,6 +146,9 @@ type (
 	ImpactOptions = core.ImpactConfig
 	// ExploreOptions tunes the fitness-guided algorithm.
 	ExploreOptions = explore.Config
+	// ArmStat is one portfolio arm's bandit statistics (pulls, reward),
+	// reported through Snapshot.Arms and Result.Arms.
+	ArmStat = explore.ArmStat
 	// Space is a union of fault subspaces.
 	Space = faultspace.Union
 	// Fault is a point in a fault space.

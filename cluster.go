@@ -27,6 +27,20 @@ type (
 	ClusterStats = rpcnode.Stats
 )
 
+// newClusterExplorer builds the coordinator-side exploration stack:
+// the named registered strategy, wrapped in sharding when shards > 1 —
+// the same composition order (strategy → sharded) local sessions use.
+// algorithm == "" selects the fitness default.
+func newClusterExplorer(space *Space, algorithm string, cfg ExploreOptions, shards int) (explore.Explorer, error) {
+	if algorithm == "" {
+		algorithm = FitnessGuided
+	}
+	if shards > 1 {
+		return explore.NewShardedStrategy(space, shards, algorithm, cfg)
+	}
+	return explore.New(algorithm, space, cfg)
+}
+
 // NewCoordinator wraps a fitness-guided explorer over space for
 // distributed execution. budget caps the number of executed tests
 // (0 = until the space is exhausted); impact == nil selects the default
@@ -39,26 +53,44 @@ func NewCoordinator(space *Space, cfg ExploreOptions, budget int) *Coordinator {
 // into shards disjoint regions (Space.Shard), one independent
 // fitness-guided search per region, candidates striped across them — so
 // remote node managers always work disjoint parts of the space. shards
-// <= 1 degenerates to NewCoordinator.
+// <= 1 degenerates to NewCoordinator. Use NewCoordinatorFor to pick a
+// different strategy.
 func NewShardedCoordinator(space *Space, cfg ExploreOptions, budget, shards int) *Coordinator {
-	if shards <= 1 {
-		return NewCoordinator(space, cfg, budget)
+	c, err := NewCoordinatorFor(space, FitnessGuided, cfg, budget, shards)
+	if err != nil {
+		// The fitness strategy is always registered.
+		panic("afex: " + err.Error())
 	}
-	return rpcnode.NewCoordinator(space, explore.NewSharded(space, shards, cfg), budget, nil)
+	return c
 }
 
-// NewPersistentCoordinator is NewShardedCoordinator backed by the
+// NewCoordinatorFor builds a distributed coordinator running any
+// registered exploration strategy ("fitness", "random", "genetic",
+// "portfolio", …), sharded over shards disjoint regions when shards >
+// 1. Unknown algorithm names return the registry's error listing every
+// valid choice.
+func NewCoordinatorFor(space *Space, algorithm string, cfg ExploreOptions, budget, shards int) (*Coordinator, error) {
+	ex, err := newClusterExplorer(space, algorithm, cfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	return rpcnode.NewCoordinatorConfig(core.Config{Space: space, Iterations: budget}, ex, nil)
+}
+
+// NewPersistentCoordinator is NewCoordinatorFor backed by the
 // persistent exploration store: the coordinator journals every result
 // its managers report under stateDir, snapshots the session state, and —
 // on a directory with prior state — continues the same session, never
 // re-leasing a journaled scenario. resume additionally restores the
-// explorer's search state, so a restarted `afex serve` picks up exactly
-// where the killed one stopped. targetName is recorded in the store's
-// metadata (a coordinator never loads the target itself).
+// explorer's search state (including a portfolio's bandit counters), so
+// a restarted `afex serve` picks up exactly where the killed one
+// stopped. targetName is recorded in the store's metadata (a
+// coordinator never loads the target itself). algorithm == "" selects
+// the fitness default.
 //
 // The returned cleanup function flushes and closes the store; call it
 // after Coordinator.Result.
-func NewPersistentCoordinator(targetName string, space *Space, cfg ExploreOptions, budget, shards int, stateDir string, resume bool) (*Coordinator, func() error, error) {
+func NewPersistentCoordinator(targetName string, space *Space, algorithm string, cfg ExploreOptions, budget, shards int, stateDir string, resume bool) (*Coordinator, func() error, error) {
 	ecfg := core.Config{Space: space, Iterations: budget, Resume: resume}
 	st, err := store.Open(stateDir)
 	if err != nil {
@@ -68,11 +100,10 @@ func NewPersistentCoordinator(targetName string, space *Space, cfg ExploreOption
 		st.Close()
 		return nil, nil, err
 	}
-	var ex explore.Explorer
-	if shards > 1 {
-		ex = explore.NewSharded(space, shards, cfg)
-	} else {
-		ex = explore.NewFitnessGuided(space, cfg)
+	ex, err := newClusterExplorer(space, algorithm, cfg, shards)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
 	}
 	coord, err := rpcnode.NewCoordinatorConfig(ecfg, ex, nil)
 	if err != nil {

@@ -5,15 +5,16 @@
 //
 // Usage:
 //
-//	afex explore --target mysqld [--algorithm fitness] [--iterations 1000]
-//	             [--seed 1] [--feedback] [--workers 4] [--batch 16] [--shards 4]
-//	             [--funcs 19] [--call-lo 1] [--call-hi 100] [--top 10] [--repro]
+//	afex explore --target mysqld [--algo fitness|random|exhaustive|genetic|portfolio]
+//	             [--iterations 1000] [--seed 1] [--feedback] [--workers 4]
+//	             [--batch 16] [--shards 4] [--funcs 19] [--call-lo 1]
+//	             [--call-hi 100] [--top 10] [--repro]
 //	             [--state-dir DIR] [--resume] [--progress 5s]
 //	afex replay  --target mysqld --scenario "testID 5 function read errno EIO retval -1 callNumber 3"
 //	afex replay  <state-dir-or-journal> [--target mysqld] [--all] [--trials 1]
 //	afex profile --target coreutils [--funcs 19]
 //	afex serve   --target coreutils --addr :7070 [--iterations 500] [--shards 4]
-//	             [--state-dir DIR] [--resume]
+//	             [--algo portfolio] [--state-dir DIR] [--resume]
 //	afex worker  --target coreutils --addr host:7070 --id mgr01
 //	afex targets
 //
@@ -99,7 +100,8 @@ exit status 3 means the exploration found failure-inducing scenarios.`)
 func cmdExplore(args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	targetName := fs.String("target", "coreutils", "target system under test")
-	algorithm := fs.String("algorithm", afex.FitnessGuided, "fitness | random | exhaustive | genetic")
+	algorithm := fs.String("algorithm", afex.FitnessGuided, "exploration strategy: "+strings.Join(afex.Algorithms(), " | "))
+	fs.StringVar(algorithm, "algo", afex.FitnessGuided, "alias for --algorithm")
 	iterations := fs.Int("iterations", 250, "number of tests to execute (0 = until exhausted)")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	feedback := fs.Bool("feedback", false, "enable redundancy feedback (§7.4)")
@@ -376,6 +378,8 @@ func cmdServe(args []string) error {
 	targetName := fs.String("target", "coreutils", "target system under test")
 	addr := fs.String("addr", ":7070", "listen address")
 	iterations := fs.Int("iterations", 500, "test budget (0 = until exhausted)")
+	algorithm := fs.String("algorithm", afex.FitnessGuided, "exploration strategy: "+strings.Join(afex.Algorithms(), " | "))
+	fs.StringVar(algorithm, "algo", afex.FitnessGuided, "alias for --algorithm")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	nFuncs := fs.Int("funcs", 19, "function-axis size")
 	callLo := fs.Int("call-lo", 1, "callNumber axis lower bound")
@@ -397,13 +401,16 @@ func cmdServe(args []string) error {
 	var coord *afex.Coordinator
 	cleanup := func() error { return nil }
 	if *stateDir != "" {
-		coord, cleanup, err = afex.NewPersistentCoordinator(target.Name, space,
+		coord, cleanup, err = afex.NewPersistentCoordinator(target.Name, space, *algorithm,
 			afex.ExploreOptions{Seed: *seed}, *iterations, *shards, *stateDir, *resume)
 		if err != nil {
 			return err
 		}
 	} else {
-		coord = afex.NewShardedCoordinator(space, afex.ExploreOptions{Seed: *seed}, *iterations, *shards)
+		coord, err = afex.NewCoordinatorFor(space, *algorithm, afex.ExploreOptions{Seed: *seed}, *iterations, *shards)
+		if err != nil {
+			return err
+		}
 		coord.SetTargetName(target.Name)
 	}
 	srv, err := afex.ServeCoordinator(*addr, coord)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"afex"
@@ -130,6 +131,38 @@ func TestCmdExploreStateDirAndReplay(t *testing.T) {
 func TestCmdExploreUnknownTarget(t *testing.T) {
 	if err := cmdExplore([]string{"--target", "nope"}); err == nil {
 		t.Fatal("unknown target accepted")
+	}
+}
+
+// TestCmdExploreUnknownAlgorithm: explorer construction is error-
+// returning all the way up — a typo'd algorithm name must fail with a
+// message listing every valid choice instead of a silent nil explorer.
+func TestCmdExploreUnknownAlgorithm(t *testing.T) {
+	for _, flagName := range []string{"--algorithm", "--algo"} {
+		err := cmdExplore([]string{"--target", "coreutils", flagName, "simulated-annealing"})
+		if err == nil {
+			t.Fatalf("%s simulated-annealing accepted", flagName)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `"simulated-annealing"`) || !strings.Contains(msg, "valid:") {
+			t.Fatalf("error %q does not name the bad algorithm and the valid choices", msg)
+		}
+		for _, name := range afex.Algorithms() {
+			if !strings.Contains(msg, name) {
+				t.Errorf("error %q does not list registered strategy %q", msg, name)
+			}
+		}
+	}
+}
+
+// TestCmdExplorePortfolio: the adaptive explorer runs end to end from
+// the CLI (via the --algo alias), composed with sharding.
+func TestCmdExplorePortfolio(t *testing.T) {
+	if err := noFailures(cmdExplore([]string{
+		"--target", "coreutils", "--algo", "portfolio", "--iterations", "60",
+		"--shards", "2", "--call-lo", "0", "--call-hi", "2",
+	})); err != nil {
+		t.Fatal(err)
 	}
 }
 

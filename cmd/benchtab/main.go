@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,12 +21,27 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "base RNG seed")
-	reps := flag.Int("reps", 3, "repetitions to average stochastic experiments over")
-	scale := flag.Float64("scale", 1.0, "iteration budget multiplier (use <1 for a quick pass)")
-	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig8,table4,table5,table6,fig9,scale,ablation,sharding")
-	skipSlow := flag.Bool("skip-slow", false, "skip the slowest experiments (table1, scale)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the testable body of the command: parse args, print the
+// selected experiments to w.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "base RNG seed")
+	reps := fs.Int("reps", 3, "repetitions to average stochastic experiments over")
+	scale := fs.Float64("scale", 1.0, "iteration budget multiplier (use <1 for a quick pass)")
+	only := fs.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig8,table4,table5,table6,fig9,scale,ablation,sharding,portfolio")
+	skipSlow := fs.Bool("skip-slow", false, "skip the slowest experiments (table1, scale)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	o := experiments.Opts{Seed: *seed, Reps: *reps, Scale: *scale}
 	want := map[string]bool{}
@@ -49,7 +66,7 @@ func main() {
 			return
 		}
 		ran++
-		fmt.Println(gen().String())
+		fmt.Fprintln(w, gen().String())
 	}
 
 	show("fig1", func() fmt.Stringer { return experiments.Fig1(o) })
@@ -64,9 +81,10 @@ func main() {
 	show("scale", func() fmt.Stringer { return experiments.Scalability(o, nil, 0, 0) })
 	show("ablation", func() fmt.Stringer { return experiments.Ablations(o) })
 	show("sharding", func() fmt.Stringer { return experiments.Sharding(o, 4) })
+	show("portfolio", func() fmt.Stringer { return experiments.Portfolio(o) })
 
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "benchtab: nothing selected (check --only values)")
-		os.Exit(2)
+		return fmt.Errorf("nothing selected (check --only values)")
 	}
+	return nil
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestBenchtabFig1Golden: every experiment is deterministic given its
+// seed, so a small fixture run's bytes are pinned. Fig. 1 involves no
+// RNG at all, making it the cheapest stable fixture. Regenerate with
+// `go test -update` after intentional target or experiment changes.
+func TestBenchtabFig1Golden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"--only", "fig1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fig1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("benchtab output diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out.Bytes(), want)
+	}
+}
+
+// TestBenchtabSelection: --only filters experiments; an unknown key
+// selects nothing and errors instead of silently printing all.
+func TestBenchtabSelection(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"--only", "sharding", "--scale", "0.1", "--reps", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Sharding") || strings.Contains(out.String(), "Fig. 1") {
+		t.Errorf("--only sharding printed the wrong experiments:\n%s", out.String())
+	}
+	if err := run([]string{"--only", "nope"}, &out); err == nil {
+		t.Fatal("unknown --only key accepted")
+	}
+}
+
+// TestBenchtabPortfolioRenders: the portfolio table is wired into the
+// CLI and renders its ratio column at a tiny scale.
+func TestBenchtabPortfolioRenders(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"--only", "portfolio", "--scale", "0.1", "--reps", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "port/best") {
+		t.Errorf("portfolio table missing:\n%s", out.String())
+	}
+}

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,23 +24,37 @@ import (
 )
 
 func main() {
-	targetName := flag.String("target", "coreutils", "target system under test")
-	module := flag.String("module", "", "restrict rows to tests of this module (e.g. \"ls\")")
-	nFuncs := flag.Int("funcs", 19, "number of functions (columns)")
-	call := flag.Int("call", 1, "call number to fail")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "faultmap:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: parse args, render the map
+// to w.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("faultmap", flag.ContinueOnError)
+	targetName := fs.String("target", "coreutils", "target system under test")
+	module := fs.String("module", "", "restrict rows to tests of this module (e.g. \"ls\")")
+	nFuncs := fs.Int("funcs", 19, "number of functions (columns)")
+	call := fs.Int("call", 1, "call number to fail")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	target, err := afex.Target(*targetName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "faultmap:", err)
-		os.Exit(1)
+		return err
 	}
 	sp := afex.Profile(target)
 	funcs := sp.TopFunctions(*nFuncs)
 
-	fmt.Printf("fault map of %s (call #%d; '#' test failure, '@' crash, '.' no failure)\n", target.Name, *call)
+	fmt.Fprintf(w, "fault map of %s (call #%d; '#' test failure, '@' crash, '.' no failure)\n", target.Name, *call)
 	for j, fn := range funcs {
-		fmt.Printf("  col %2d: %s\n", j, fn)
+		fmt.Fprintf(w, "  col %2d: %s\n", j, fn)
 	}
 	for t, tc := range target.TestSuite {
 		if *module != "" && !strings.Contains(tc.Name, "/"+*module+"-") {
@@ -58,6 +74,7 @@ func main() {
 				row[j] = '.'
 			}
 		}
-		fmt.Printf("%-28s %s\n", tc.Name, row)
+		fmt.Fprintf(w, "%-28s %s\n", tc.Name, row)
 	}
+	return nil
 }

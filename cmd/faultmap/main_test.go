@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestFaultmapGolden: the rendered map is a pure function of the target
+// model, so its bytes are pinned. Regenerate with `go test -update`
+// after intentional target or profiling changes.
+func TestFaultmapGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"--target", "coreutils", "--module", "ls", "--funcs", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "ls.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("faultmap output diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out.Bytes(), want)
+	}
+}
+
+// TestFaultmapRejectsUnknownTarget: errors surface instead of a partial
+// map.
+func TestFaultmapRejectsUnknownTarget(t *testing.T) {
+	if err := run([]string{"--target", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}

@@ -105,6 +105,41 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPortfolio measures the adaptive bandit explorer's overhead
+// end to end: a full portfolio session against the mysqld model,
+// reporting both tests/sec and the unique-failure yield. The bandit's
+// own work (arm selection, reward accounting, shared dedup) must stay
+// negligible next to test execution — §7.7's "the explorer is not the
+// bottleneck" claim, extended to the meta-explorer.
+func BenchmarkPortfolio(b *testing.B) {
+	target, err := Target("mysqld")
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := SpaceFor(target, 19, 1, 20)
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := Explore(Options{
+			Target:     target,
+			Space:      space,
+			Algorithm:  Portfolio,
+			Iterations: 800,
+			Explore:    ExploreOptions{Seed: int64(i + 1)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Executed != 800 {
+			b.Fatalf("executed %d, want 800", res.Executed)
+		}
+		if len(res.Arms) == 0 {
+			b.Fatal("portfolio session reported no arm statistics")
+		}
+		b.ReportMetric(float64(res.Executed)/time.Since(start).Seconds(), "tests/sec")
+		b.ReportMetric(float64(res.UniqueFailures), "unique-failures")
+	}
+}
+
 // BenchmarkClusterSetAdd measures incremental clustering at session
 // scale: 10k stacks per iteration, a mix of exact re-triggers (the
 // common case in long sessions) and novel traces of varied depth. The

@@ -56,6 +56,9 @@ type Engine struct {
 	// shardOf labels records with their owning shard in sharded
 	// sessions (nil otherwise).
 	shardOf func(faultspace.Point) int
+	// armStats reads the portfolio explorer's per-arm bandit statistics
+	// (nil for non-portfolio sessions). Called under the session lock.
+	armStats func() []explore.ArmStat
 	// axisNames caches each subspace's axis names for the slice-based
 	// scenario path (no per-candidate map on the execution hot path).
 	axisNames [][]string
@@ -98,17 +101,21 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 		if cfg.Algorithm == "" {
 			cfg.Algorithm = "fitness"
 		}
+		// Composition order of the exploration stack: strategy → sharded
+		// → novel (the novelty wrap happens below, after restore). Shards
+		// composes with every registered strategy.
 		if cfg.Shards > 1 {
-			if cfg.Algorithm != "fitness" && cfg.Algorithm != "fitness-guided" {
-				return nil, fmt.Errorf("core: Config.Shards requires the fitness algorithm, not %q", cfg.Algorithm)
+			sh, err := explore.NewShardedStrategy(cfg.Space, cfg.Shards, cfg.Algorithm, cfg.Explore)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
 			}
-			sh := explore.NewSharded(cfg.Space, cfg.Shards, cfg.Explore)
 			cfg.Algorithm = sh.Name()
 			ex = sh
 		} else {
-			ex = explore.New(cfg.Algorithm, cfg.Space, cfg.Explore)
-			if ex == nil {
-				return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
+			var err error
+			ex, err = explore.New(cfg.Algorithm, cfg.Space, cfg.Explore)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
 			}
 		}
 	}
@@ -174,6 +181,11 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 	// attached.
 	if sh, ok := ex.(*explore.Sharded); ok && cfg.Store != nil {
 		e.shardOf = sh.ShardOf
+	}
+	// Per-arm statistics for portfolio sessions (captured before the
+	// novelty wrap; Novel would delegate anyway).
+	if ar, ok := ex.(explore.ArmReporter); ok {
+		e.armStats = ar.ArmStats
 	}
 	if len(cfg.Seen) > 0 {
 		ex = explore.NewNovel(ex, cfg.Seen)
@@ -346,10 +358,12 @@ func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcom
 	if outcome.Injected {
 		e.res.Injected++
 	}
+	newCluster := false
 	if outcome.Injected && outcome.Failed {
 		e.res.Failed++
-		id, _ := e.failClusters.Add(rec.ID, outcome.InjectionStack)
+		id, isNew := e.failClusters.Add(rec.ID, outcome.InjectionStack)
 		rec.Cluster = id
+		newCluster = isNew
 		if outcome.Crashed {
 			e.res.Crashed++
 			e.crashClusters.Add(rec.ID, outcome.InjectionStack)
@@ -363,7 +377,7 @@ func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcom
 	}
 	e.res.Records = append(e.res.Records, rec)
 
-	fb := explore.Feedback{C: c, Impact: rec.Impact, Fitness: rec.Fitness}
+	fb := explore.Feedback{C: c, Impact: rec.Impact, Fitness: rec.Fitness, NewCluster: newCluster}
 
 	if e.cfg.Observe != nil {
 		e.cfg.Observe(rec)
@@ -411,7 +425,7 @@ func (e *Engine) snapshotLocked() Snapshot {
 	if e.cfg.Target != nil && e.cfg.Target.NumBlocks > 0 {
 		cov = float64(len(e.covered)) / float64(e.cfg.Target.NumBlocks)
 	}
-	return Snapshot{
+	s := Snapshot{
 		Executed:       e.res.Executed,
 		Injected:       e.res.Injected,
 		Failed:         e.res.Failed,
@@ -422,6 +436,10 @@ func (e *Engine) snapshotLocked() Snapshot {
 		Pending:        e.pending,
 		Coverage:       cov,
 	}
+	if e.armStats != nil {
+		s.Arms = e.armStats()
+	}
+	return s
 }
 
 // Finish seals and returns the result set: elapsed time, final
@@ -440,6 +458,9 @@ func (e *Engine) Finish() *ResultSet {
 		if sens := s.Sensitivities(0); sens != nil {
 			e.res.Sensitivities = sens
 		}
+	}
+	if e.armStats != nil {
+		e.res.Arms = e.armStats()
 	}
 	e.res.UniqueFailures = e.failClusters.Len()
 	e.res.UniqueCrashes = e.crashClusters.Len()

@@ -300,17 +300,75 @@ func TestShardedSessionCoversDisjointRegions(t *testing.T) {
 	}
 }
 
-// TestShardsRejectBaselineAlgorithms: sharding partitions fitness-guided
-// searches; asking for it with a baseline must fail loudly.
-func TestShardsRejectBaselineAlgorithms(t *testing.T) {
-	_, err := NewEngine(Config{
-		Target:    sessionTarget(),
-		Space:     sessionSpace(),
-		Algorithm: "random",
-		Shards:    4,
-	}, nil)
-	if err == nil || !strings.Contains(err.Error(), "Shards") {
-		t.Fatalf("err = %v, want a Shards/algorithm error", err)
+// TestShardsComposeWithEveryStrategy: sharding wraps any registered
+// strategy — sharded-random, sharded-genetic and sharded-exhaustive
+// sessions run to their budget, label the result set "sharded-<name>",
+// never execute a point twice, and sequential runs are deterministic.
+func TestShardsComposeWithEveryStrategy(t *testing.T) {
+	// A space wide enough that a 60-test budget samples it (6×2×10 =
+	// 120 points; the shared sessionSpace has only 16).
+	wideSpace := func() *faultspace.Union {
+		return faultspace.NewUnion(faultspace.New("s",
+			faultspace.IntAxis("testID", 0, 5),
+			faultspace.SetAxis("function", "read", "write"),
+			faultspace.IntAxis("callNumber", 1, 10),
+		))
+	}
+	for _, alg := range []string{"random", "genetic", "exhaustive", "portfolio"} {
+		t.Run(alg, func(t *testing.T) {
+			run := func() *ResultSet {
+				res, err := Run(Config{
+					Target:     sessionTarget(),
+					Space:      wideSpace(),
+					Algorithm:  alg,
+					Shards:     3,
+					Iterations: 60,
+					Explore:    explore.Config{Seed: 11},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			res := run()
+			if res.Algorithm != "sharded-"+alg {
+				t.Fatalf("result algorithm = %q, want %q", res.Algorithm, "sharded-"+alg)
+			}
+			if res.Executed != 60 {
+				t.Fatalf("executed %d, want 60", res.Executed)
+			}
+			seen := make(map[string]bool)
+			for _, rec := range res.Records {
+				if seen[rec.Point.Key()] {
+					t.Fatalf("point %s executed twice", rec.Point.Key())
+				}
+				seen[rec.Point.Key()] = true
+			}
+			again := run()
+			for i := range res.Records {
+				if res.Records[i].Scenario != again.Records[i].Scenario {
+					t.Fatalf("sharded-%s sequential run not deterministic at record %d: %q vs %q",
+						alg, i, res.Records[i].Scenario, again.Records[i].Scenario)
+				}
+			}
+		})
+	}
+}
+
+// TestUnknownAlgorithmFailsLoudly: explorer construction is
+// error-returning; an unknown name must fail NewEngine with the list of
+// valid strategies, sharded or not.
+func TestUnknownAlgorithmFailsLoudly(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		_, err := NewEngine(Config{
+			Target:    sessionTarget(),
+			Space:     sessionSpace(),
+			Algorithm: "simulated-annealing",
+			Shards:    shards,
+		}, nil)
+		if err == nil || !strings.Contains(err.Error(), "valid:") {
+			t.Fatalf("shards=%d: err = %v, want an unknown-algorithm error listing valid names", shards, err)
+		}
 	}
 }
 

@@ -52,7 +52,13 @@ type Config struct {
 	Target *prog.Program
 	// Space is the fault space to explore.
 	Space *faultspace.Union
-	// Algorithm selects the explorer: "fitness", "random", "exhaustive".
+	// Algorithm selects the explorer by registered strategy name:
+	// "fitness" (Algorithm 1, the default), "random" (uniform sampling
+	// without replacement), "exhaustive" (lexicographic enumeration),
+	// "genetic" (the generational GA baseline the paper abandoned, §3),
+	// or "portfolio" (the adaptive UCB1 bandit over fitness/random/
+	// genetic arms). Unknown names fail NewEngine with an error listing
+	// every valid choice (explore.Strategies).
 	Algorithm string
 	// Explore tunes the fitness-guided algorithm (ignored by the
 	// baselines except for Seed).
@@ -64,12 +70,12 @@ type Config struct {
 	// fully deterministic sequential loop.
 	Workers int
 	// Shards partitions the fault space into this many disjoint regions
-	// (faultspace.Union.Shard), each explored by an independent
-	// fitness-guided search; candidates are striped across the shards, so
-	// workers — local or remote — always cover disjoint parts of the
-	// space. 0 or 1 runs one search over the whole space. Shards applies
-	// to the fitness algorithm only (the baselines have no per-region
-	// state worth splitting).
+	// (faultspace.Union.Shard), each explored by an independent instance
+	// of the selected Algorithm; candidates are striped across the
+	// shards, so workers — local or remote — always cover disjoint parts
+	// of the space. 0 or 1 runs one search over the whole space.
+	// Sharding composes with every registered strategy (the composition
+	// order is strategy → sharded → novelty filter).
 	Shards int
 	// Batch is the number of candidates a worker leases from the session
 	// per lock acquisition when Workers > 1 (amortizing coordination the
@@ -157,6 +163,9 @@ type Snapshot struct {
 	// outstanding work of in-flight workers or remote managers.
 	Pending  int
 	Coverage float64
+	// Arms is the portfolio explorer's live per-arm bandit statistics
+	// (nil for fixed-strategy sessions).
+	Arms []explore.ArmStat
 }
 
 // Record is one executed fault-injection test.
@@ -240,6 +249,12 @@ type ResultSet struct {
 	// Sensitivities is the fitness-guided explorer's final normalized
 	// per-axis sensitivity (nil for the baselines).
 	Sensitivities []float64
+
+	// Arms is the portfolio explorer's final per-arm bandit statistics:
+	// how the adaptive session split its budget across the fitness,
+	// random and genetic arms, and what each arm earned (nil for
+	// fixed-strategy sessions).
+	Arms []explore.ArmStat
 
 	// Elapsed is the wall-clock duration of the session.
 	Elapsed time.Duration
@@ -409,6 +424,12 @@ func (r *ResultSet) Report(topK int) string {
 		fmt.Fprintf(&b, "  distinct crash identities:\n")
 		for _, id := range ids {
 			fmt.Fprintf(&b, "    %-48s ×%d\n", id, r.CrashIDs[id])
+		}
+	}
+	if len(r.Arms) > 0 {
+		fmt.Fprintf(&b, "  portfolio arms (pulls, mean reward):\n")
+		for _, a := range r.Arms {
+			fmt.Fprintf(&b, "    %-10s %6d pulls  mean %.3f\n", a.Name, a.Pulls, a.Mean)
 		}
 	}
 	if r.Sensitivities != nil {

@@ -227,6 +227,37 @@ func TestStringsRender(t *testing.T) {
 	}
 }
 
+// TestPortfolioTracksBestFixedStrategy is the acceptance check for the
+// adaptive bandit explorer: on every one of the four paper targets, at
+// equal budget, the portfolio's unique-failure count must come within
+// 10% of the best fixed strategy's — without knowing in advance which
+// strategy that is (it differs per target).
+func TestPortfolioTracksBestFixedStrategy(t *testing.T) {
+	r := Portfolio(Opts{Seed: 1, Reps: 3})
+	if len(r.Targets) != 4 {
+		t.Fatalf("targets = %v, want the four paper targets", r.Targets)
+	}
+	for i, tgt := range r.Targets {
+		ratio := r.PortfolioRatio(i)
+		if ratio < 0.9 {
+			t.Errorf("%s: portfolio %.1f unique failures vs best fixed %.1f (ratio %.3f < 0.9)",
+				tgt, r.UniqueFailures[i][len(PortfolioStrategies)], r.BestFixed(i), ratio)
+		}
+		if r.BestFixed(i) == 0 {
+			t.Errorf("%s: no fixed strategy found any unique failures; experiment degenerate", tgt)
+		}
+		// The bandit must actually have tried every arm.
+		for _, name := range PortfolioStrategies {
+			if r.ArmPulls[i][name] == 0 {
+				t.Errorf("%s: arm %s got zero pulls", tgt, name)
+			}
+		}
+	}
+	if !strings.Contains(r.String(), "port/best") {
+		t.Error("String() lacks the ratio column")
+	}
+}
+
 // TestShardingFindsAtLeastAsManyClusters is the acceptance check for
 // sharded exploration: at the same iteration budget, a 4-shard session
 // must find at least as many unique failure clusters as the unsharded

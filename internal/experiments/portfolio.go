@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"afex/internal/prog"
+	"afex/internal/targets"
+)
+
+// ---------------------------------------------------------------------------
+// Portfolio — the adaptive bandit vs every fixed strategy, four targets.
+
+// PortfolioStrategies are the fixed strategies the portfolio competes
+// against, in table-column order. "portfolio" itself is appended last.
+var PortfolioStrategies = []string{"fitness", "random", "genetic"}
+
+// PortfolioResult compares the adaptive portfolio explorer against each
+// fixed strategy on the four paper targets at equal per-target budget.
+// The claim under test is the bandit's whole point: without knowing a
+// target's failure landscape up front, the portfolio must track the best
+// fixed algorithm — its unique-failure count stays within a small margin
+// of the per-target winner, whichever arm that turns out to be.
+type PortfolioResult struct {
+	// Targets are the systems under test, in row order.
+	Targets []string
+	// Iterations[i] is the budget every strategy got on Targets[i].
+	Iterations []int
+	// UniqueFailures[i][j] is the unique (distinct-stack) failure-cluster
+	// count of strategy j on target i, averaged over reps; column order
+	// is PortfolioStrategies then "portfolio".
+	UniqueFailures [][]float64
+	// ArmPulls[i] is the portfolio's per-arm budget split on Targets[i]
+	// (last repetition), keyed by arm name.
+	ArmPulls []map[string]int
+}
+
+// Portfolio runs the comparison on the four paper targets (mysqld,
+// httpd and mongo with their callNumber axes capped at 20/10/20 to keep
+// the equal-budget comparison tractable).
+func Portfolio(o Opts) PortfolioResult {
+	o = o.withDefaults()
+	rows := []struct {
+		p      *prog.Program
+		nFuncs int
+		callLo int
+		callHi int
+		iters  int
+	}{
+		{targets.Coreutils(), 19, 0, 2, 600},
+		{targets.Mysqld(), 19, 1, 20, 800},
+		{targets.Httpd(), 19, 1, 10, 600},
+		{targets.MongoV20(), 19, 1, 20, 800},
+	}
+	res := PortfolioResult{}
+	algs := append(append([]string(nil), PortfolioStrategies...), "portfolio")
+	for _, row := range rows {
+		space := spaceFor(row.p, row.nFuncs, row.callLo, row.callHi)
+		iters := o.iters(row.iters)
+		var pulls map[string]int
+		vals := avg(o, func(seed int64) []float64 {
+			out := make([]float64, len(algs))
+			for j, alg := range algs {
+				r := run(row.p, space, alg, iters, seed, true)
+				out[j] = float64(r.UniqueFailures)
+				if alg == "portfolio" {
+					pulls = make(map[string]int, len(r.Arms))
+					for _, a := range r.Arms {
+						pulls[a.Name] = a.Pulls
+					}
+				}
+			}
+			return out
+		})
+		res.Targets = append(res.Targets, row.p.Name)
+		res.Iterations = append(res.Iterations, iters)
+		res.UniqueFailures = append(res.UniqueFailures, vals)
+		res.ArmPulls = append(res.ArmPulls, pulls)
+	}
+	return res
+}
+
+// BestFixed returns the best fixed strategy's unique-failure count on
+// target row i (the portfolio column excluded).
+func (r PortfolioResult) BestFixed(i int) float64 {
+	best := 0.0
+	for j := range PortfolioStrategies {
+		if r.UniqueFailures[i][j] > best {
+			best = r.UniqueFailures[i][j]
+		}
+	}
+	return best
+}
+
+// PortfolioRatio returns the portfolio's unique-failure count on target
+// row i relative to the best fixed strategy (1.0 = matched it exactly;
+// the acceptance bar is ≥ 0.9 on every target).
+func (r PortfolioResult) PortfolioRatio(i int) float64 {
+	best := r.BestFixed(i)
+	if best == 0 {
+		return 1
+	}
+	return r.UniqueFailures[i][len(PortfolioStrategies)] / best
+}
+
+// String renders the comparison table.
+func (r PortfolioResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Portfolio — adaptive bandit vs fixed strategies (unique failure clusters, equal budget)\n")
+	fmt.Fprintf(&b, "  %-14s %6s", "target", "iters")
+	for _, alg := range append(append([]string(nil), PortfolioStrategies...), "portfolio") {
+		fmt.Fprintf(&b, " %10s", alg)
+	}
+	fmt.Fprintf(&b, " %9s\n", "port/best")
+	for i, tgt := range r.Targets {
+		fmt.Fprintf(&b, "  %-14s %6d", tgt, r.Iterations[i])
+		for _, v := range r.UniqueFailures[i] {
+			fmt.Fprintf(&b, " %10.1f", v)
+		}
+		fmt.Fprintf(&b, " %8.2fx\n", r.PortfolioRatio(i))
+	}
+	for i, tgt := range r.Targets {
+		if len(r.ArmPulls[i]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s arm split:", tgt)
+		for _, name := range PortfolioStrategies {
+			fmt.Fprintf(&b, " %s=%d", name, r.ArmPulls[i][name])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  paper shape: no single algorithm wins everywhere; the bandit must stay within 10%% of each target's best fixed arm\n")
+	return b.String()
+}

@@ -32,6 +32,13 @@ type Feedback struct {
 	// Fitness is the (possibly feedback-weighted, §7.4) value the search
 	// should learn from.
 	Fitness float64
+	// NewCluster reports that the test opened a new failure redundancy
+	// cluster — a distinct injection-point stack no earlier test
+	// produced. Only the engine's clustering authority can know this, so
+	// it rides the batched feedback path; explorers that learn from
+	// uniqueness (the portfolio bandit's reward) read it, everything
+	// else ignores it. Plain Report calls imply NewCluster == false.
+	NewCluster bool
 }
 
 // BatchReporter is the optional batched counterpart of Report.

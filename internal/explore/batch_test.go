@@ -23,8 +23,14 @@ func (p plainExplorer) Report(c Candidate, i, f float64) { p.ex.Report(c, i, f) 
 func TestBatchNextMatchesSequentialNext(t *testing.T) {
 	for _, alg := range []string{"fitness", "random", "exhaustive"} {
 		space := batchSpace()
-		a := New(alg, space, Config{Seed: 7})
-		b := New(alg, space, Config{Seed: 7})
+		a, err := New(alg, space, Config{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(alg, space, Config{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
 		var seq []Candidate
 		for i := 0; i < 6; i++ {
 			c, ok := a.Next()

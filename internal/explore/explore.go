@@ -65,6 +65,27 @@ type Named interface {
 	Name() string
 }
 
+// Countable is implemented by explorers that can report how many tests
+// they have folded back (Executed) and how many distinct points they
+// have committed to their history (HistorySize). The sharded and
+// portfolio meta-explorers aggregate these over their children.
+type Countable interface {
+	Executed() int
+	HistorySize() int
+}
+
+// Skipper is implemented by explorers that can commit a generated
+// candidate to their history without learning from it — no aging step,
+// no pool insertion, no sensitivity update. The portfolio uses it when
+// an arm regenerates a point another arm already took: a zero-fitness
+// Report would decay the arm's pool once per skip and write zeros into
+// its sensitivity windows, punishing the arm for a collision that says
+// nothing about the fault space. Explorers without Skip get the
+// zero-fitness Report fallback.
+type Skipper interface {
+	Skip(c Candidate)
+}
+
 // Config parameterizes the fitness-guided explorer. Zero values select
 // the defaults used throughout the evaluation.
 type Config struct {
@@ -391,6 +412,16 @@ func (fg *FitnessGuided) Report(c Candidate, impact, fitness float64) {
 	}
 }
 
+// Skip implements Skipper: the point enters History (it will never be
+// generated again) but the pool, aging clock and sensitivity windows
+// are untouched — the test was not executed, so there is nothing to
+// learn.
+func (fg *FitnessGuided) Skip(c Candidate) {
+	key := c.Point.Key()
+	delete(fg.queued, key)
+	fg.history[key] = true
+}
+
 // retire drops pool members whose decayed fitness fell below
 // RetireFraction of the pool mean; they can no longer have offspring.
 func (fg *FitnessGuided) retire() {
@@ -430,9 +461,10 @@ func (fg *FitnessGuided) Sensitivities(sub int) []float64 {
 // re-executes a point (sampling without replacement), matching AFEX's
 // accounting of "tests executed".
 type Random struct {
-	space   *faultspace.Union
-	rng     *xrand.Rand
-	history map[string]bool
+	space     *faultspace.Union
+	rng       *xrand.Rand
+	history   map[string]bool
+	executedN int
 }
 
 // NewRandom builds a random explorer with the given seed.
@@ -460,14 +492,29 @@ func (r *Random) Next() (Candidate, bool) {
 	return Candidate{}, false
 }
 
-// Report implements Explorer; random search learns nothing.
-func (r *Random) Report(Candidate, float64, float64) {}
+// Report implements Explorer; random search learns nothing, but the
+// reported point still enters History so externally sourced feedback
+// (journal replay on resume) is never regenerated.
+func (r *Random) Report(c Candidate, _, _ float64) {
+	r.history[c.Point.Key()] = true
+	r.executedN++
+}
+
+// Skip implements Skipper.
+func (r *Random) Skip(c Candidate) { r.history[c.Point.Key()] = true }
+
+// Executed implements Countable.
+func (r *Random) Executed() int { return r.executedN }
+
+// HistorySize implements Countable.
+func (r *Random) HistorySize() int { return len(r.history) }
 
 // Exhaustive enumerates the whole space in lexicographic order, the
 // brute-force baseline of Gunawi et al. that §3 contrasts with.
 type Exhaustive struct {
-	points []faultspace.Point
-	next   int
+	points    []faultspace.Point
+	next      int
+	executedN int
 }
 
 // NewExhaustive builds an exhaustive explorer. The enumeration order is
@@ -496,22 +543,11 @@ func (e *Exhaustive) Next() (Candidate, bool) {
 }
 
 // Report implements Explorer; exhaustive search learns nothing.
-func (e *Exhaustive) Report(Candidate, float64, float64) {}
+func (e *Exhaustive) Report(Candidate, float64, float64) { e.executedN++ }
 
-// New constructs an explorer by algorithm name: "fitness", "random",
-// "exhaustive" or "genetic" (the baseline the paper abandoned, §3).
-// Unknown names return nil.
-func New(name string, space *faultspace.Union, cfg Config) Explorer {
-	switch name {
-	case "fitness", "fitness-guided":
-		return NewFitnessGuided(space, cfg)
-	case "random":
-		return NewRandom(space, cfg.Seed)
-	case "exhaustive":
-		return NewExhaustive(space)
-	case "genetic":
-		return NewGenetic(space, GeneticConfig{Seed: cfg.Seed})
-	default:
-		return nil
-	}
-}
+// Executed implements Countable.
+func (e *Exhaustive) Executed() int { return e.executedN }
+
+// HistorySize implements Countable: the enumeration position is the
+// number of points handed out.
+func (e *Exhaustive) HistorySize() int { return e.next }

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"strings"
 	"testing"
 
 	"afex/internal/faultspace"
@@ -246,13 +247,36 @@ func TestExhaustiveCompleteAndOrdered(t *testing.T) {
 
 func TestNewByName(t *testing.T) {
 	space := smallSpace()
-	for name, wantNil := range map[string]bool{
+	for name, wantErr := range map[string]bool{
 		"fitness": false, "fitness-guided": false, "random": false,
-		"exhaustive": false, "simulated-annealing": true,
+		"exhaustive": false, "genetic": false, "portfolio": false,
+		"simulated-annealing": true,
 	} {
-		got := New(name, space, Config{Seed: 1})
-		if (got == nil) != wantNil {
-			t.Errorf("New(%q) nil=%v, want nil=%v", name, got == nil, wantNil)
+		got, err := New(name, space, Config{Seed: 1})
+		if (err != nil) != wantErr {
+			t.Errorf("New(%q) err=%v, want error=%v", name, err, wantErr)
+		}
+		if err == nil && got == nil {
+			t.Errorf("New(%q) returned nil explorer without error", name)
+		}
+		if err != nil && !strings.Contains(err.Error(), "valid:") {
+			t.Errorf("New(%q) error %q does not list the valid names", name, err)
+		}
+	}
+}
+
+// TestStrategiesListsRegistry: the registry's name list is what error
+// messages and CLIs print; it must contain every built-in strategy in
+// sorted order.
+func TestStrategiesListsRegistry(t *testing.T) {
+	got := Strategies()
+	want := []string{"exhaustive", "fitness", "genetic", "portfolio", "random"}
+	if len(got) != len(want) {
+		t.Fatalf("Strategies() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Strategies() = %v, want %v", got, want)
 		}
 	}
 }

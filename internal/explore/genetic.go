@@ -30,6 +30,7 @@ type Genetic struct {
 	offspring []Candidate
 	history   map[string]bool
 	queued    map[string]bool
+	executedN int
 }
 
 // GeneticConfig parameterizes the genetic explorer.
@@ -160,6 +161,7 @@ func (g *Genetic) Report(c Candidate, impact, fitness float64) {
 	key := c.Point.Key()
 	delete(g.queued, key)
 	g.history[key] = true
+	g.executedN++
 	g.population = append(g.population, &executed{
 		point:   c.Point,
 		key:     key,
@@ -170,3 +172,17 @@ func (g *Genetic) Report(c Candidate, impact, fitness float64) {
 
 // Name implements Named.
 func (g *Genetic) Name() string { return "genetic" }
+
+// Skip implements Skipper: the point enters History without joining the
+// population — an unexecuted point has no fitness to breed from.
+func (g *Genetic) Skip(c Candidate) {
+	key := c.Point.Key()
+	delete(g.queued, key)
+	g.history[key] = true
+}
+
+// Executed implements Countable.
+func (g *Genetic) Executed() int { return g.executedN }
+
+// HistorySize implements Countable.
+func (g *Genetic) HistorySize() int { return len(g.history) }

@@ -82,7 +82,8 @@ func TestGeneticHandlesHoles(t *testing.T) {
 }
 
 func TestNewGeneticByName(t *testing.T) {
-	if ex := New("genetic", smallSpace(), Config{Seed: 1}); ex == nil {
-		t.Fatal("New(\"genetic\") returned nil")
+	ex, err := New("genetic", smallSpace(), Config{Seed: 1})
+	if err != nil || ex == nil {
+		t.Fatalf("New(\"genetic\") = %v, %v", ex, err)
 	}
 }

@@ -5,26 +5,34 @@ import (
 )
 
 // Sharded partitions the fault space into n disjoint regions
-// (faultspace.Union.Shard) and runs one independent fitness-guided
-// search per region. Candidates are striped across the shards
-// round-robin — BatchNext leases from shard 0, 1, 2, … in turn — so a
-// parallel session's workers are always spread over disjoint parts of
-// the space, and feedback for an executed candidate is routed back to
-// the shard that generated it. Exhausted shards drop out; the session
-// ends when every shard is exhausted.
+// (faultspace.Union.Shard) and runs one independent instance of a
+// registered strategy per region — sharded-fitness, sharded-random,
+// sharded-genetic and sharded-exhaustive all compose the same way.
+// Candidates are striped across the shards round-robin — BatchNext
+// leases from shard 0, 1, 2, … in turn — so a parallel session's workers
+// are always spread over disjoint parts of the space, and feedback for
+// an executed candidate is routed back to the shard that generated it.
+// Exhausted shards drop out; the session ends when every shard is
+// exhausted.
 //
-// Each shard's search is seeded deterministically from the base seed, so
-// a sharded sequential session is bit-for-bit reproducible, exactly like
-// the unsharded one.
+// Each shard's search is seeded deterministically from the base seed
+// (xrand.DeriveSeed), so a sharded sequential session is bit-for-bit
+// reproducible, exactly like the unsharded one.
 //
 // Candidates are emitted in the *parent* space's coordinates (the engine
 // and its executors only know the parent), while each shard's search
 // runs in its own shard-local coordinates; the translation is a constant
 // per-axis index offset computed once at construction.
+//
+// In the composition order of the exploration stack, Sharded sits
+// between the strategy and the novelty filter: strategy → Sharded →
+// Novel (see registry.go).
 type Sharded struct {
 	parent *faultspace.Union
-	shards []*shardSearch
-	rr     int
+	// strategy is the canonical name of the per-shard algorithm.
+	strategy string
+	shards   []*shardSearch
+	rr       int
 	// inflight routes Report back to the generating shard: parent point
 	// key → (shard, shard-local candidate).
 	inflight map[string]pendingLease
@@ -38,9 +46,12 @@ type pendingLease struct {
 // shardSearch is one shard's independent search plus the coordinate
 // translation onto the parent space.
 type shardSearch struct {
-	ex    *FitnessGuided
+	ex    Explorer
 	space *faultspace.Union
 	done  bool
+	// executedN counts feedback routed to this shard, for Countable
+	// aggregation over inner explorers that are not themselves Countable.
+	executedN int
 	// axis[sub] is the index of the sliced axis in subspace sub (-1 when
 	// the shard covers the whole subspace); off[sub] is the index offset
 	// of the slice within the parent's axis.
@@ -49,13 +60,31 @@ type shardSearch struct {
 }
 
 // NewSharded builds a sharded fitness-guided explorer over space with n
-// shards. n < 1 is treated as 1; shards that come back empty (the space
-// is narrower than n along its widest axis) are dropped.
+// shards — the historical default composition, kept as a convenience
+// over NewShardedStrategy(space, n, "fitness", cfg).
 func NewSharded(space *faultspace.Union, n int, cfg Config) *Sharded {
+	s, err := NewShardedStrategy(space, n, "fitness", cfg)
+	if err != nil {
+		// "fitness" is always registered; the only failure mode is an
+		// unknown strategy name, which cannot happen here.
+		panic("explore: " + err.Error())
+	}
+	return s
+}
+
+// NewShardedStrategy builds a sharded explorer over space with n shards,
+// each running an independent instance of the named registered strategy.
+// n < 1 is treated as 1; shards that come back empty (the space is
+// narrower than n along its widest axis) are dropped. Unknown strategy
+// names return the registry's error.
+func NewShardedStrategy(space *faultspace.Union, n int, strategy string, cfg Config) (*Sharded, error) {
 	if n < 1 {
 		n = 1
 	}
-	s := &Sharded{parent: space, inflight: make(map[string]pendingLease)}
+	if canon, ok := aliases[strategy]; ok {
+		strategy = canon
+	}
+	s := &Sharded{parent: space, strategy: strategy, inflight: make(map[string]pendingLease)}
 	for i, su := range space.Shard(n) {
 		if su.Size() == 0 {
 			continue
@@ -63,9 +92,13 @@ func NewSharded(space *faultspace.Union, n int, cfg Config) *Sharded {
 		sub := cfg
 		// Distinct deterministic stream per shard; shard 0 of a 1-shard
 		// session keeps the base seed, matching the unsharded explorer.
-		sub.Seed = cfg.Seed + int64(i)*1_000_003
+		sub.Seed = shardSeed(cfg.Seed, i)
+		ex, err := New(strategy, su, sub)
+		if err != nil {
+			return nil, err
+		}
 		st := &shardSearch{
-			ex:    NewFitnessGuided(su, sub),
+			ex:    ex,
 			space: su,
 			axis:  make([]int, len(su.Spaces)),
 			off:   make([]int, len(su.Spaces)),
@@ -86,11 +119,14 @@ func NewSharded(space *faultspace.Union, n int, cfg Config) *Sharded {
 		}
 		s.shards = append(s.shards, st)
 	}
-	return s
+	return s, nil
 }
 
-// Name implements Named.
-func (s *Sharded) Name() string { return "sharded-fitness" }
+// Name implements Named: "sharded-" plus the wrapped strategy's name.
+func (s *Sharded) Name() string { return "sharded-" + s.strategy }
+
+// Strategy returns the canonical name of the per-shard algorithm.
+func (s *Sharded) Strategy() string { return s.strategy }
 
 // Shards reports how many non-empty shards the explorer runs.
 func (s *Sharded) Shards() int { return len(s.shards) }
@@ -216,7 +252,24 @@ func (s *Sharded) route(c Candidate) (int, Candidate, bool) {
 // generated the candidate, in that shard's local coordinates.
 func (s *Sharded) Report(c Candidate, impact, fitness float64) {
 	if shard, local, ok := s.route(c); ok {
+		s.shards[shard].executedN++
 		s.shards[shard].ex.Report(local, impact, fitness)
+	}
+}
+
+// Skip implements Skipper: an outer novelty filter vetoed the
+// candidate, so it is committed to the owning shard's history (in
+// shard-local coordinates) without counting as an executed test or
+// distorting the shard's search state.
+func (s *Sharded) Skip(c Candidate) {
+	shard, local, ok := s.route(c)
+	if !ok {
+		return
+	}
+	if sk, ok := s.shards[shard].ex.(Skipper); ok {
+		sk.Skip(local)
+	} else {
+		s.shards[shard].ex.Report(local, 0, 0)
 	}
 }
 
@@ -239,27 +292,68 @@ func (s *Sharded) ReportBatch(batch []Feedback) {
 	}
 	for i, st := range s.shards {
 		if len(perShard[i]) > 0 {
+			st.executedN += len(perShard[i])
 			ReportBatch(st.ex, perShard[i])
 		}
 	}
 }
 
-// Executed reports how many tests have been reported back, summed over
-// shards.
+// Executed implements Countable: tests reported back, summed over
+// shards. Countable inner explorers are authoritative (their counts
+// survive a state import); others fall back to the routing counter.
 func (s *Sharded) Executed() int {
 	n := 0
 	for _, st := range s.shards {
-		n += st.ex.Executed()
+		if c, ok := st.ex.(Countable); ok {
+			n += c.Executed()
+		} else {
+			n += st.executedN
+		}
 	}
 	return n
 }
 
-// HistorySize reports the number of distinct tests enqueued across all
+// HistorySize implements Countable: distinct tests committed across all
 // shards (shards are disjoint, so the sum is exact).
 func (s *Sharded) HistorySize() int {
 	n := 0
 	for _, st := range s.shards {
-		n += st.ex.HistorySize()
+		if c, ok := st.ex.(Countable); ok {
+			n += c.HistorySize()
+		} else {
+			n += st.executedN
+		}
 	}
 	return n
+}
+
+// ArmStats implements ArmReporter when the wrapped strategy does
+// (sharded-portfolio): per-arm statistics are summed across shards by
+// arm name, so the session reports one bandit roster regardless of the
+// shard count. Returns nil for non-portfolio strategies.
+func (s *Sharded) ArmStats() []ArmStat {
+	var agg []ArmStat
+	idx := make(map[string]int)
+	for _, st := range s.shards {
+		ar, ok := st.ex.(ArmReporter)
+		if !ok {
+			continue
+		}
+		for _, a := range ar.ArmStats() {
+			j, seen := idx[a.Name]
+			if !seen {
+				j = len(agg)
+				idx[a.Name] = j
+				agg = append(agg, ArmStat{Name: a.Name})
+			}
+			agg[j].Pulls += a.Pulls
+			agg[j].Reward += a.Reward
+		}
+	}
+	for i := range agg {
+		if agg[i].Pulls > 0 {
+			agg[i].Mean = agg[i].Reward / float64(agg[i].Pulls)
+		}
+	}
+	return agg
 }

@@ -109,12 +109,12 @@ func TestShardedFeedbackRoutesToOwningShard(t *testing.T) {
 	}
 	before := make([]int, len(s.shards))
 	for i, st := range s.shards {
-		before[i] = st.ex.Executed()
+		before[i] = st.ex.(Countable).Executed()
 	}
 	s.Report(c, 10, 10)
 	grew := -1
 	for i, st := range s.shards {
-		if st.ex.Executed() != before[i] {
+		if st.ex.(Countable).Executed() != before[i] {
 			if grew != -1 {
 				t.Fatal("feedback folded into more than one shard")
 			}
@@ -126,6 +126,84 @@ func TestShardedFeedbackRoutesToOwningShard(t *testing.T) {
 	}
 	// Reporting an unknown candidate is ignored, not a crash.
 	s.Report(Candidate{Point: faultspace.Point{Sub: 0, Fault: faultspace.Fault{0, 0, 0}}}, 1, 1)
+}
+
+// TestShardedStrategiesCoverSpaceOnce: sharding composes with every
+// registered strategy — each wrapped algorithm covers the whole space
+// exactly once when exhausted, and the explorer is named after it.
+func TestShardedStrategiesCoverSpaceOnce(t *testing.T) {
+	for _, alg := range []string{"fitness", "random", "genetic", "exhaustive", "portfolio"} {
+		t.Run(alg, func(t *testing.T) {
+			space := shardedSpace()
+			s, err := NewShardedStrategy(space, 4, alg, Config{Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := "sharded-" + alg; s.Name() != want {
+				t.Fatalf("Name = %q, want %q", s.Name(), want)
+			}
+			seen := map[string]bool{}
+			for {
+				c, ok := s.Next()
+				if !ok {
+					break
+				}
+				key := c.Point.Key()
+				if seen[key] {
+					t.Fatalf("point %s leased twice", key)
+				}
+				if !space.Spaces[c.Point.Sub].Contains(c.Point.Fault) {
+					t.Fatalf("candidate %s not valid in the parent space", key)
+				}
+				seen[key] = true
+				s.Report(c, 1, 1)
+			}
+			if int64(len(seen)) != space.Size() {
+				t.Fatalf("sharded-%s covered %d points, want %d", alg, len(seen), space.Size())
+			}
+			if s.Executed() != len(seen) {
+				t.Errorf("Executed = %d, want %d", s.Executed(), len(seen))
+			}
+		})
+	}
+	if _, err := NewShardedStrategy(shardedSpace(), 4, "annealing", Config{}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+// TestShardedStrategyDeterministic: sequential sharded runs of every
+// strategy are bit-for-bit deterministic — identical seeds and feedback
+// yield identical candidate streams. (CI runs this as the
+// sharded-random determinism gate of the bench-smoke job.)
+func TestShardedStrategyDeterministic(t *testing.T) {
+	for _, alg := range []string{"random", "genetic", "exhaustive", "portfolio"} {
+		t.Run(alg, func(t *testing.T) {
+			mk := func() *Sharded {
+				s, err := NewShardedStrategy(shardedSpace(), 3, alg, Config{Seed: 5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			a, b := mk(), mk()
+			for i := 0; i < 60; i++ {
+				ca, oka := a.Next()
+				cb, okb := b.Next()
+				if oka != okb {
+					t.Fatalf("streams diverge in length at %d", i)
+				}
+				if !oka {
+					break
+				}
+				if ca.Point.Key() != cb.Point.Key() {
+					t.Fatalf("streams diverge at %d: %s vs %s", i, ca.Point.Key(), cb.Point.Key())
+				}
+				imp := float64(i % 7)
+				a.Report(ca, imp, imp)
+				b.Report(cb, imp, imp)
+			}
+		})
+	}
 }
 
 // TestShardedMoreShardsThanWidth: surplus shards come back empty and are

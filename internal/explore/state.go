@@ -42,32 +42,56 @@ type Sensitive interface {
 	Sensitivities(sub int) []float64
 }
 
-// State is a serializable explorer snapshot. For the fitness-guided
-// explorer Searches has one entry; for the sharded explorer, one per
-// shard (in shard order) plus the round-robin cursor.
+// State is a serializable explorer snapshot. Flat strategies (fitness,
+// random, genetic, exhaustive) fill Searches with one entry; the sharded
+// meta-explorer nests one child State per shard; the portfolio
+// meta-explorer nests one child State per arm plus the bandit's own
+// statistics. Meta-explorers compose, so a sharded-portfolio session
+// round-trips as shards of arms.
 type State struct {
 	// Algorithm names the exporting explorer ("fitness",
-	// "sharded-fitness"); imports verify it matches.
+	// "sharded-fitness", "portfolio", …); imports verify it matches.
 	Algorithm string `json:"algorithm"`
 	// RR is the sharded explorer's round-robin cursor.
 	RR int `json:"rr,omitempty"`
-	// Searches holds one fitness-guided search state per shard.
-	Searches []SearchState `json:"searches"`
+	// Searches holds a flat strategy's single search state.
+	Searches []SearchState `json:"searches,omitempty"`
+	// Shards holds one nested explorer state per shard, in shard order;
+	// nil entries stand for shards whose inner explorer is stateless.
+	Shards []*State `json:"shards,omitempty"`
+	// Arms holds the portfolio explorer's per-arm bandit statistics and
+	// nested explorer states, in arm order.
+	Arms []ArmSnapshot `json:"arms,omitempty"`
+	// Seen is the portfolio's shared executed-key set, sorted for stable
+	// bytes (in-flight leases are excluded: a crash loses their outcomes,
+	// so the resumed search must be able to regenerate them).
+	Seen []string `json:"seen,omitempty"`
+	// MaxFitness is the portfolio's running reward normalizer.
+	MaxFitness float64 `json:"maxFitness,omitempty"`
 }
 
-// SearchState is one fitness-guided search's serializable state.
+// SearchState is one flat search's serializable state. The fitness-
+// guided explorer uses every field; random uses Rng/History/Executed;
+// genetic uses Rng/Pool/Offspring/History/Executed; exhaustive uses
+// Cursor/Executed.
 type SearchState struct {
 	// Rng pins the exact position in the random stream.
 	Rng xrand.State `json:"rng"`
-	// Pool is Qpriority in slice order (order matters: weighted
-	// selection and eviction walk it deterministically).
+	// Pool is Qpriority (or the genetic population) in slice order
+	// (order matters: weighted selection and eviction walk it
+	// deterministically).
 	Pool []PoolEntry `json:"pool"`
+	// Offspring is the genetic explorer's generated-but-not-yet-executed
+	// queue, in emission order.
+	Offspring []PoolEntry `json:"offspring,omitempty"`
 	// History holds every executed point key, sorted for stable bytes.
 	History []string `json:"history"`
 	// SeedsLeft counts remaining initial random seeds.
 	SeedsLeft int `json:"seedsLeft"`
 	// Executed is the number of tests reported back.
 	Executed int `json:"executed"`
+	// Cursor is the exhaustive explorer's enumeration position.
+	Cursor int `json:"cursor,omitempty"`
 	// Sens is the per-subspace, per-axis sensitivity ring buffers.
 	Sens [][]WindowState `json:"sens"`
 }
@@ -195,30 +219,52 @@ func (fg *FitnessGuided) importSearch(st *SearchState) error {
 	return nil
 }
 
-// ExportState implements StatefulExplorer: one SearchState per shard
-// plus the round-robin cursor. Candidates in flight (leased, not folded)
-// are intentionally not part of the state — a crash loses their
+// ExportState implements StatefulExplorer: one nested child state per
+// shard plus the round-robin cursor. Candidates in flight (leased, not
+// folded) are intentionally not part of the state — a crash loses their
 // outcomes, and omitting them lets the resumed search regenerate them.
+// Shards whose inner explorer is stateless export a nil child; their
+// resume correctness comes from the novelty filter alone.
 func (s *Sharded) ExportState() *State {
 	st := &State{Algorithm: s.Name(), RR: s.rr}
-	st.Searches = make([]SearchState, len(s.shards))
+	st.Shards = make([]*State, len(s.shards))
 	for i, sh := range s.shards {
-		st.Searches[i] = sh.ex.exportSearch()
+		if se, ok := sh.ex.(StatefulExplorer); ok {
+			st.Shards[i] = se.ExportState()
+		}
 	}
 	return st
 }
 
 // ImportState implements StatefulExplorer. The explorer must have been
-// built over the same space with the same shard count.
+// built over the same space with the same shard count and strategy.
+// Snapshots written before the strategy generalization (one flat
+// SearchState per shard instead of nested child states) are migrated in
+// place — sharded-fitness was the only sharded form then.
 func (s *Sharded) ImportState(st *State) error {
 	if st == nil || st.Algorithm != s.Name() {
 		return fmt.Errorf("explore: state is %q, explorer is %q", stateAlg(st), s.Name())
 	}
-	if len(st.Searches) != len(s.shards) {
-		return fmt.Errorf("explore: state has %d shards, explorer has %d", len(st.Searches), len(s.shards))
+	if len(st.Shards) == 0 && len(st.Searches) > 0 {
+		if err := s.importLegacySearches(st); err != nil {
+			return err
+		}
+	}
+	if len(st.Shards) != len(s.shards) {
+		return fmt.Errorf("explore: state has %d shards, explorer has %d", len(st.Shards), len(s.shards))
 	}
 	for i, sh := range s.shards {
-		if err := sh.ex.importSearch(&st.Searches[i]); err != nil {
+		child := st.Shards[i]
+		if child == nil {
+			sh.done = false
+			continue
+		}
+		se, ok := sh.ex.(StatefulExplorer)
+		if !ok {
+			return fmt.Errorf("explore: shard %d state is %q but the shard's explorer cannot import state",
+				i, child.Algorithm)
+		}
+		if err := se.ImportState(child); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		sh.done = false
@@ -231,15 +277,159 @@ func (s *Sharded) ImportState(st *State) error {
 	return nil
 }
 
+// importLegacySearches rewrites a pre-generalization sharded snapshot
+// ("searches": one flat fitness SearchState per shard) into the nested
+// Shards form, so state dirs written by older releases still resume.
+// Only the fitness strategy existed under sharding then, so any other
+// wrapped strategy is a genuine mismatch.
+func (s *Sharded) importLegacySearches(st *State) error {
+	if s.strategy != "fitness" {
+		return fmt.Errorf("explore: legacy sharded state carries fitness searches, explorer is %q", s.Name())
+	}
+	if len(st.Searches) != len(s.shards) {
+		return fmt.Errorf("explore: legacy state has %d shards, explorer has %d", len(st.Searches), len(s.shards))
+	}
+	st.Shards = make([]*State, len(st.Searches))
+	for i := range st.Searches {
+		st.Shards[i] = &State{Algorithm: "fitness", Searches: st.Searches[i : i+1]}
+	}
+	st.Searches = nil
+	return nil
+}
+
+// ExportState implements StatefulExplorer for the random baseline: the
+// RNG position and History round-trip, so a resumed sequential session
+// draws the exact points an uninterrupted one would have.
+func (r *Random) ExportState() *State {
+	st := SearchState{Rng: r.rng.State(), Executed: r.executedN}
+	st.History = sortedStringKeys(r.history)
+	return &State{Algorithm: r.Name(), Searches: []SearchState{st}}
+}
+
+// ImportState implements StatefulExplorer.
+func (r *Random) ImportState(st *State) error {
+	if st == nil || st.Algorithm != r.Name() {
+		return fmt.Errorf("explore: state is %q, explorer is %q", stateAlg(st), r.Name())
+	}
+	if len(st.Searches) != 1 {
+		return fmt.Errorf("explore: random state has %d searches, want 1", len(st.Searches))
+	}
+	src := &st.Searches[0]
+	r.rng = xrand.Restore(src.Rng)
+	r.executedN = src.Executed
+	r.history = make(map[string]bool, len(src.History))
+	for _, k := range src.History {
+		r.history[k] = true
+	}
+	return nil
+}
+
+// ExportState implements StatefulExplorer for the genetic baseline:
+// RNG position, population, the bred-but-unexecuted offspring queue and
+// History all round-trip. The queued set (leased, not folded) is
+// dropped, exactly like the fitness explorer's: a crash loses those
+// outcomes, and the points must stay regenerable.
+func (g *Genetic) ExportState() *State {
+	st := SearchState{Rng: g.rng.State(), Executed: g.executedN}
+	st.Pool = make([]PoolEntry, len(g.population))
+	for i, e := range g.population {
+		st.Pool[i] = PoolEntry{
+			Sub:     e.point.Sub,
+			Fault:   append([]int(nil), e.point.Fault...),
+			Fitness: e.fitness,
+			Impact:  e.impact,
+		}
+	}
+	st.Offspring = make([]PoolEntry, len(g.offspring))
+	for i, c := range g.offspring {
+		st.Offspring[i] = PoolEntry{
+			Sub:   c.Point.Sub,
+			Fault: append([]int(nil), c.Point.Fault...),
+		}
+	}
+	st.History = sortedStringKeys(g.history)
+	return &State{Algorithm: g.Name(), Searches: []SearchState{st}}
+}
+
+// ImportState implements StatefulExplorer.
+func (g *Genetic) ImportState(st *State) error {
+	if st == nil || st.Algorithm != g.Name() {
+		return fmt.Errorf("explore: state is %q, explorer is %q", stateAlg(st), g.Name())
+	}
+	if len(st.Searches) != 1 {
+		return fmt.Errorf("explore: genetic state has %d searches, want 1", len(st.Searches))
+	}
+	src := &st.Searches[0]
+	for _, pe := range append(append([]PoolEntry(nil), src.Pool...), src.Offspring...) {
+		if pe.Sub < 0 || pe.Sub >= len(g.space.Spaces) || !g.space.Spaces[pe.Sub].Contains(faultspace.Fault(pe.Fault)) {
+			return fmt.Errorf("explore: genetic entry %d:%v outside the space", pe.Sub, pe.Fault)
+		}
+	}
+	g.rng = xrand.Restore(src.Rng)
+	g.executedN = src.Executed
+	g.population = make([]*executed, len(src.Pool))
+	for i, pe := range src.Pool {
+		p := faultspace.Point{Sub: pe.Sub, Fault: append(faultspace.Fault(nil), pe.Fault...)}
+		g.population[i] = &executed{point: p, key: p.Key(), fitness: pe.Fitness, impact: pe.Impact}
+	}
+	g.offspring = make([]Candidate, len(src.Offspring))
+	for i, pe := range src.Offspring {
+		p := faultspace.Point{Sub: pe.Sub, Fault: append(faultspace.Fault(nil), pe.Fault...)}
+		g.offspring[i] = Candidate{Point: p, MutatedAxis: -1}
+	}
+	g.history = make(map[string]bool, len(src.History))
+	for _, k := range src.History {
+		g.history[k] = true
+	}
+	g.queued = make(map[string]bool)
+	return nil
+}
+
+// ExportState implements StatefulExplorer for the exhaustive baseline:
+// only the enumeration cursor matters (the order is materialized from
+// the space at construction).
+func (e *Exhaustive) ExportState() *State {
+	return &State{Algorithm: e.Name(), Searches: []SearchState{{Cursor: e.next, Executed: e.executedN}}}
+}
+
+// ImportState implements StatefulExplorer.
+func (e *Exhaustive) ImportState(st *State) error {
+	if st == nil || st.Algorithm != e.Name() {
+		return fmt.Errorf("explore: state is %q, explorer is %q", stateAlg(st), e.Name())
+	}
+	if len(st.Searches) != 1 {
+		return fmt.Errorf("explore: exhaustive state has %d searches, want 1", len(st.Searches))
+	}
+	src := &st.Searches[0]
+	if src.Cursor < 0 || src.Cursor > len(e.points) {
+		return fmt.Errorf("explore: exhaustive cursor %d out of range for %d points", src.Cursor, len(e.points))
+	}
+	e.next = src.Cursor
+	e.executedN = src.Executed
+	return nil
+}
+
+// sortedStringKeys returns the keys of m, sorted for stable bytes.
+func sortedStringKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Novel filters an explorer through a set of already-executed scenario
 // keys — the cross-run novelty filter of the persistent store. Candidates
 // whose key was executed by a previous run are not handed out again;
-// instead they are reported back to the inner explorer with zero fitness
-// (the §7.4 feedback value of a scenario whose outcome is already known),
-// which also marks them executed so the inner search never regenerates
-// them. Every skip strictly grows the inner explorer's History, so
-// filtering terminates: Next returns false only when the inner explorer
-// is exhausted.
+// instead they are committed to the inner explorer's History so the
+// search never regenerates them — via Skip when the inner explorer
+// supports it (no aging step, no pool entry, no sensitivity or bandit
+// distortion: the collision says nothing about the fault space), and
+// via a zero-fitness Report (the §7.4 feedback value of a scenario
+// whose outcome is already known) otherwise. Every skip strictly grows
+// the inner explorer's History, so filtering terminates: Next returns
+// false only when the inner explorer is exhausted.
 type Novel struct {
 	inner Explorer
 	seen  map[string]bool
@@ -260,6 +450,15 @@ func (n *Novel) Name() string {
 	return "novel"
 }
 
+// skip commits a seen candidate to the inner explorer's History.
+func (n *Novel) skip(c Candidate) {
+	if sk, ok := n.inner.(Skipper); ok {
+		sk.Skip(c)
+		return
+	}
+	n.inner.Report(c, 0, 0)
+}
+
 // Next implements Explorer, skipping seen candidates.
 func (n *Novel) Next() (Candidate, bool) {
 	for {
@@ -270,7 +469,7 @@ func (n *Novel) Next() (Candidate, bool) {
 		if !n.seen[c.Point.Key()] {
 			return c, true
 		}
-		n.inner.Report(c, 0, 0)
+		n.skip(c)
 	}
 }
 
@@ -288,7 +487,7 @@ func (n *Novel) BatchNext(k int) []Candidate {
 		}
 		for _, c := range batch {
 			if n.seen[c.Point.Key()] {
-				n.inner.Report(c, 0, 0)
+				n.skip(c)
 				continue
 			}
 			out = append(out, c)
@@ -307,6 +506,15 @@ func (n *Novel) ReportBatch(batch []Feedback) { ReportBatch(n.inner, batch) }
 func (n *Novel) Sensitivities(sub int) []float64 {
 	if s, ok := n.inner.(Sensitive); ok {
 		return s.Sensitivities(sub)
+	}
+	return nil
+}
+
+// ArmStats delegates to the inner explorer when it is an ArmReporter,
+// so a novelty-filtered portfolio still reports its bandit statistics.
+func (n *Novel) ArmStats() []ArmStat {
+	if a, ok := n.inner.(ArmReporter); ok {
+		return a.ArmStats()
 	}
 	return nil
 }

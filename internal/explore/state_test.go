@@ -99,6 +99,94 @@ func TestShardedStateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestShardedStatefulStrategiesRoundTrip: the generalized sharded state
+// nests one child state per shard — random and genetic inner strategies
+// (RNG positions, histories, populations) must continue exactly after a
+// JSON round-trip, like the fitness default does.
+func TestShardedStatefulStrategiesRoundTrip(t *testing.T) {
+	for _, alg := range []string{"random", "genetic", "exhaustive"} {
+		t.Run(alg, func(t *testing.T) {
+			cfg := Config{Seed: 9}
+			mk := func() *Sharded {
+				s, err := NewShardedStrategy(stateSpace(), 3, alg, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			orig := mk()
+			driveKeys(orig, 50)
+
+			blob, err := json.Marshal(orig.ExportState())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st State
+			if err := json.Unmarshal(blob, &st); err != nil {
+				t.Fatal(err)
+			}
+			clone := mk()
+			if err := clone.ImportState(&st); err != nil {
+				t.Fatal(err)
+			}
+
+			a, b := driveKeys(orig, 60), driveKeys(clone, 60)
+			if len(a) != len(b) {
+				t.Fatalf("continuation lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("sharded-%s continuations diverged at %d: %s vs %s", alg, i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+// TestShardedImportsLegacySearchesFormat: snapshots written before the
+// strategy generalization carried one flat fitness SearchState per
+// shard ("searches") instead of nested child states ("shards"); those
+// state dirs must still resume, continuing the stream exactly.
+func TestShardedImportsLegacySearchesFormat(t *testing.T) {
+	cfg := Config{Seed: 3}
+	orig := NewSharded(stateSpace(), 3, cfg)
+	driveKeys(orig, 45)
+
+	st := orig.ExportState()
+	// Rewrite the modern nested state into the legacy flat form.
+	legacy := &State{Algorithm: st.Algorithm, RR: st.RR}
+	for _, child := range st.Shards {
+		legacy.Searches = append(legacy.Searches, child.Searches[0])
+	}
+	blob, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded State
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	clone := NewSharded(stateSpace(), 3, cfg)
+	if err := clone.ImportState(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	a, b := driveKeys(orig, 60), driveKeys(clone, 60)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("legacy-imported continuation diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// A legacy snapshot against a non-fitness sharded explorer is a
+	// genuine mismatch, not a migration case.
+	sr, err := NewShardedStrategy(stateSpace(), 3, "random", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.ImportState(&State{Algorithm: "sharded-random", Searches: legacy.Searches}); err == nil {
+		t.Fatal("legacy fitness searches imported into sharded-random")
+	}
+}
+
 // TestImportStateRejectsMismatch: importing into an explorer over a
 // different space shape (or the wrong algorithm) must fail loudly.
 func TestImportStateRejectsMismatch(t *testing.T) {

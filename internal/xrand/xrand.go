@@ -84,6 +84,37 @@ func Restore(st State) *Rand {
 	return r
 }
 
+// DeriveSeed derives the seed of sub-stream id of a base seed, without
+// consuming any randomness. It is a pure function — equal (seed, id)
+// pairs always yield the same derived seed — built from two rounds of
+// splitmix64 finalization, so the derived seeds are uncorrelated both
+// across ids for one base seed and across base seeds for one id.
+//
+// The sharded explorer seeds shard i with DeriveSeed(base, i) and the
+// portfolio explorer seeds its arms from a disjoint id range.
+// (Compatibility note: before the splitmix derivation, shard streams
+// were seeded additively as base + i*1_000_003, so two sessions whose
+// base seeds differed by that stride shared shard streams. Sequential
+// sharded runs remain deterministic — the derivation is still a pure
+// function of (seed, id) — but shard streams differ from those of the
+// additive scheme.)
+func DeriveSeed(seed int64, id int64) int64 {
+	// Finalize the base seed, then advance the splitmix state by id
+	// golden-ratio steps (plus a constant, so id 0 does not return a
+	// plain finalization of the seed) and finalize again. The two
+	// finalizations make the function asymmetric in (seed, id).
+	z := mix64(uint64(seed) + 0x9e3779b97f4a7c15)
+	z += uint64(id)*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909
+	return int64(mix64(z))
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Sub derives an independent, reproducible sub-stream identified by id.
 // Two Rands with the same seed produce identical Sub(id) streams; different
 // ids produce uncorrelated streams. AFEX uses sub-streams to give each node

@@ -282,3 +282,48 @@ func TestStateMatchesStockStream(t *testing.T) {
 // newStockRand builds an unwrapped math/rand generator for stream
 // comparison.
 func newStockRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }
+
+// TestDeriveSeedPureAndDistinct: DeriveSeed is a pure function of
+// (seed, id) — equal inputs give equal outputs (sequential sharded runs
+// stay deterministic) — and nearby ids and seeds give distinct,
+// uncorrelated outputs.
+func TestDeriveSeedPureAndDistinct(t *testing.T) {
+	if DeriveSeed(42, 3) != DeriveSeed(42, 3) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	seen := map[int64]bool{}
+	for seed := int64(-2); seed <= 2; seed++ {
+		for id := int64(0); id < 64; id++ {
+			v := DeriveSeed(seed, id)
+			if seen[v] {
+				t.Fatalf("derived seed collision at seed=%d id=%d", seed, id)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestDeriveSeedKillsShardStride: the old additive per-shard derivation
+// (base + i*1_000_003) made shard i of seed s collide with shard 0 of
+// seed s + i*1_000_003. With the splitmix derivation, sessions whose
+// base seeds differ by the stride must not share shard streams.
+func TestDeriveSeedKillsShardStride(t *testing.T) {
+	const stride = 1_000_003
+	for _, base := range []int64{1, 7, 12345, -9} {
+		for i := int64(1); i <= 8; i++ {
+			shifted := base + i*stride
+			// Shard i of session `base` vs shard 0 of session `shifted`
+			// (which keeps its base seed): these were identical before.
+			if DeriveSeed(base, i) == shifted {
+				t.Fatalf("shard %d of seed %d collides with the stride-shifted base seed", i, base)
+			}
+			// And no pair of shard streams across the two sessions may
+			// coincide either.
+			for j := int64(1); j <= 8; j++ {
+				if DeriveSeed(base, i) == DeriveSeed(shifted, j) {
+					t.Fatalf("shard %d of seed %d collides with shard %d of seed %d", i, base, j, shifted)
+				}
+			}
+		}
+	}
+}

@@ -112,6 +112,75 @@ func TestCrashResumeProperty(t *testing.T) {
 	}
 }
 
+// TestCrashResumePortfolioProperty is the clause-2 equality test for the
+// adaptive portfolio explorer, unsharded and sharded: a killed-and-
+// resumed portfolio session must reproduce the uninterrupted run's
+// records exactly — the bandit's per-arm pull counts, reward sums and
+// arm RNG positions all continue where the snapshot left them.
+func TestCrashResumePortfolioProperty(t *testing.T) {
+	const total = 100
+	for _, shards := range []int{0, 2} {
+		for _, killAt := range []int{13, 57} {
+			t.Run(fmt.Sprintf("shards=%d/kill=%d", shards, killAt), func(t *testing.T) {
+				mkOpts := func(dir string) Options {
+					o := resumeOptions(3, total, dir)
+					o.Algorithm = Portfolio
+					o.Shards = shards
+					return o
+				}
+				ref, err := Explore(mkOpts(""))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				dir := t.TempDir()
+				opts := mkOpts(dir)
+				opts.SnapshotEvery = 1
+				opts.StateStamp = "run-0"
+				kill := killAt
+				opts.Stop = func(s Snapshot) bool { return s.Executed >= kill }
+				eng, cleanup, err := NewSession(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.RunWith(eng.LocalExecutor())
+				if err := cleanup(); err != nil {
+					t.Fatal(err)
+				}
+
+				ropts := mkOpts(dir)
+				ropts.Resume = true
+				ropts.StateStamp = "run-1"
+				res, err := Explore(ropts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if res.Executed != total || len(res.Records) != total {
+					t.Fatalf("merged session executed %d, want %d", res.Executed, total)
+				}
+				for i := range ref.Records {
+					a, b := ref.Records[i], res.Records[i]
+					if a.Scenario != b.Scenario || a.Impact != b.Impact || a.Fitness != b.Fitness {
+						t.Fatalf("record %d diverges from uninterrupted portfolio run:\n got %q impact=%v fitness=%v\nwant %q impact=%v fitness=%v",
+							i, b.Scenario, b.Impact, b.Fitness, a.Scenario, a.Impact, a.Fitness)
+					}
+				}
+				// The bandit statistics themselves must match the
+				// uninterrupted run's.
+				if len(res.Arms) != len(ref.Arms) || len(res.Arms) == 0 {
+					t.Fatalf("arm stats missing: got %+v want %+v", res.Arms, ref.Arms)
+				}
+				for i := range ref.Arms {
+					if res.Arms[i] != ref.Arms[i] {
+						t.Fatalf("arm %d stats diverge: got %+v want %+v", i, res.Arms[i], ref.Arms[i])
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestCrashResumeCoarseSnapshots: with the default snapshot cadence the
 // kill point usually falls past the last snapshot, so resume replays the
 // journal tail into the explorer. Exact record-for-record equality no
@@ -210,7 +279,7 @@ func TestPersistentCoordinatorResume(t *testing.T) {
 	dir := t.TempDir()
 
 	runServe := func(budget int, resume bool) *Result {
-		coord, cleanup, err := NewPersistentCoordinator(target.Name, space,
+		coord, cleanup, err := NewPersistentCoordinator(target.Name, space, FitnessGuided,
 			ExploreOptions{Seed: 9}, budget, 2, dir, resume)
 		if err != nil {
 			t.Fatal(err)
