@@ -45,6 +45,22 @@
 // directly with NewEngine and drive it with a custom Executor — that is
 // exactly how the distributed Coordinator is built.
 //
+// # Execution backends
+//
+// How one armed test physically executes is an execution backend,
+// selected by registered name through Options.Backend (Backends lists
+// the registry): "model" (the default) runs tests in-process against
+// the simulated program model, while "process" runs each test as a
+// real supervised subprocess of Options.Command — the armed injection
+// plan travels in the AFEX_PLAN environment variable, the cooperating
+// shim (package afex/shim) linked into the fixture consults it and
+// streams injection-point stacks and coverage back over a report pipe,
+// and the supervisor folds timeouts as Hung and signaled exits as
+// Crashed. Process sessions persist, resume and replay exactly like
+// model ones; the journal records backend name, exit status and
+// duration per scenario. See the README's "Execution backends" section
+// for the shim protocol and the cmd: target spec.
+//
 // # Scale
 //
 // Fault spaces are cheap no matter how many points they span: numeric
@@ -86,6 +102,7 @@ package afex
 import (
 	"fmt"
 
+	"afex/internal/backend"
 	"afex/internal/core"
 	"afex/internal/dsl"
 	"afex/internal/explore"
@@ -129,6 +146,36 @@ const (
 // strategy — the valid values of Options.Algorithm.
 func Algorithms() []string { return explore.Strategies() }
 
+// Execution backend names accepted by Options.Backend. They resolve
+// through the backend registry (Backends lists it); an unknown name
+// fails session construction with an error naming every valid choice —
+// the same contract as Options.Algorithm.
+const (
+	// ModelBackend runs tests in-process against the simulated program
+	// model (Options.Target). The default; microsecond tests, fully
+	// deterministic.
+	ModelBackend = "model"
+	// ProcessBackend runs each test as a real supervised subprocess of
+	// Options.Command: the armed injection plan travels in the
+	// AFEX_PLAN environment variable, the cooperating shim (package
+	// afex/shim) linked into the fixture consults it and streams the
+	// injection-point stack and coverage back over a report pipe, and
+	// the supervisor maps timeouts to Hung and signaled exits to
+	// Crashed.
+	ProcessBackend = "process"
+)
+
+// Backends returns the sorted names of every registered execution
+// backend — the valid values of Options.Backend.
+func Backends() []string { return backend.Names() }
+
+// ParseCommandSpec parses a "cmd:" process-target spec — "cmd:" (the
+// prefix is optional) followed by a whitespace-separated command
+// template whose {test} tokens expand to the testID, e.g.
+// "cmd:./crashy {test}". Per-test argument rows can be appended to the
+// returned spec's TestArgs table.
+func ParseCommandSpec(spec string) (*CommandSpec, error) { return backend.ParseSpec(spec) }
+
 // Re-exported core types. The type aliases keep one set of documentation
 // and let advanced callers drop down to the internal packages' richer
 // surface without conversions.
@@ -171,6 +218,16 @@ type (
 	// Executor is the engine's deployment seam: it runs one leased
 	// candidate and returns the observed outcome (the engine folds it).
 	Executor = core.Executor
+	// CommandSpec is the process backend's launch description: a
+	// command template plus a per-test argument table.
+	CommandSpec = backend.CommandSpec
+	// BackendConfig configures an execution backend constructed outside
+	// a session (e.g. for a process-backend node manager via
+	// DialManagerBackend).
+	BackendConfig = backend.Config
+	// ExecRunner is a constructed execution backend: it runs armed
+	// injection plans and reports outcomes plus execution metadata.
+	ExecRunner = backend.Runner
 	// JournalEntry is one journaled scenario execution of a persistent
 	// session (Options.StateDir).
 	JournalEntry = store.Entry
@@ -238,8 +295,8 @@ func Explore(opts Options) (*Result, error) {
 	if opts.StateDir == "" {
 		return core.Run(opts)
 	}
-	if opts.Target == nil {
-		return nil, fmt.Errorf("afex: Options.Target is nil")
+	if opts.Target == nil && opts.Command == nil {
+		return nil, fmt.Errorf("afex: Options.Target is nil and no process Command is set")
 	}
 	if opts.Space == nil || opts.Space.Size() == 0 {
 		return nil, fmt.Errorf("afex: Options.Space is nil or empty")

@@ -125,3 +125,13 @@ func ServeCoordinator(addr string, c *Coordinator) (*CoordinatorServer, error) {
 func DialManager(addr, id string, target *System) (*Manager, error) {
 	return rpcnode.Dial(addr, id, target)
 }
+
+// DialManagerBackend connects a node manager that executes leased
+// tests on any registered execution backend — e.g. ProcessBackend with
+// a Command spec runs every leased scenario as a real supervised
+// subprocess on the manager's machine, so a cluster can mix model
+// managers with real-process ones. Unknown backend names fail with the
+// registry's error listing every valid choice.
+func DialManagerBackend(addr, id, backendName string, cfg BackendConfig) (*Manager, error) {
+	return rpcnode.DialBackend(addr, id, backendName, cfg)
+}

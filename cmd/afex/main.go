@@ -6,17 +6,21 @@
 // Usage:
 //
 //	afex explore --target mysqld [--algo fitness|random|exhaustive|genetic|portfolio]
-//	             [--iterations 1000] [--seed 1] [--feedback] [--workers 4]
-//	             [--batch 16] [--shards 4] [--funcs 19] [--call-lo 1]
-//	             [--call-hi 100] [--top 10] [--repro]
-//	             [--state-dir DIR] [--resume] [--progress 5s]
+//	             [--backend model|process] [--iterations 1000] [--seed 1]
+//	             [--feedback] [--workers 4] [--batch 16] [--shards 4]
+//	             [--funcs 19] [--call-lo 1] [--call-hi 100] [--top 10]
+//	             [--repro] [--state-dir DIR] [--resume] [--progress 5s]
+//	afex explore --backend process --target "cmd:./crashy {test}" \
+//	             --space "testID : [ 0 , 3 ]  function : { open , read }  callNumber : [ 1 , 3 ] ;" \
+//	             [--timeout 5s] [--procs 4] [--test-args "row0"] [--test-args "row1"]
 //	afex replay  --target mysqld --scenario "testID 5 function read errno EIO retval -1 callNumber 3"
-//	afex replay  <state-dir-or-journal> [--target mysqld] [--all] [--trials 1]
+//	afex replay  <state-dir-or-journal> [--target mysqld] [--all] [--trials 1] [--timeout 5s]
 //	afex profile --target coreutils [--funcs 19]
 //	afex serve   --target coreutils --addr :7070 [--iterations 500] [--shards 4]
-//	             [--algo portfolio] [--state-dir DIR] [--resume]
+//	             [--algo portfolio] [--state-dir DIR] [--resume] [--lease-timeout 30s]
 //	afex worker  --target coreutils --addr host:7070 --id mgr01
-//	afex targets
+//	afex worker  --backend process --target "cmd:./crashy {test}" --addr host:7070 --id mgr02
+//	afex targets [--json]
 //
 // Exit status: 0 on success with no failures found, 1 on errors, 2 on
 // usage mistakes, and 3 when the exploration (or serve session) found
@@ -25,14 +29,17 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"afex"
+	"afex/internal/backend"
 	"afex/internal/dsl"
 	"afex/internal/inject"
 	"afex/internal/prog"
@@ -64,9 +71,7 @@ func main() {
 	case "worker":
 		err = cmdWorker(os.Args[2:])
 	case "targets":
-		for _, n := range afex.TargetNames() {
-			fmt.Println(n)
-		}
+		err = cmdTargets(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -92,14 +97,39 @@ commands:
   profile   run the suite under tracing; print the fault-space description
   serve     run an exploration coordinator for remote node managers
   worker    join a coordinator as a node manager
-  targets   list built-in targets
+  targets   list built-in targets and registered execution backends
 
 exit status 3 means the exploration found failure-inducing scenarios.`)
 }
 
+// multiFlag collects a repeatable string flag (e.g. --test-args).
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// loadSpace parses a fault-space description given literally or as
+// "@path" to a description file.
+func loadSpace(desc string) (*afex.Space, error) {
+	if strings.HasPrefix(desc, "@") {
+		raw, err := os.ReadFile(desc[1:])
+		if err != nil {
+			return nil, err
+		}
+		desc = string(raw)
+	}
+	return afex.ParseSpace(desc)
+}
+
 func cmdExplore(args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
-	targetName := fs.String("target", "coreutils", "target system under test")
+	targetName := fs.String("target", "coreutils", "target system under test: a built-in model, or a \"cmd:\" spec launching a real fixture ({test} expands to the testID)")
+	backendName := fs.String("backend", "", "execution backend: "+strings.Join(afex.Backends(), " | ")+" (default: model for built-in targets, process for cmd: targets)")
+	spaceDesc := fs.String("space", "", "fault-space description in the Fig. 3 language, or @file (required for cmd: targets; overrides the profiled space for built-in ones)")
+	execTimeout := fs.Duration("timeout", 0, "process backend: per-test wall-clock cap; expired tests are killed and folded as Hung (0 = default)")
+	procs := fs.Int("procs", 0, "process backend: max concurrently running subprocesses, independent of --workers (0 = default)")
+	var testArgs multiFlag
+	fs.Var(&testArgs, "test-args", "process backend: per-test argument row appended to the command template, repeatable (row i serves testID i)")
 	algorithm := fs.String("algorithm", afex.FitnessGuided, "exploration strategy: "+strings.Join(afex.Algorithms(), " | "))
 	fs.StringVar(algorithm, "algo", afex.FitnessGuided, "alias for --algorithm")
 	iterations := fs.Int("iterations", 250, "number of tests to execute (0 = until exhausted)")
@@ -128,12 +158,48 @@ func cmdExplore(args []string) error {
 	if *resume && *stateDir == "" {
 		return fmt.Errorf("--resume requires --state-dir")
 	}
-	target, err := afex.Target(*targetName)
-	if err != nil {
-		return err
+	// A cmd: target runs on the process backend; built-in model targets
+	// default to the model backend. An explicit --backend must agree
+	// with the target's kind.
+	procTarget := strings.HasPrefix(*targetName, "cmd:")
+	if procTarget && *backendName == "" {
+		*backendName = afex.ProcessBackend
 	}
+	if *backendName == afex.ProcessBackend && !procTarget {
+		return fmt.Errorf(`--backend process requires a cmd: target spec, e.g. --target "cmd:./crashy {test}"`)
+	}
+	if procTarget && *backendName != afex.ProcessBackend {
+		return fmt.Errorf("cmd: targets run on the process backend, not %q", *backendName)
+	}
+
+	var target *afex.System
+	var command *afex.CommandSpec
 	var space *afex.Space
+	var err error
+	if procTarget {
+		if command, err = afex.ParseCommandSpec(*targetName); err != nil {
+			return err
+		}
+		for _, row := range testArgs {
+			command.TestArgs = append(command.TestArgs, strings.Fields(row))
+		}
+		if *spaceDesc == "" {
+			return fmt.Errorf("cmd: targets need --space (a Fig. 3 fault-space description, or @file)")
+		}
+	} else {
+		if target, err = afex.Target(*targetName); err != nil {
+			return err
+		}
+	}
+	if *precisionTrials > 0 && target == nil {
+		// Fail before the exploration runs, not after hours of it.
+		return fmt.Errorf("--precision-trials re-runs through the program model and needs a built-in target")
+	}
 	switch {
+	case *spaceDesc != "":
+		if space, err = loadSpace(*spaceDesc); err != nil {
+			return err
+		}
 	case *pairs:
 		space = afex.PairSpaceFor(target, *nFuncs, *callHi)
 	case *errnoAxis:
@@ -142,18 +208,22 @@ func cmdExplore(args []string) error {
 		space = afex.SpaceFor(target, *nFuncs, *callLo, *callHi)
 	}
 	opts := afex.Options{
-		Target:     target,
-		Space:      space,
-		Algorithm:  *algorithm,
-		Iterations: *iterations,
-		Workers:    *workers,
-		Batch:      *batch,
-		Shards:     *shards,
-		Feedback:   *feedback,
-		TimeBudget: *budget,
-		StateDir:   *stateDir,
-		Resume:     *resume,
-		Explore:    afex.ExploreOptions{Seed: *seed},
+		Target:      target,
+		Backend:     *backendName,
+		Command:     command,
+		ExecTimeout: *execTimeout,
+		Procs:       *procs,
+		Space:       space,
+		Algorithm:   *algorithm,
+		Iterations:  *iterations,
+		Workers:     *workers,
+		Batch:       *batch,
+		Shards:      *shards,
+		Feedback:    *feedback,
+		TimeBudget:  *budget,
+		StateDir:    *stateDir,
+		Resume:      *resume,
+		Explore:     afex.ExploreOptions{Seed: *seed},
 	}
 	if *verbose {
 		opts.Progress = func(s afex.Snapshot) {
@@ -223,6 +293,34 @@ func startProgress(eng *afex.Engine, every time.Duration) (stop func()) {
 	return func() { close(done) }
 }
 
+// replayRunner builds the re-execution function for a target name: the
+// program model for built-in targets, the process backend for "cmd:"
+// specs (the journaled plan re-arms the same fixture the session
+// drove). The returned cleanup releases the backend.
+func replayRunner(targetName string, timeout time.Duration) (run func(testID int, plan inject.Plan) prog.Outcome, target *afex.System, cleanup func() error, err error) {
+	if strings.HasPrefix(targetName, "cmd:") {
+		spec, err := afex.ParseCommandSpec(targetName)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		r, err := backend.New(backend.Process, backend.Config{Command: spec, Timeout: timeout})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		run = func(testID int, plan inject.Plan) prog.Outcome {
+			out, _ := r.Run(testID, plan)
+			return out
+		}
+		return run, nil, r.Close, nil
+	}
+	t, err := afex.Target(targetName)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	run = func(testID int, plan inject.Plan) prog.Outcome { return prog.Run(t, testID, plan) }
+	return run, t, func() error { return nil }, nil
+}
+
 func cmdReplay(args []string) error {
 	// A positional first argument is a journal source: a state directory
 	// (written by explore/serve --state-dir) or a journal.jsonl file.
@@ -231,22 +329,37 @@ func cmdReplay(args []string) error {
 		journal, args = args[0], args[1:]
 	}
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	targetName := fs.String("target", "", "target system under test (journal mode: defaults to the state directory's recorded target)")
+	targetName := fs.String("target", "", "target system under test: a built-in model or a cmd: spec (journal mode: defaults to the recorded target)")
 	scenario := fs.String("scenario", "", "scenario in the wire format, e.g. \"testID 3 function read callNumber 2\"")
 	trials := fs.Int("trials", 1, "number of re-runs (impact precision uses >1)")
 	all := fs.Bool("all", false, "journal mode: replay every recorded failure, not just one per redundancy cluster")
+	execTimeout := fs.Duration("timeout", 0, "process replay: per-test wall-clock cap (0 = default)")
+	backendName := fs.String("backend", "", "execution backend to replay on: "+strings.Join(afex.Backends(), " | ")+" (default: inferred from the target — process for cmd: specs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *backendName != "" {
+		// The backend is inferred from the target's kind; an explicit
+		// flag must agree (and catches typos with the registry's list).
+		procTarget := strings.HasPrefix(*targetName, "cmd:")
+		switch *backendName {
+		case afex.ProcessBackend:
+			if !procTarget && journal == "" {
+				return fmt.Errorf(`--backend process replays a cmd: target, e.g. --target "cmd:./crashy {test}"`)
+			}
+		case afex.ModelBackend:
+			if procTarget {
+				return fmt.Errorf("cmd: targets replay on the process backend, not %q", *backendName)
+			}
+		default:
+			return fmt.Errorf("unknown execution backend %q (valid: %s)", *backendName, strings.Join(afex.Backends(), ", "))
+		}
+	}
 	if journal != "" {
-		return replayJournal(journal, *targetName, *trials, *all)
+		return replayJournal(journal, *targetName, *backendName, *trials, *all, *execTimeout)
 	}
 	if *targetName == "" || *scenario == "" {
 		return fmt.Errorf("replay requires --target and --scenario (or a journal path)")
-	}
-	target, err := afex.Target(*targetName)
-	if err != nil {
-		return err
 	}
 	sc, err := dsl.ParseScenario(*scenario)
 	if err != nil {
@@ -257,10 +370,19 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	run, target, cleanup, err := replayRunner(*targetName, *execTimeout)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	for i := 0; i < *trials; i++ {
-		out := prog.Run(target, pt.TestID, plan)
-		fmt.Printf("run %d: injected=%v failed=%v crashed=%v hung=%v coverage=%.2f%%\n",
-			i+1, out.Injected, out.Failed, out.Crashed, out.Hung, 100*out.Coverage(target))
+		out := run(pt.TestID, plan)
+		cov := ""
+		if target != nil {
+			cov = fmt.Sprintf(" coverage=%.2f%%", 100*out.Coverage(target))
+		}
+		fmt.Printf("run %d: injected=%v failed=%v crashed=%v hung=%v%s\n",
+			i+1, out.Injected, out.Failed, out.Crashed, out.Hung, cov)
 		if out.CrashID != "" {
 			fmt.Printf("  crash identity: %s\n", out.CrashID)
 		}
@@ -277,7 +399,7 @@ func cmdReplay(args []string) error {
 // without re-searching the fault space. By default one representative
 // per redundancy cluster is replayed (the tests worth promoting into a
 // regression suite); --all replays every recorded failure.
-func replayJournal(path, targetName string, trials int, all bool) error {
+func replayJournal(path, targetName, backendName string, trials int, all bool, execTimeout time.Duration) error {
 	entries, err := afex.ReplayJournal(path)
 	if err != nil {
 		return err
@@ -292,10 +414,22 @@ func replayJournal(path, targetName string, trials int, all bool) error {
 		}
 		targetName = meta.Target
 	}
-	target, err := afex.Target(targetName)
+	// The backend follows the (possibly journal-recorded) target's
+	// kind; an explicit --backend that disagrees is an error, never
+	// silently ignored.
+	if procTarget := strings.HasPrefix(targetName, "cmd:"); backendName != "" {
+		if procTarget && backendName != afex.ProcessBackend {
+			return fmt.Errorf("journal target %q replays on the process backend, not %q", targetName, backendName)
+		}
+		if !procTarget && backendName != afex.ModelBackend {
+			return fmt.Errorf("journal target %q replays on the model backend, not %q", targetName, backendName)
+		}
+	}
+	run, _, cleanup, err := replayRunner(targetName, execTimeout)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	if trials < 1 {
 		trials = 1
 	}
@@ -316,7 +450,7 @@ func replayJournal(path, targetName string, trials int, all bool) error {
 		var out prog.Outcome
 		ok := true
 		for t := 0; t < trials; t++ {
-			out = prog.Run(target, e.TestID, plan)
+			out = run(e.TestID, plan)
 			if out.Failed != e.Failed || out.Crashed != e.Crashed || out.Hung != e.Hung {
 				ok = false
 			}
@@ -387,11 +521,27 @@ func cmdServe(args []string) error {
 	shards := fs.Int("shards", 0, "partition the space into this many disjoint regions, one fitness search each (0/1 = unsharded)")
 	stateDir := fs.String("state-dir", "", "persist the coordinator's session here; a restarted serve continues the same session")
 	resume := fs.Bool("resume", false, "with --state-dir: restore the explorer's search state from the last snapshot")
+	backendName := fs.String("backend", "", "validate that workers will use this execution backend name: "+strings.Join(afex.Backends(), " | ")+" (the backend itself runs on the workers)")
+	leaseTimeout := fs.Duration("lease-timeout", 0, "re-lease tasks a manager never reported back after this long (0 = never; leases then leak if a manager dies)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *stateDir == "" {
 		return fmt.Errorf("--resume requires --state-dir")
+	}
+	if *backendName != "" {
+		// The coordinator never executes tests itself; workers bring the
+		// backend. Validating the name here surfaces typos at serve time
+		// with the registry's full-choice error.
+		valid := false
+		for _, n := range afex.Backends() {
+			if n == *backendName {
+				valid = true
+			}
+		}
+		if !valid {
+			return fmt.Errorf("unknown execution backend %q (valid: %s)", *backendName, strings.Join(afex.Backends(), ", "))
+		}
 	}
 	target, err := afex.Target(*targetName)
 	if err != nil {
@@ -412,6 +562,9 @@ func cmdServe(args []string) error {
 			return err
 		}
 		coord.SetTargetName(target.Name)
+	}
+	if *leaseTimeout > 0 {
+		coord.SetLeaseTimeout(*leaseTimeout)
 	}
 	srv, err := afex.ServeCoordinator(*addr, coord)
 	if err != nil {
@@ -449,17 +602,34 @@ func cmdServe(args []string) error {
 
 func cmdWorker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
-	targetName := fs.String("target", "coreutils", "target system under test (must match the coordinator's)")
+	targetName := fs.String("target", "coreutils", "target system under test (must match the coordinator's): a built-in model or a cmd: spec")
+	backendName := fs.String("backend", "", "execution backend: "+strings.Join(afex.Backends(), " | ")+" (default: model for built-in targets, process for cmd: targets)")
+	execTimeout := fs.Duration("timeout", 0, "process backend: per-test wall-clock cap (0 = default)")
+	procs := fs.Int("procs", 0, "process backend: max concurrently running subprocesses (0 = default)")
 	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
 	id := fs.String("id", "worker", "manager identity reported to the coordinator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	target, err := afex.Target(*targetName)
-	if err != nil {
-		return err
+	procTarget := strings.HasPrefix(*targetName, "cmd:")
+	if procTarget && *backendName == "" {
+		*backendName = afex.ProcessBackend
 	}
-	mgr, err := afex.DialManager(*addr, *id, target)
+	bcfg := afex.BackendConfig{Timeout: *execTimeout, Procs: *procs}
+	if procTarget {
+		spec, err := afex.ParseCommandSpec(*targetName)
+		if err != nil {
+			return err
+		}
+		bcfg.Command = spec
+	} else {
+		target, err := afex.Target(*targetName)
+		if err != nil {
+			return err
+		}
+		bcfg.Target = target
+	}
+	mgr, err := afex.DialManagerBackend(*addr, *id, *backendName, bcfg)
 	if err != nil {
 		return err
 	}
@@ -467,4 +637,36 @@ func cmdWorker(args []string) error {
 	n, err := mgr.RunUntilDone()
 	fmt.Printf("%s executed %d tests\n", *id, n)
 	return err
+}
+
+// cmdTargets lists the built-in model targets and the registered
+// execution backends — everything a --target/--backend pair can name —
+// in a stable, golden-testable order. --json emits the same data
+// machine-readably.
+func cmdTargets(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("targets", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := afex.TargetNames()
+	backends := afex.Backends()
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Targets  []string `json:"targets"`
+			Backends []string `json:"backends"`
+		}{targets, backends})
+	}
+	fmt.Fprintln(w, "built-in targets (run on the model backend):")
+	for _, n := range targets {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w, "execution backends (--backend):")
+	for _, n := range backends {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w, `process targets are given as a cmd: spec, e.g. --target "cmd:./crashy {test}"`)
+	return nil
 }

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"afex"
+)
+
+// crashyBin is the bundled process-backend fixture, built once per test
+// run.
+var crashyBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "afex-cli-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	crashyBin = filepath.Join(dir, "crashy")
+	out, err := exec.Command("go", "build", "-o", crashyBin, "afex/cmd/crashy").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building fixture: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// crashySpace is the fixture's fault space: 4 tests × 4 functions × 3
+// call numbers = 48 points.
+const crashySpace = "testID : [ 0 , 3 ]  function : { open , read , malloc , write }  callNumber : [ 1 , 3 ] ;"
+
+func crashyArgs(extra ...string) []string {
+	base := []string{
+		"--backend", "process",
+		"--target", "cmd:" + crashyBin + " {test}",
+		"--space", crashySpace,
+		"--timeout", "500ms",
+	}
+	return append(base, extra...)
+}
+
+// TestCmdExploreProcessBackend is the acceptance path: exploring the
+// bundled fixture with --backend process finds failure clusters (the
+// fixture plants an orderly failure, a crash and a hang), surfacing the
+// CI-gating exit sentinel.
+func TestCmdExploreProcessBackend(t *testing.T) {
+	err := cmdExplore(crashyArgs("--algo", "exhaustive", "--iterations", "0"))
+	if !errors.Is(err, errFailuresFound) {
+		t.Fatalf("process exploration of the crashy fixture should find failures, got %v", err)
+	}
+}
+
+// TestCmdExploreProcessTargetValidation: the cmd:/backend pairing is
+// checked both ways, and cmd: targets need a space description.
+func TestCmdExploreProcessTargetValidation(t *testing.T) {
+	if err := cmdExplore([]string{"--backend", "process", "--target", "mysqld"}); err == nil {
+		t.Error("--backend process accepted a built-in model target")
+	}
+	if err := cmdExplore([]string{"--backend", "model", "--target", "cmd:" + crashyBin}); err == nil {
+		t.Error("cmd: target accepted on the model backend")
+	}
+	if err := cmdExplore([]string{"--target", "cmd:" + crashyBin + " {test}"}); err == nil {
+		t.Error("cmd: target accepted without --space")
+	}
+	if err := cmdExplore(crashyArgs("--backend", "qemu")); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestCmdExploreProcessResume: the full persistence loop on the process
+// backend — an interrupted-then-resumed session journals, entry for
+// entry, exactly what one uninterrupted run journals (wall clock and
+// run indices aside), scenario keys never repeat, and `afex replay`
+// reproduces the recorded failures by re-running the fixture.
+func TestCmdExploreProcessResume(t *testing.T) {
+	const total = 30
+	full := filepath.Join(t.TempDir(), "full")
+	split := filepath.Join(t.TempDir(), "split")
+
+	if err := noFailures(cmdExplore(crashyArgs("--state-dir", full, "--iterations", fmt.Sprint(total)))); err != nil {
+		t.Fatal(err)
+	}
+	// The "kill": a run with a smaller budget finishes cleanly at 12
+	// folds — at snapshot granularity that is exactly a SIGKILL landing
+	// after fold 12 (Finish writes the snapshot the resume restores).
+	if err := noFailures(cmdExplore(crashyArgs("--state-dir", split, "--iterations", "12"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := noFailures(cmdExplore(crashyArgs("--state-dir", split, "--iterations", fmt.Sprint(total), "--resume"))); err != nil {
+		t.Fatal(err)
+	}
+
+	fullEntries, err := readJournalEntries(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitEntries, err := readJournalEntries(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fullEntries) != total || len(splitEntries) != total {
+		t.Fatalf("journals hold %d and %d entries, want %d", len(fullEntries), len(splitEntries), total)
+	}
+	seen := map[string]bool{}
+	for i := range fullEntries {
+		a, b := fullEntries[i], splitEntries[i]
+		if seen[b.Key()] {
+			t.Fatalf("scenario %s executed twice across the split runs", b.Key())
+		}
+		seen[b.Key()] = true
+		// Wall clock and run index are the only legitimate differences
+		// between the uninterrupted and the resumed session.
+		a.DurationNS, b.DurationNS = 0, 0
+		a.Run, b.Run = 0, 0
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("entry %d diverged after resume:\n full: %+v\nsplit: %+v", i, a, b)
+		}
+	}
+	// Sanity: the equality above covered real failures, journaled with
+	// their backend identity.
+	failures := 0
+	for _, e := range fullEntries {
+		if e.Failed {
+			failures++
+		}
+		if e.Backend != afex.ProcessBackend {
+			t.Fatalf("entry %d journaled backend %q, want process", e.Seq, e.Backend)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no failures among the journaled scenarios; the fixture should plant some")
+	}
+
+	// Recorded failures replay through the process backend from the
+	// journaled plans (the recorded cmd: target re-runs the fixture).
+	if err := cmdReplay([]string{split, "--timeout", "2s"}); err != nil {
+		t.Fatalf("process replay did not reproduce recorded failures: %v", err)
+	}
+}
+
+// TestCmdWorkerProcessBackend drives a distributed session whose node
+// manager executes on the process backend: serve hands out scenarios,
+// the worker runs them as real subprocesses of the fixture.
+func TestCmdWorkerProcessBackend(t *testing.T) {
+	target, err := afex.Target("coreutils")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = target // serve needs a model target; the worker brings the fixture
+	space, err := afex.ParseSpace(crashySpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := afex.NewCoordinatorFor(space, afex.Exhaustive, afex.ExploreOptions{Seed: 1}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := afex.ServeCoordinator("127.0.0.1:0", coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	spec, err := afex.ParseCommandSpec("cmd:" + crashyBin + " {test}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := afex.DialManagerBackend(srv.Addr(), "proc01", afex.ProcessBackend,
+		afex.BackendConfig{Command: spec, Timeout: 500_000_000, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	n, err := mgr.RunUntilDone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 48 {
+		t.Fatalf("worker executed %d tests, want the whole 48-point space", n)
+	}
+	res := coord.Result()
+	if res.Failed == 0 || res.UniqueFailures == 0 {
+		t.Fatalf("distributed process session found no failures: %+v", res)
+	}
+	for _, rec := range res.Records {
+		if rec.Backend != afex.ProcessBackend {
+			t.Fatalf("record %d folded with backend %q, want process", rec.ID, rec.Backend)
+		}
+	}
+}

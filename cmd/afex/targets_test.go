@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"afex"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// checkGolden compares got against testdata/name, regenerating with
+// `go test -update` — the same pinning discipline as benchtab and
+// faultmap.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestTargetsGolden: the listing is a pure function of the registries,
+// so its bytes are pinned; registering a new target or backend is an
+// intentional change regenerated with -update.
+func TestTargetsGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := cmdTargets(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "targets.golden", out.Bytes())
+}
+
+func TestTargetsJSONGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := cmdTargets([]string{"--json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "targets_json.golden", out.Bytes())
+
+	// The JSON must decode back to the live registries — machine
+	// readability is the point of the flag.
+	var got struct {
+		Targets  []string `json:"targets"`
+		Backends []string `json:"backends"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("--json output is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(got.Targets, afex.TargetNames()) {
+		t.Errorf("targets = %v, want %v", got.Targets, afex.TargetNames())
+	}
+	if !reflect.DeepEqual(got.Backends, afex.Backends()) {
+		t.Errorf("backends = %v, want %v", got.Backends, afex.Backends())
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package main
+
+// die approximates a crash on platforms without self-delivered fatal
+// signals: a runtime panic (nonzero exit). The supervisor then reports
+// Failed but not Crashed — crash detection is signal-based.
+func die() {
+	panic("crashy: unchecked allocation dereferenced")
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package main
+
+import (
+	"syscall"
+	"time"
+)
+
+// die crashes the process the way a real segfault would end it: a
+// fatal, uncatchable signal, so the supervisor's wait status reports a
+// signaled exit (SIGKILL is used because the Go runtime would convert
+// a self-delivered SIGSEGV into an orderly panic exit).
+func die() {
+	_ = syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+	time.Sleep(time.Second) // the signal is asynchronous; never proceed past it
+	panic("unreachable: SIGKILL did not arrive")
+}

@@ -1,0 +1,94 @@
+// fixture: a custom real-process system under test, wired through the
+// AFEX shim. It sketches a tiny log-structured store — open the
+// write-ahead log, append records, fsync, compact — with the same mix
+// of correct and buggy recovery code real systems carry:
+//
+//	test 0  append    fsync failure aborts by policy → self-crash
+//	test 1  compact   a failed rename blocks forever on a retry that
+//	                  never comes (a hang); unlink errors are tolerated
+//	test 2  scan      read errors propagate cleanly (orderly exit 1)
+//
+// Built and hunted by ../main.go; see that file for the session setup.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"afex/shim"
+)
+
+func main() {
+	defer shim.Flush()
+	test := 0
+	if len(os.Args) > 1 {
+		test, _ = strconv.Atoi(os.Args[1])
+	}
+	switch test {
+	case 0:
+		appendLog()
+	case 1:
+		compact()
+	case 2:
+		scan()
+	default:
+		fmt.Fprintf(os.Stderr, "fixture: no test %d\n", test)
+		os.Exit(2)
+	}
+}
+
+// crash brings the process down on a fatal signal so the supervisor
+// sees a signaled exit — the fixture equivalent of a segfault.
+func crash(id string) {
+	shim.Crash(id)
+	die()
+}
+
+func appendLog() {
+	shim.Cover(1)
+	if errno, _, failed := shim.Call("open"); failed {
+		shim.Cover(2)
+		fmt.Fprintf(os.Stderr, "fixture: open wal: %s\n", errno)
+		os.Exit(1)
+	}
+	for i := 0; i < 2; i++ {
+		shim.Cover(3 + i)
+		if _, _, failed := shim.Call("write"); failed {
+			shim.Cover(5) // tolerated: the record is re-appended next cycle
+		}
+	}
+	shim.Cover(6)
+	if _, _, failed := shim.Call("fsync"); failed {
+		// Abort-on-inconsistency policy — but the abort path itself is
+		// the planted bug: it "aborts" by dereferencing torn state.
+		crash("fixture/fsync-abort")
+	}
+	shim.Cover(7)
+}
+
+func compact() {
+	shim.Cover(10)
+	if _, _, failed := shim.Call("rename"); failed {
+		shim.Cover(11)
+		// Blocked forever waiting for a retry signal nothing sends —
+		// the planted hang the supervisor's timeout converts to Hung.
+		time.Sleep(time.Hour)
+	}
+	shim.Cover(12)
+	if _, _, failed := shim.Call("unlink"); failed {
+		shim.Cover(13) // tolerated: the old file lingers until next cycle
+	}
+}
+
+func scan() {
+	for i := 0; i < 3; i++ {
+		shim.Cover(20 + i)
+		if errno, _, failed := shim.Call("read"); failed {
+			shim.Cover(23)
+			fmt.Fprintf(os.Stderr, "fixture: scan: %s\n", errno)
+			os.Exit(1)
+		}
+	}
+}

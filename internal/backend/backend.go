@@ -1,0 +1,90 @@
+// Package backend is AFEX's execution-backend registry: the layer that
+// actually runs one armed fault-injection test against the system under
+// test. Everything above it — candidate leasing, scenario→plan
+// conversion, impact scoring, clustering (package core), the RPC node
+// managers (package rpcnode) — is backend-agnostic; everything below it
+// is how a test physically executes.
+//
+// Two backends are built in, constructed by name through the same
+// registry contract as the exploration-strategy registry (unknown names
+// fail construction with an error listing every valid choice):
+//
+//   - "model" runs the test in-process against the simulated program
+//     model (package prog) — microsecond tests, fully deterministic,
+//     the substrate of the paper-reproduction experiments.
+//   - "process" runs the test as a real supervised subprocess: the
+//     armed plan is handed to the child through the AFEX_PLAN
+//     environment variable, a cooperating shim (package afex/shim)
+//     linked into the fixture consults it and streams the
+//     injection-point stack and covered blocks back over a report pipe,
+//     and the supervisor maps the child's fate onto the same outcome
+//     vocabulary the model uses — nonzero exit ⇒ Failed, signaled exit
+//     ⇒ Crashed, wall-clock timeout ⇒ Hung.
+//
+// A Runner executes plans; it is deliberately below the fault-space
+// layer (no points, no scenarios), so the in-process worker pool and
+// remote node managers share one implementation per backend instead of
+// duplicating it per deployment mode.
+package backend
+
+import (
+	"time"
+
+	"afex/internal/inject"
+	"afex/internal/prog"
+)
+
+// Built-in backend names.
+const (
+	// Model is the in-process program-model backend (the default).
+	Model = "model"
+	// Process is the supervised-subprocess backend.
+	Process = "process"
+)
+
+// Config carries everything a backend factory may need; each backend
+// reads its own fields and ignores the rest.
+type Config struct {
+	// Target is the in-process program model (model backend).
+	Target *prog.Program
+	// Command describes how to launch the system under test (process
+	// backend): the command template plus the per-test argument table.
+	Command *CommandSpec
+	// Timeout is the per-test wall-clock cap (process backend); a test
+	// still running when it elapses is killed and reported Hung. Zero
+	// selects DefaultTimeout.
+	Timeout time.Duration
+	// Procs bounds how many subprocesses may run concurrently (process
+	// backend) — the process pool is sized independently of the
+	// engine's worker count, so memory- or port-hungry targets can be
+	// throttled below it. Zero selects DefaultProcs.
+	Procs int
+}
+
+// Exec is the per-execution metadata a runner reports alongside the
+// outcome: which backend ran the test, how the process ended, and how
+// long it took. The model backend reports a zero Duration and empty
+// ExitStatus — simulated runs are instantaneous and deterministic, and
+// keeping them out of the journal keeps journal bytes deterministic for
+// deterministic sessions.
+type Exec struct {
+	// Backend is the registered name of the backend that ran the test.
+	Backend string
+	// ExitStatus is the process disposition: "exit:N", "signal:<name>",
+	// or "timeout". Empty for in-process model runs.
+	ExitStatus string
+	// Duration is the test's wall clock. Zero for model runs.
+	Duration time.Duration
+}
+
+// Runner executes armed injection plans against the system under test.
+// Implementations must be safe for concurrent use: the engine's worker
+// pool and the RPC managers call Run from many goroutines.
+type Runner interface {
+	// Run executes the testID-th test with plan armed and returns what
+	// the sensors observed plus the execution metadata.
+	Run(testID int, plan inject.Plan) (prog.Outcome, Exec)
+	// Close releases whatever the runner holds open (process pools,
+	// fixtures); the runner is unusable afterwards. Idempotent.
+	Close() error
+}

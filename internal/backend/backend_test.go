@@ -1,0 +1,223 @@
+package backend
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"afex/internal/inject"
+	"afex/internal/libc"
+	"afex/internal/prog"
+)
+
+// crashyBin is the bundled fixture, built once per test run by
+// TestMain — the same binary CI builds for the binary-level round trip.
+var crashyBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "afex-backend-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	crashyBin = filepath.Join(dir, "crashy")
+	out, err := exec.Command("go", "build", "-o", crashyBin, "afex/cmd/crashy").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building fixture: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func crashyRunner(t testing.TB, timeout time.Duration) Runner {
+	t.Helper()
+	spec, err := ParseSpec("cmd:" + crashyBin + " {test}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Process, Config{Command: spec, Timeout: timeout, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func fault(fn string, call int) inject.Plan {
+	prof := libc.Lookup(fn)
+	if prof == nil {
+		panic("unknown libc function " + fn)
+	}
+	return inject.Single(inject.Fault{Function: fn, CallNumber: call, Err: prof.Errors[0]})
+}
+
+func TestRegistryContract(t *testing.T) {
+	names := Names()
+	if len(names) < 2 || names[0] != Model || names[1] != Process {
+		t.Fatalf("Names() = %v, want [model process ...]", names)
+	}
+	_, err := New("qemu", Config{})
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"qemu"`) || !strings.Contains(msg, "valid:") {
+		t.Fatalf("error %q does not name the bad backend and the valid choices", msg)
+	}
+	for _, n := range names {
+		if !strings.Contains(msg, n) {
+			t.Errorf("error %q does not list backend %q", msg, n)
+		}
+	}
+	if _, err := New(Model, Config{}); err == nil {
+		t.Error("model backend constructed without a target")
+	}
+	if _, err := New(Process, Config{}); err == nil {
+		t.Error("process backend constructed without a command spec")
+	}
+	if _, err := New(Process, Config{Command: &CommandSpec{Argv: []string{"/nonexistent/afex-fixture"}}}); err == nil {
+		t.Error("process backend accepted a missing binary")
+	}
+}
+
+func TestModelRunnerMatchesProgRun(t *testing.T) {
+	target := &prog.Program{
+		Name: "m",
+		Routines: map[string]*prog.Routine{
+			"r": {Name: "r", Module: "m", Ops: []prog.Op{
+				{Func: "read", OnError: prog.Propagate, Block: 1},
+			}},
+		},
+		TestSuite: []prog.Test{{Name: "t", Script: []string{"r"}}},
+		NumBlocks: 1,
+	}
+	if err := target.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := New("", Config{Target: target}) // "" selects model
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	plan := fault("read", 1)
+	out, ex := r.Run(0, plan)
+	want := prog.Run(target, 0, plan)
+	if out.Failed != want.Failed || out.Injected != want.Injected {
+		t.Errorf("model runner diverged from prog.Run: %+v vs %+v", out, want)
+	}
+	if ex.Backend != Model || ex.ExitStatus != "" || ex.Duration != 0 {
+		t.Errorf("model Exec = %+v; want zero duration and no exit status (journal determinism)", ex)
+	}
+}
+
+func TestProcessCleanPass(t *testing.T) {
+	r := crashyRunner(t, 5*time.Second)
+	out, ex := r.Run(3, inject.Plan{})
+	if out.Failed || out.Injected {
+		t.Errorf("fault-free probe run = %+v, want pass", out)
+	}
+	if ex.ExitStatus != "exit:0" || ex.Backend != Process {
+		t.Errorf("Exec = %+v, want exit:0/process", ex)
+	}
+	if ex.Duration <= 0 {
+		t.Error("process run reported no duration")
+	}
+	if len(out.Blocks) == 0 {
+		t.Error("orderly exit delivered no coverage blocks")
+	}
+}
+
+func TestProcessOrderlyFailure(t *testing.T) {
+	r := crashyRunner(t, 5*time.Second)
+	out, ex := r.Run(0, fault("open", 1))
+	if !out.Injected || !out.Failed || out.Crashed || out.Hung {
+		t.Fatalf("open fault outcome = %+v, want injected orderly failure", out)
+	}
+	if ex.ExitStatus != "exit:1" {
+		t.Errorf("ExitStatus = %q, want exit:1", ex.ExitStatus)
+	}
+	if len(out.InjectionStack) < 2 {
+		t.Fatalf("stack %v too short; want fixture frames + injection point", out.InjectionStack)
+	}
+	inner := out.InjectionStack[len(out.InjectionStack)-1]
+	if inner != "open:c1" {
+		t.Errorf("innermost frame %q, want open:c1", inner)
+	}
+	if !strings.Contains(strings.Join(out.InjectionStack, " "), "main.readConfig") {
+		t.Errorf("stack %v does not name the fixture function", out.InjectionStack)
+	}
+}
+
+func TestProcessRetryAbsorbsSingleFault(t *testing.T) {
+	r := crashyRunner(t, 5*time.Second)
+	out, ex := r.Run(0, fault("read", 1))
+	if !out.Injected || out.Failed {
+		t.Errorf("retried read fault = %+v (%s), want injected pass", out, ex.ExitStatus)
+	}
+}
+
+func TestProcessCrashMapsSignaledExit(t *testing.T) {
+	r := crashyRunner(t, 5*time.Second)
+	out, ex := r.Run(1, fault("malloc", 1))
+	if !out.Injected || !out.Failed || !out.Crashed || out.Hung {
+		t.Fatalf("malloc crash outcome = %+v, want crash", out)
+	}
+	if out.CrashID != "crashy/unchecked-malloc" {
+		t.Errorf("CrashID = %q, want the shim-labelled planted bug", out.CrashID)
+	}
+	if !strings.HasPrefix(ex.ExitStatus, "signal:") {
+		t.Errorf("ExitStatus = %q, want signal:*", ex.ExitStatus)
+	}
+}
+
+func TestProcessTimeoutMapsToHung(t *testing.T) {
+	r := crashyRunner(t, 300*time.Millisecond)
+	start := time.Now()
+	out, ex := r.Run(2, fault("write", 1))
+	if !out.Injected || !out.Failed || !out.Hung || out.Crashed {
+		t.Fatalf("hung write outcome = %+v, want Hung", out)
+	}
+	if ex.ExitStatus != "timeout" {
+		t.Errorf("ExitStatus = %q, want timeout", ex.ExitStatus)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout enforcement took %v", elapsed)
+	}
+}
+
+func TestProcessDeterministicOutcomes(t *testing.T) {
+	// The fixture is deterministic, so repeated runs of one plan agree
+	// on everything but wall clock — the property process-backend
+	// resume equality rests on.
+	r := crashyRunner(t, 5*time.Second)
+	first, _ := r.Run(0, fault("open", 1))
+	for i := 0; i < 3; i++ {
+		out, _ := r.Run(0, fault("open", 1))
+		if out.Failed != first.Failed || out.Injected != first.Injected ||
+			strings.Join(out.InjectionStack, "|") != strings.Join(first.InjectionStack, "|") {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, out, first)
+		}
+	}
+}
+
+// BenchmarkProcessExecutor measures one supervised subprocess execution
+// end to end (spawn, inject, report pipe, wait) — the per-test floor of
+// the process backend.
+func BenchmarkProcessExecutor(b *testing.B) {
+	r := crashyRunner(b, 5*time.Second)
+	plan := fault("open", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ := r.Run(0, plan)
+		if !out.Injected {
+			b.Fatal("fault did not fire")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package backend
+
+// The model backend: tests run in-process against the simulated program
+// model. This is the one implementation both deployment modes formerly
+// duplicated — the engine's local executor and the rpcnode manager each
+// called prog.Run themselves; now both construct this runner through
+// the registry.
+
+import (
+	"fmt"
+
+	"afex/internal/inject"
+	"afex/internal/prog"
+)
+
+type modelRunner struct {
+	target *prog.Program
+}
+
+func newModel(cfg Config) (Runner, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("model backend requires a Target program")
+	}
+	return &modelRunner{target: cfg.Target}, nil
+}
+
+// Run executes the test against the program model. prog.Run is a pure
+// function of (program, testID, plan), so the runner needs no locking
+// and no per-run state; Exec reports zero duration and no exit status —
+// simulated runs are instantaneous and deterministic, which keeps
+// journal bytes deterministic for deterministic sessions.
+func (m *modelRunner) Run(testID int, plan inject.Plan) (prog.Outcome, Exec) {
+	return prog.Run(m.target, testID, plan), Exec{Backend: Model}
+}
+
+func (m *modelRunner) Close() error { return nil }

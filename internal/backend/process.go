@@ -1,0 +1,267 @@
+package backend
+
+// The process backend: real-process fault injection. Each leased
+// scenario's armed plan is handed to a supervised subprocess over the
+// shim protocol (package afex/shim): the plan travels in the AFEX_PLAN
+// environment variable, and the fixture's shim streams injection-point
+// stacks, covered blocks and crash labels back over a pipe the
+// supervisor passes as fd 3. The supervisor enforces a per-test
+// wall-clock timeout (expired tests are killed and reported Hung),
+// maps exit dispositions onto the model's outcome vocabulary (nonzero
+// exit ⇒ Failed, signaled exit ⇒ Crashed), and bounds concurrency with
+// a process pool sized independently of the engine's workers.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"afex/internal/inject"
+	"afex/internal/prog"
+	"afex/shim"
+)
+
+// DefaultTimeout is the per-test wall-clock cap when Config.Timeout is
+// unset. Real fault-injection tests cost up to seconds; a test still
+// running after this long is assumed hung.
+const DefaultTimeout = 10 * time.Second
+
+// DefaultProcs bounds concurrent subprocesses when Config.Procs is
+// unset.
+const DefaultProcs = 4
+
+type processRunner struct {
+	spec    *CommandSpec
+	timeout time.Duration
+	// sem is the process pool: one slot per concurrently running
+	// subprocess. Sized independently of the engine's worker count —
+	// effective parallelism is min(workers, procs).
+	sem chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newProcess(cfg Config) (Runner, error) {
+	if cfg.Command == nil || len(cfg.Command.Argv) == 0 {
+		return nil, fmt.Errorf("process backend requires a command spec (cmd: target)")
+	}
+	// Surface a missing or non-executable binary at construction, not as
+	// N identical per-test spawn failures.
+	if _, err := exec.LookPath(cfg.Command.Argv[0]); err != nil {
+		return nil, fmt.Errorf("process backend: %w", err)
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	procs := cfg.Procs
+	if procs <= 0 {
+		procs = DefaultProcs
+	}
+	return &processRunner{
+		spec:    cfg.Command,
+		timeout: timeout,
+		sem:     make(chan struct{}, procs),
+	}, nil
+}
+
+// planWire renders the armed plan in the shim's AFEX_PLAN format.
+func planWire(testID int, plan inject.Plan) string {
+	w := shim.PlanWire{TestID: testID, Faults: make([]shim.FaultWire, 0, len(plan.Faults))}
+	for _, f := range plan.Faults {
+		w.Faults = append(w.Faults, shim.FaultWire{
+			Function:   f.Function,
+			CallNumber: f.CallNumber,
+			Errno:      f.Err.Errno,
+			Retval:     f.Err.Retval,
+		})
+	}
+	raw, err := json.Marshal(w)
+	if err != nil {
+		panic("backend: plan wire encoding cannot fail: " + err.Error())
+	}
+	return string(raw)
+}
+
+// Run launches one supervised test execution.
+func (p *processRunner) Run(testID int, plan inject.Plan) (prog.Outcome, Exec) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return prog.Outcome{Failed: true}, Exec{Backend: Process, ExitStatus: "runner-closed"}
+	}
+
+	argv := p.spec.ArgvFor(testID)
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	// The fixture leads its own process group, so a timeout kill reaps
+	// any helpers it spawned instead of orphaning them one per hung
+	// test.
+	isolateProcessGroup(cmd)
+
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		return prog.Outcome{Failed: true}, Exec{Backend: Process, ExitStatus: "spawn:" + err.Error()}
+	}
+	// The report pipe rides after stdio: ExtraFiles[0] is fd 3 in the
+	// child, and AFEX_REPORT_FD names it so the convention can move.
+	cmd.ExtraFiles = []*os.File{pw}
+	cmd.Env = append(os.Environ(),
+		shim.PlanEnv+"="+planWire(testID, plan),
+		shim.ReportFDEnv+"=3")
+
+	start := time.Now()
+	if err := cmd.Start(); err != nil {
+		pr.Close()
+		pw.Close()
+		return prog.Outcome{Failed: true}, Exec{Backend: Process, ExitStatus: "spawn:" + err.Error()}
+	}
+	pw.Close() // parent's copy; the child holds the write end now
+
+	// Drain the report pipe concurrently so a chatty fixture never
+	// blocks on a full pipe buffer while the supervisor waits on it.
+	var events []shim.Event
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		sc := bufio.NewScanner(pr)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			var ev shim.Event
+			if json.Unmarshal(sc.Bytes(), &ev) == nil {
+				events = append(events, ev)
+			}
+		}
+	}()
+
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- cmd.Wait() }()
+	timedOut := false
+	timer := time.NewTimer(p.timeout)
+	select {
+	case <-waitDone:
+		timer.Stop()
+	case <-timer.C:
+		// Per-test wall-clock budget exhausted: the test is hung. Kill
+		// its whole process group and report Hung, not Crashed — the
+		// signal is ours.
+		timedOut = true
+		killTree(cmd)
+		<-waitDone
+	}
+	duration := time.Since(start)
+
+	// The child exited, so the pipe EOFs once buffered events drain —
+	// unless an inherited fd in a grandchild holds the write end open;
+	// a short grace then force-closes the read end.
+	select {
+	case <-readerDone:
+	case <-time.After(500 * time.Millisecond):
+	}
+	pr.Close()
+	<-readerDone
+
+	return p.fold(events, cmd.ProcessState, timedOut, duration)
+}
+
+// fold maps the report events and the process disposition onto the
+// engine's outcome vocabulary.
+func (p *processRunner) fold(events []shim.Event, ps *os.ProcessState, timedOut bool, duration time.Duration) (prog.Outcome, Exec) {
+	out := prog.Outcome{}
+	crashID := ""
+	for _, ev := range events {
+		switch ev.Kind {
+		case shim.EventInject:
+			out.Injected = true
+			// The innermost frame is the injection point itself, in the
+			// model's "function:pseudo-callsite" shape, so stacks cluster
+			// by where the fault fired, not only by the path to it.
+			stack := append([]string(nil), ev.Stack...)
+			out.InjectionStack = append(stack, fmt.Sprintf("%s:c%d", ev.Function, ev.Call))
+		case shim.EventBlocks:
+			if out.Blocks == nil {
+				out.Blocks = make(map[int]struct{}, len(ev.Blocks))
+			}
+			for _, b := range ev.Blocks {
+				out.Blocks[b] = struct{}{}
+			}
+		case shim.EventCrash:
+			crashID = ev.ID
+		}
+	}
+
+	ex := Exec{Backend: Process, Duration: duration}
+	switch {
+	case timedOut:
+		ex.ExitStatus = "timeout"
+		out.Failed = true
+		out.Hung = true
+	case ps != nil && ps.ExitCode() >= 0:
+		ex.ExitStatus = fmt.Sprintf("exit:%d", ps.ExitCode())
+		out.Failed = ps.ExitCode() != 0
+	default:
+		// ExitCode < 0 without our timeout kill: the process died on a
+		// signal — a real crash.
+		ex.ExitStatus = "signal:" + signalName(ps)
+		out.Failed = true
+		out.Crashed = true
+		out.CrashID = crashID
+		if out.CrashID == "" {
+			at := "?"
+			if n := len(out.InjectionStack); n > 0 {
+				at = out.InjectionStack[n-1]
+			}
+			out.CrashID = fmt.Sprintf("crash@%s/%s", at, signalName(ps))
+		}
+	}
+	return out, ex
+}
+
+// signalName extracts the signal from a ProcessState's description
+// ("signal: killed" → "killed") without reaching into the
+// platform-specific WaitStatus.
+func signalName(ps *os.ProcessState) string {
+	if ps == nil {
+		return "unknown"
+	}
+	s := ps.String()
+	if i := strings.Index(s, "signal: "); i >= 0 {
+		name := s[i+len("signal: "):]
+		if j := strings.IndexByte(name, ' '); j >= 0 {
+			name = name[:j]
+		}
+		return name
+	}
+	return s
+}
+
+// Close waits for in-flight executions to finish and refuses further
+// runs.
+func (p *processRunner) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	// Draining every pool slot waits out the in-flight subprocesses.
+	for i := 0; i < cap(p.sem); i++ {
+		p.sem <- struct{}{}
+	}
+	for i := 0; i < cap(p.sem); i++ {
+		<-p.sem
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package backend
+
+import "os/exec"
+
+// isolateProcessGroup is a no-op without unix process groups; timeout
+// kills reach the direct child only.
+func isolateProcessGroup(cmd *exec.Cmd) {}
+
+func killTree(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package backend
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// isolateProcessGroup makes the fixture the leader of a fresh process
+// group, so a timeout kill can reap helpers it spawned, not only the
+// direct child.
+func isolateProcessGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killTree SIGKILLs the fixture's whole process group (fall back to
+// the direct child if the group signal fails — e.g. the leader already
+// exited and the group is gone).
+func killTree(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		_ = cmd.Process.Kill()
+	}
+}

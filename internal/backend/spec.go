@@ -1,0 +1,75 @@
+package backend
+
+// The "cmd:" target specification: how the process backend launches the
+// system under test. A spec is a command template — an argv whose
+// tokens may reference {test}, replaced by the decimal testID — plus an
+// optional per-test argument table appended after the template, so
+// fixtures can take the test selection either as a substituted argument
+// (crashy {test}) or as test-specific argv tails (--case read-config).
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// TestPlaceholder is the template token ArgvFor replaces with the
+// testID.
+const TestPlaceholder = "{test}"
+
+// CommandSpec describes how to launch one test of a process target.
+type CommandSpec struct {
+	// Argv is the command template: Argv[0] is the executable,
+	// TestPlaceholder tokens expand to the testID.
+	Argv []string
+	// TestArgs, when non-empty, is the per-test argument table:
+	// TestArgs[testID] is appended to the expanded template. Tests
+	// beyond the table's length append nothing.
+	TestArgs [][]string
+}
+
+// ParseSpec parses a "cmd:" target spec — "cmd:" followed by a
+// whitespace-separated command template ("cmd:./crashy {test}"). The
+// prefix is optional so programmatic callers can pass a bare command
+// line.
+func ParseSpec(spec string) (*CommandSpec, error) {
+	s := strings.TrimPrefix(spec, "cmd:")
+	argv := strings.Fields(s)
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("backend: empty cmd: target spec %q", spec)
+	}
+	return &CommandSpec{Argv: argv}, nil
+}
+
+// ArgvFor renders the argv for one test: the template with {test}
+// expanded plus the test's table row.
+func (s *CommandSpec) ArgvFor(testID int) []string {
+	id := strconv.Itoa(testID)
+	out := make([]string, 0, len(s.Argv)+4)
+	for _, a := range s.Argv {
+		if strings.Contains(a, TestPlaceholder) {
+			a = strings.ReplaceAll(a, TestPlaceholder, id)
+		}
+		out = append(out, a)
+	}
+	if testID >= 0 && testID < len(s.TestArgs) {
+		out = append(out, s.TestArgs[testID]...)
+	}
+	return out
+}
+
+// Target renders the spec back in "cmd:" form — the process session's
+// target identity, used to label result sets and to verify that runs
+// sharing a persistent state directory drive the same command.
+func (s *CommandSpec) Target() string {
+	return "cmd:" + strings.Join(s.Argv, " ")
+}
+
+// Name is a short human label for reports: the executable's base name.
+func (s *CommandSpec) Name() string {
+	if len(s.Argv) == 0 {
+		return ""
+	}
+	return filepath.Base(s.Argv[0])
+}

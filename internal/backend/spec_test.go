@@ -1,0 +1,51 @@
+package backend
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("cmd:./crashy {test} --verbose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec.Argv, []string{"./crashy", "{test}", "--verbose"}) {
+		t.Fatalf("Argv = %v", spec.Argv)
+	}
+	if spec.Target() != "cmd:./crashy {test} --verbose" {
+		t.Errorf("Target() = %q does not round-trip", spec.Target())
+	}
+	if spec.Name() != "crashy" {
+		t.Errorf("Name() = %q", spec.Name())
+	}
+	// The prefix is optional for programmatic callers.
+	if _, err := ParseSpec("./fixture"); err != nil {
+		t.Errorf("bare command rejected: %v", err)
+	}
+	if _, err := ParseSpec("cmd:"); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := ParseSpec("   "); err == nil {
+		t.Error("blank spec accepted")
+	}
+}
+
+func TestArgvForExpandsTemplateAndTable(t *testing.T) {
+	spec := &CommandSpec{
+		Argv:     []string{"./fix", "--case={test}"},
+		TestArgs: [][]string{{"alpha"}, {"beta", "--slow"}},
+	}
+	if got := spec.ArgvFor(1); !reflect.DeepEqual(got, []string{"./fix", "--case=1", "beta", "--slow"}) {
+		t.Errorf("ArgvFor(1) = %v", got)
+	}
+	// Tests beyond the table expand the template only.
+	if got := spec.ArgvFor(7); !reflect.DeepEqual(got, []string{"./fix", "--case=7"}) {
+		t.Errorf("ArgvFor(7) = %v", got)
+	}
+	// ArgvFor must not alias the template (callers hand argv to exec).
+	spec.ArgvFor(0)[0] = "mutated"
+	if spec.Argv[0] != "./fix" {
+		t.Error("ArgvFor aliases the template argv")
+	}
+}

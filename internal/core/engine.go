@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"afex/internal/backend"
 	"afex/internal/cluster"
 	"afex/internal/dsl"
 	"afex/internal/explore"
@@ -53,6 +54,12 @@ type Engine struct {
 	cfg      Config
 	explorer explore.Explorer
 	plugin   inject.Plugin
+	// runner is the execution backend the engine's own executor drives
+	// (nil for engines whose tests run elsewhere, e.g. a distributed
+	// coordinator); backendName is its registered name, stamped on
+	// records.
+	runner      backend.Runner
+	backendName string
 	// shardOf labels records with their owning shard in sharded
 	// sessions (nil otherwise).
 	shardOf func(faultspace.Point) int
@@ -66,7 +73,14 @@ type Engine struct {
 	mu sync.Mutex
 	// pending counts candidates handed out but not yet folded back, so
 	// the session does not overshoot Iterations.
-	pending       int
+	pending int
+	// leases tracks outstanding candidates by scenario key when
+	// Config.LeaseTimeout is set: expired entries are re-leased by
+	// Lease, and a fold removes its entry — a second fold of the same
+	// candidate (a presumed-dead executor reporting late) is dropped,
+	// so each candidate folds exactly once. Nil when lease expiry is
+	// off.
+	leases        map[string]leaseRec
 	covered       map[int]struct{}
 	recovered     map[int]struct{}
 	recoverySet   map[int]struct{}
@@ -156,6 +170,39 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 	if cfg.Target != nil {
 		e.res.Target = cfg.Target.Name
 		e.recoverySet = recoveryBlocks(cfg.Target)
+	} else if cfg.Command != nil {
+		e.res.Target = cfg.Command.Target()
+	}
+	// Execution backend: resolve the configured name through the
+	// backend registry. An unknown name fails construction with the
+	// registry's error listing every valid choice — the same contract
+	// as Algorithm. Engines with neither a Target nor a Command (a
+	// distributed coordinator, whose managers execute) build no runner;
+	// they must be driven through RunWith.
+	bname := cfg.Backend
+	if bname == "" {
+		switch {
+		case cfg.Target != nil:
+			bname = backend.Model
+		case cfg.Command != nil:
+			bname = backend.Process
+		}
+	}
+	if bname != "" {
+		r, err := backend.New(bname, backend.Config{
+			Target:  cfg.Target,
+			Command: cfg.Command,
+			Timeout: cfg.ExecTimeout,
+			Procs:   cfg.Procs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		e.runner = r
+		e.backendName = bname
+	}
+	if cfg.LeaseTimeout > 0 {
+		e.leases = make(map[string]leaseRec)
 	}
 	if cfg.Space != nil {
 		e.res.SpaceSize = cfg.Space.Size()
@@ -199,11 +246,25 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 	return e, nil
 }
 
+// leaseRec is one outstanding lease-expiry entry: the candidate and
+// the instant after which it may be handed out again.
+type leaseRec struct {
+	c       explore.Candidate
+	expires time.Time
+}
+
 // Lease hands out up to max candidates under one lock acquisition,
 // bounded by the remaining Iterations budget (counting outstanding
 // leases, so the session never overshoots). It returns nil once the
 // session is stopped, the deadline has passed, the budget is committed,
 // or the explorer is exhausted.
+//
+// With Config.LeaseTimeout set, candidates leased but not folded back
+// within the timeout — a dead distributed manager, a killed worker —
+// are handed out again before any fresh candidates, outside the
+// Iterations arithmetic (their budget was committed at first lease), so
+// a session whose whole remaining budget is stuck on lost leases drains
+// instead of stalling until Finish.
 func (e *Engine) Lease(max int) []explore.Candidate {
 	if max <= 0 {
 		max = 1
@@ -220,25 +281,55 @@ func (e *Engine) Lease(max int) []explore.Candidate {
 		e.stopped = true
 		return nil
 	}
+	var cands []explore.Candidate
+	if e.leases != nil {
+		now := time.Now()
+		for key, lr := range e.leases {
+			if len(cands) >= max {
+				break
+			}
+			if now.After(lr.expires) {
+				lr.expires = now.Add(e.cfg.LeaseTimeout)
+				e.leases[key] = lr
+				cands = append(cands, lr.c)
+			}
+		}
+		if len(cands) == max {
+			return cands
+		}
+	}
+	fresh := max - len(cands)
 	if e.cfg.Iterations > 0 {
 		remaining := e.cfg.Iterations - e.res.Executed - e.pending
 		if remaining <= 0 {
-			return nil
+			return cands
 		}
-		if max > remaining {
-			max = remaining
+		if fresh > remaining {
+			fresh = remaining
 		}
 	}
-	cands := explore.BatchNext(e.explorer, max)
-	e.pending += len(cands)
-	return cands
+	next := explore.BatchNext(e.explorer, fresh)
+	e.pending += len(next)
+	if e.leases != nil {
+		expires := time.Now().Add(e.cfg.LeaseTimeout)
+		for _, c := range next {
+			e.leases[c.Point.Key()] = leaseRec{c: c, expires: expires}
+		}
+	}
+	return append(cands, next...)
 }
 
 // Unlease returns budget for n leased candidates that will never be
 // executed (a worker shutting down mid-batch, a lost remote manager).
+// With Config.LeaseTimeout set it is a no-op: tracked candidates stay
+// budget-committed and re-lease on expiry instead of being lost to the
+// session.
 func (e *Engine) Unlease(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.leases != nil {
+		return
+	}
 	e.pending -= n
 	if e.pending < 0 {
 		e.pending = 0
@@ -279,21 +370,30 @@ func (e *Engine) FoldBatch(batch []ExecutedTest) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	feedback := make([]explore.Feedback, 0, len(batch))
+	// folded indexes the batch entries that actually folded: under
+	// Config.LeaseTimeout a candidate folds exactly once, so a late
+	// duplicate from a presumed-dead executor is dropped here (it
+	// appended no record, fed no explorer, journaled nothing).
+	folded := make([]int, 0, len(batch))
 	stop := false
 	for i := range batch {
 		et := &batch[i]
+		if e.duplicateFoldLocked(et.C) {
+			continue
+		}
 		stopped, fb := e.foldLocked(et.C, et.Rec, et.Out)
 		feedback = append(feedback, fb)
+		folded = append(folded, i)
 		stop = stop || stopped
 	}
 	explore.ReportBatch(e.explorer, feedback)
-	if e.cfg.Store != nil {
-		// The completed records are the last len(batch) folds, in order.
-		recs := e.res.Records[len(e.res.Records)-len(batch):]
-		for i := range recs {
-			e.cfg.Store.JournalRecord(batch[i].C, recs[i])
+	if e.cfg.Store != nil && len(folded) > 0 {
+		// The completed records are the last len(folded) folds, in order.
+		recs := e.res.Records[len(e.res.Records)-len(folded):]
+		for j, i := range folded {
+			e.cfg.Store.JournalRecord(batch[i].C, recs[j])
 		}
-		e.sinceSnap += len(batch)
+		e.sinceSnap += len(folded)
 		// Snapshot assembly is O(session) under the lock, so with the
 		// default cadence the interval scales with session size
 		// (amortized O(1) per fold); an explicit SnapshotEvery is
@@ -312,6 +412,21 @@ func (e *Engine) FoldBatch(batch []ExecutedTest) bool {
 	return stop
 }
 
+// duplicateFoldLocked reports whether this fold is a duplicate of an
+// already-folded re-leased candidate (lease-expiry mode only) and, when
+// it is not, retires the candidate's lease entry.
+func (e *Engine) duplicateFoldLocked(c explore.Candidate) bool {
+	if e.leases == nil {
+		return false
+	}
+	key := c.Point.Key()
+	if _, outstanding := e.leases[key]; !outstanding {
+		return true
+	}
+	delete(e.leases, key)
+	return false
+}
+
 func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcome) (bool, explore.Feedback) {
 	if e.pending > 0 {
 		e.pending--
@@ -321,6 +436,9 @@ func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcom
 	rec.Outcome = outcome
 	rec.Cluster = -1
 	rec.Shard = -1
+	if rec.Backend == "" {
+		rec.Backend = e.backendName
+	}
 	if e.shardOf != nil {
 		rec.Shard = e.shardOf(c.Point)
 	}
@@ -405,6 +523,31 @@ func (e *Engine) SetTargetName(name string) {
 	e.mu.Unlock()
 }
 
+// Waiting reports whether the session is merely waiting on outstanding
+// leases that may yet expire and be re-leased (lease-expiry mode only):
+// Lease just returned nothing, but the session is not over — an
+// executor should poll again shortly rather than quit. Always false
+// without Config.LeaseTimeout, where outstanding leases are trusted to
+// fold.
+func (e *Engine) Waiting() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.leases != nil && !e.stopped && len(e.leases) > 0
+}
+
+// SetLeaseTimeout enables lease expiry on an engine built without
+// Config.LeaseTimeout (see that field's contract). It must be called
+// before the first Lease: leases handed out earlier are untracked, and
+// their folds would be dropped as duplicates.
+func (e *Engine) SetLeaseTimeout(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.LeaseTimeout = d
+	if d > 0 && e.leases == nil {
+		e.leases = make(map[string]leaseRec)
+	}
+}
+
 // Stop ends the session: subsequent Lease calls return nil. In-flight
 // tests may still fold.
 func (e *Engine) Stop() {
@@ -475,28 +618,41 @@ func (e *Engine) Finish() *ResultSet {
 	if first && e.cfg.Store != nil {
 		e.cfg.Store.SnapshotSession(e.sessionStateLocked())
 	}
+	if first && e.runner != nil {
+		// Release the execution backend (the process pool waits out its
+		// in-flight subprocesses). Engine executors are not used after
+		// Finish.
+		_ = e.runner.Close()
+	}
 	return e.res
 }
 
-// LocalExecutor returns the in-process executor: scenarios convert
-// through the injector plugin and run against cfg.Target via the program
-// model. It is what RunLocal drives, exposed so callers can wrap it
-// (e.g. throughput benchmarks emulating wall-clock-bound tests). It
-// requires Config.Target; target-less engines (distributed coordinators)
-// must drive RunWith with their own Executor.
+// LocalExecutor returns the engine's own executor: scenarios convert
+// through the injector plugin and run on the session's execution
+// backend — in-process against Config.Target for "model", as real
+// supervised subprocesses of Config.Command for "process". It is what
+// RunLocal drives, exposed so callers can wrap it (e.g. throughput
+// benchmarks emulating wall-clock-bound tests). It requires an engine
+// with a backend runner; engines with neither Target nor Command
+// (distributed coordinators) must drive RunWith with their own
+// Executor.
 func (e *Engine) LocalExecutor() Executor {
-	if e.cfg.Target == nil {
-		panic("core: engine has no Target; LocalExecutor/RunLocal need one — drive RunWith with a custom Executor instead")
+	if e.runner == nil {
+		panic("core: engine has no execution backend; set Target or Command, or drive RunWith with a custom Executor")
 	}
-	return &localExecutor{e: e}
+	return &backendExecutor{e: e}
 }
 
-// localExecutor runs candidates in-process: convert the scenario to
-// injector configuration, run the test, observe the outcome. No shared
-// state is touched, so it runs outside the session lock.
-type localExecutor struct{ e *Engine }
+// Backend returns the registered name of the engine's execution backend
+// ("" for coordinator-style engines that execute nothing themselves).
+func (e *Engine) Backend() string { return e.backendName }
 
-func (l *localExecutor) Execute(c explore.Candidate) (Record, prog.Outcome) {
+// backendExecutor converts candidates to armed plans and runs them on
+// the engine's backend runner. No shared engine state is touched, so it
+// runs outside the session lock.
+type backendExecutor struct{ e *Engine }
+
+func (l *backendExecutor) Execute(c explore.Candidate) (Record, prog.Outcome) {
 	e := l.e
 	// Slice-based scenario path: axis names are cached per subspace and
 	// values render in axis order, so converting and formatting a
@@ -514,18 +670,22 @@ func (l *localExecutor) Execute(c explore.Candidate) (Record, prog.Outcome) {
 			Point:    c.Point,
 			Scenario: dsl.FormatPairs(names, vals),
 			Skipped:  true,
+			Backend:  e.backendName,
 		}, prog.Outcome{}
 	}
-	outcome := prog.Run(e.cfg.Target, pt.TestID, plan)
+	outcome, ex := e.runner.Run(pt.TestID, plan)
 	return Record{
-		Point:    c.Point,
-		Scenario: dsl.FormatPairs(names, vals),
-		TestID:   pt.TestID,
-		Plan:     plan,
+		Point:      c.Point,
+		Scenario:   dsl.FormatPairs(names, vals),
+		TestID:     pt.TestID,
+		Plan:       plan,
+		Backend:    ex.Backend,
+		ExitStatus: ex.ExitStatus,
+		Duration:   ex.Duration,
 	}, outcome
 }
 
-// RunLocal drives the engine to completion with the in-process executor
+// RunLocal drives the engine to completion with its backend executor
 // and returns the sealed result set. Workers <= 1 runs the fully
 // deterministic sequential loop; otherwise Config.Workers node managers
 // run concurrently with batched leasing.
@@ -550,6 +710,12 @@ func (e *Engine) runSequential(exec Executor) {
 	for {
 		cands := e.Lease(1)
 		if len(cands) == 0 {
+			if e.Waiting() {
+				// Lease-expiry mode: outstanding leases (e.g. lost by a
+				// prior run's executor) may still re-lease.
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
 			return
 		}
 		rec, outcome := exec.Execute(cands[0])
@@ -577,6 +743,16 @@ func (e *Engine) runParallel(exec Executor, workers, batch int) {
 			for {
 				cands := e.Lease(batch)
 				if len(cands) == 0 {
+					if e.Waiting() {
+						// Lease-expiry mode: poll for leases that may still
+						// expire and re-lease instead of quitting on them.
+						select {
+						case <-done:
+							return
+						case <-time.After(5 * time.Millisecond):
+						}
+						continue
+					}
 					return
 				}
 				for i, c := range cands {

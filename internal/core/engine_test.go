@@ -184,7 +184,7 @@ func TestTargetlessEngineGuardsLocalExecution(t *testing.T) {
 		if r == nil {
 			t.Fatal("LocalExecutor on a target-less engine did not panic")
 		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, "no Target") {
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "no execution backend") {
 			t.Fatalf("unhelpful panic: %v", r)
 		}
 	}()

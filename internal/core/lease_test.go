@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Lease-expiry satellite tests: candidates leased but never folded
+// (dead distributed manager, killed worker process) must re-lease after
+// Config.LeaseTimeout instead of leaking until Finish, and re-leased
+// candidates must fold exactly once.
+
+const testLeaseTimeout = 30 * time.Millisecond
+
+func leaseExpiryEngine(t *testing.T, iterations int) *Engine {
+	t.Helper()
+	eng, err := NewEngine(Config{
+		Target:       sessionTarget(),
+		Space:        sessionSpace(),
+		Algorithm:    "exhaustive",
+		Iterations:   iterations,
+		LeaseTimeout: testLeaseTimeout,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// drain drives the engine like a surviving worker: execute whatever
+// Lease hands out, polling through the expiry window, until the session
+// neither hands out work nor waits on outstanding leases.
+func drain(t *testing.T, eng *Engine) {
+	t.Helper()
+	exec := eng.LocalExecutor()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cands := eng.Lease(4)
+		if len(cands) == 0 {
+			if !eng.Waiting() {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("session did not drain: lost leases never re-leased")
+			}
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		for _, c := range cands {
+			rec, out := exec.Execute(c)
+			eng.Fold(c, rec, out)
+		}
+	}
+}
+
+// TestLeaseExpiryReleasesLostCandidates simulates a manager that leases
+// a batch and disconnects: the session still executes every point of
+// the space, exactly once.
+func TestLeaseExpiryReleasesLostCandidates(t *testing.T) {
+	eng := leaseExpiryEngine(t, 0)
+	lost := eng.Lease(5) // the dead manager's batch — never folded
+	if len(lost) != 5 {
+		t.Fatalf("leased %d candidates, want 5", len(lost))
+	}
+	drain(t, eng)
+	res := eng.Finish()
+	if want := int(sessionSpace().Size()); res.Executed != want {
+		t.Fatalf("executed %d tests, want the whole %d-point space", res.Executed, want)
+	}
+	seen := map[string]bool{}
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("point %s executed twice", rec.Point.Key())
+		}
+		seen[rec.Point.Key()] = true
+	}
+	for _, c := range lost {
+		if !seen[c.Point.Key()] {
+			t.Errorf("lost lease %s was never re-leased and executed", c.Point.Key())
+		}
+	}
+}
+
+// TestLeaseExpiryRespectsIterationsBudget: re-leases ride outside the
+// Iterations arithmetic (their budget was committed at first lease), so
+// a session whose remaining budget is stuck on lost leases drains to
+// exactly the budget — no stall, no overshoot.
+func TestLeaseExpiryRespectsIterationsBudget(t *testing.T) {
+	const budget = 10
+	eng := leaseExpiryEngine(t, budget)
+	if got := len(eng.Lease(4)); got != 4 {
+		t.Fatalf("leased %d, want 4", got)
+	}
+	drain(t, eng)
+	res := eng.Finish()
+	if res.Executed != budget {
+		t.Fatalf("executed %d, want exactly the budget %d", res.Executed, budget)
+	}
+	seen := map[string]bool{}
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("point %s executed twice", rec.Point.Key())
+		}
+		seen[rec.Point.Key()] = true
+	}
+}
+
+// TestLeaseExpiryDropsDuplicateFold: when a presumed-dead executor
+// reports after its candidate was re-leased and folded, the late
+// duplicate is dropped — each candidate folds exactly once.
+func TestLeaseExpiryDropsDuplicateFold(t *testing.T) {
+	eng := leaseExpiryEngine(t, 0)
+	exec := eng.LocalExecutor()
+	cands := eng.Lease(1)
+	if len(cands) != 1 {
+		t.Fatal("no candidate leased")
+	}
+	c := cands[0]
+	time.Sleep(testLeaseTimeout + 10*time.Millisecond)
+	re := eng.Lease(1)
+	if len(re) != 1 || re[0].Point.Key() != c.Point.Key() {
+		t.Fatalf("expired lease not re-leased first: got %v", re)
+	}
+	rec, out := exec.Execute(re[0])
+	eng.Fold(re[0], rec, out)
+	if got := eng.Snapshot().Executed; got != 1 {
+		t.Fatalf("executed %d after first fold, want 1", got)
+	}
+	// The original executor comes back from the dead and reports too.
+	rec2, out2 := exec.Execute(c)
+	eng.Fold(c, rec2, out2)
+	snap := eng.Snapshot()
+	if snap.Executed != 1 {
+		t.Fatalf("duplicate fold counted: executed %d, want 1", snap.Executed)
+	}
+	if snap.Pending != 0 {
+		t.Fatalf("pending %d after duplicate fold, want 0", snap.Pending)
+	}
+}
+
+// TestLeaseExpiryOffTrustsExecutors: without LeaseTimeout nothing is
+// tracked — Lease never re-hands a candidate and Waiting is always
+// false — preserving the seed semantics for every existing session.
+func TestLeaseExpiryOffTrustsExecutors(t *testing.T) {
+	eng, err := NewEngine(Config{
+		Target:    sessionTarget(),
+		Space:     sessionSpace(),
+		Algorithm: "exhaustive",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := eng.Lease(3)
+	if len(first) != 3 {
+		t.Fatal("lease failed")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if eng.Waiting() {
+		t.Fatal("Waiting() true without LeaseTimeout")
+	}
+	seen := map[string]bool{}
+	for _, c := range first {
+		seen[c.Point.Key()] = true
+	}
+	for {
+		cands := eng.Lease(4)
+		if len(cands) == 0 {
+			break
+		}
+		for _, c := range cands {
+			if seen[c.Point.Key()] {
+				t.Fatalf("point %s leased twice without expiry", c.Point.Key())
+			}
+			seen[c.Point.Key()] = true
+		}
+	}
+	if len(seen) != int(sessionSpace().Size()) {
+		t.Fatalf("leased %d distinct points, want %d", len(seen), sessionSpace().Size())
+	}
+}

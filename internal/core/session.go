@@ -20,9 +20,12 @@
 //     feedback weighting, and stop/progress logic. There is exactly one
 //     engine per session regardless of deployment mode.
 //   - Executor is the deployment seam: it runs one leased candidate and
-//     returns the observed outcome, touching no shared state. The local
-//     executor runs tests in-process; package rpcnode adapts remote node
-//     managers reporting over TCP to the same engine.
+//     returns the observed outcome, touching no shared state. The
+//     engine's own executor converts candidates to armed plans and runs
+//     them on the session's execution backend (package backend: the
+//     in-process "model", or "process" for real supervised
+//     subprocesses); package rpcnode adapts remote node managers
+//     reporting over TCP to the same engine.
 //   - Workers lease candidates in batches (Config.Batch) and a single
 //     reducer folds outcomes back, so the parallel hot path takes the
 //     session lock once per batch instead of twice per test.
@@ -38,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"afex/internal/backend"
 	"afex/internal/cluster"
 	"afex/internal/explore"
 	"afex/internal/faultspace"
@@ -48,8 +52,30 @@ import (
 
 // Config describes one fault-exploration session.
 type Config struct {
-	// Target is the system under test.
+	// Target is the system under test when tests run in-process against
+	// the program model (the "model" backend).
 	Target *prog.Program
+	// Backend selects the execution backend by registered name
+	// (backend.Names lists them): "model" runs tests in-process against
+	// Target, "process" runs them as real supervised subprocesses of
+	// Command. Empty selects "model" when Target is set and "process"
+	// when only Command is; unknown names fail NewEngine with an error
+	// listing every valid choice, the same contract as Algorithm.
+	Backend string
+	// Command is the process backend's launch spec: the command
+	// template (with {test} expanding to the testID) plus the per-test
+	// argument table. Required by the "process" backend; ignored by
+	// "model".
+	Command *backend.CommandSpec
+	// ExecTimeout is the process backend's per-test wall-clock cap; a
+	// test still running when it elapses is killed and folded as Hung.
+	// Zero selects backend.DefaultTimeout.
+	ExecTimeout time.Duration
+	// Procs bounds the process backend's concurrently running
+	// subprocesses, independently of Workers (effective process
+	// parallelism is min(Workers, Procs)). Zero selects
+	// backend.DefaultProcs.
+	Procs int
 	// Space is the fault space to explore.
 	Space *faultspace.Union
 	// Algorithm selects the explorer by registered strategy name:
@@ -99,6 +125,15 @@ type Config struct {
 	// clock ("the tester can choose to stop the tests after some
 	// specified amount of time", §6.4).
 	TimeBudget time.Duration
+	// LeaseTimeout, if positive, re-leases candidates that were handed
+	// out but never folded back within this much wall clock — the
+	// recovery path for dead distributed managers and killed worker
+	// processes, which would otherwise leak their leases until Finish.
+	// With a timeout set, each candidate folds exactly once: a late
+	// duplicate fold from an executor that was presumed dead is
+	// dropped. Zero (the default) trusts executors to always fold or
+	// Unlease.
+	LeaseTimeout time.Duration
 	// Progress, if non-nil, receives a snapshot every ProgressEvery
 	// executed tests (default 100) — the progress log of §6.4 step 7.
 	Progress      func(Snapshot)
@@ -184,6 +219,17 @@ type Record struct {
 	// (a practical hole in the fault space): the record carries a
 	// zero-impact outcome and is tallied in ResultSet.Holes.
 	Skipped bool
+	// Backend is the registered name of the execution backend that ran
+	// the test ("model", "process"); journaled so persistent sessions
+	// replay and resume with the right executor.
+	Backend string
+	// ExitStatus is the process backend's exit disposition ("exit:0",
+	// "signal:killed", "timeout"). Empty for in-process model runs.
+	ExitStatus string
+	// Duration is the test's wall clock as measured by the supervisor.
+	// Zero for model runs — simulated tests are instantaneous, and a
+	// deterministic session must journal deterministic bytes.
+	Duration time.Duration
 	// Outcome is what the sensors observed.
 	Outcome prog.Outcome
 	// NewBlocks counts basic blocks this test covered first.
@@ -265,8 +311,8 @@ type ResultSet struct {
 
 // Run executes a fault-exploration session and returns its results.
 func Run(cfg Config) (*ResultSet, error) {
-	if cfg.Target == nil {
-		return nil, fmt.Errorf("core: Config.Target is nil")
+	if cfg.Target == nil && cfg.Command == nil {
+		return nil, fmt.Errorf("core: Config.Target is nil and no process Command is set")
 	}
 	if cfg.Space == nil || cfg.Space.Size() == 0 {
 		return nil, fmt.Errorf("core: Config.Space is nil or empty")

@@ -1,0 +1,119 @@
+package rpcnode
+
+import (
+	"net/rpc"
+	"testing"
+	"time"
+
+	"afex/internal/core"
+	"afex/internal/explore"
+)
+
+// TestManagerCrashMidLease is the distributed lease-expiry satellite: a
+// manager leases a batch of tasks and disconnects without reporting.
+// With Config.LeaseTimeout set, a surviving manager polls through the
+// expiry window (the Retry protocol), picks the lost tasks up, and the
+// session terminates with the full ResultSet — no lost candidates.
+func TestManagerCrashMidLease(t *testing.T) {
+	space := rpcSpace()
+	coord, err := NewCoordinatorConfig(core.Config{
+		Space:        space,
+		LeaseTimeout: 40 * time.Millisecond,
+	}, explore.NewExhaustive(space), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The doomed manager: lease five tasks at the raw protocol level,
+	// then vanish without reporting any of them.
+	doomed, err := rpc.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leased := make([]Task, 0, 5)
+	for i := 0; i < 5; i++ {
+		var task Task
+		if err := doomed.Call("Coordinator.NextTest", "doomed", &task); err != nil {
+			t.Fatal(err)
+		}
+		if task.Done || task.Retry {
+			t.Fatalf("lease %d: unexpected done/retry %+v", i, task)
+		}
+		leased = append(leased, task)
+	}
+	doomed.Close() // the crash: five leases leak
+
+	// The survivor drives the session to completion, waiting out the
+	// lease expiry where needed.
+	mgr, err := Dial(srv.Addr(), "survivor", rpcTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	n, err := mgr.RunUntilDone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(space.Size())
+	if n != want {
+		t.Fatalf("survivor executed %d tests, want the whole %d-point space", n, want)
+	}
+
+	res := coord.Result()
+	if res.Executed != want || len(res.Records) != want {
+		t.Fatalf("session executed %d tests (%d records), want %d", res.Executed, len(res.Records), want)
+	}
+	seen := map[string]bool{}
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("point %s executed twice", rec.Point.Key())
+		}
+		seen[rec.Point.Key()] = true
+	}
+	// Every scenario the dead manager held hostage was re-leased and
+	// executed by the survivor.
+	for _, task := range leased {
+		found := false
+		for _, rec := range res.Records {
+			if rec.Scenario == task.Scenario {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("scenario %q leased by the dead manager was never executed", task.Scenario)
+		}
+	}
+	if res.Failed == 0 || res.UniqueFailures == 0 {
+		t.Errorf("full ResultSet expected failure clusters, got %+v", res)
+	}
+}
+
+// TestNextTestDoneWithoutLeaseTimeout: the Retry protocol is strictly
+// opt-in — without Config.LeaseTimeout an exhausted session reports
+// Done even with leases outstanding, exactly the seed behaviour.
+func TestNextTestDoneWithoutLeaseTimeout(t *testing.T) {
+	space := rpcSpace()
+	coord := NewCoordinator(space, explore.NewExhaustive(space), 0, nil)
+	for i := 0; i < int(space.Size()); i++ {
+		var task Task
+		if err := coord.NextTest("m", &task); err != nil {
+			t.Fatal(err)
+		}
+		if task.Done || task.Retry {
+			t.Fatalf("lease %d: unexpected %+v", i, task)
+		}
+	}
+	var task Task
+	if err := coord.NextTest("m", &task); err != nil {
+		t.Fatal(err)
+	}
+	if !task.Done || task.Retry {
+		t.Fatalf("exhausted session should be Done, got %+v", task)
+	}
+}

@@ -27,7 +27,9 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
+	"afex/internal/backend"
 	"afex/internal/core"
 	"afex/internal/dsl"
 	"afex/internal/explore"
@@ -48,6 +50,11 @@ type Task struct {
 	Scenario string
 	// Done indicates the exploration is over; the manager should exit.
 	Done bool
+	// Retry indicates no candidate is available right now but the
+	// session is still running — outstanding leases of a dead manager
+	// may yet expire and be re-leased (Config.LeaseTimeout). The
+	// manager polls again shortly instead of exiting.
+	Retry bool
 }
 
 // Result is a manager's report for one executed task.
@@ -69,6 +76,14 @@ type Result struct {
 	Skipped bool
 	// Manager identifies the reporting node, for the synopsis.
 	Manager string
+	// Backend is the registered name of the execution backend the
+	// manager ran the test on ("" from legacy managers reads as
+	// "model"); ExitStatus and DurationNS carry the process backend's
+	// exit disposition and wall clock, journaled per record by
+	// persistent coordinators.
+	Backend    string
+	ExitStatus string
+	DurationNS int64
 }
 
 // Stats summarizes a distributed session.
@@ -179,10 +194,15 @@ func wireResult(out prog.Outcome, testID int) Result {
 }
 
 // NextTest leases the next candidate to a manager. A Task with Done set
-// means the session is over.
+// means the session is over; Retry means poll again shortly (the
+// session is waiting out lost leases that will re-lease on expiry).
 func (c *Coordinator) NextTest(managerID string, task *Task) error {
 	cands := c.engine.Lease(1)
 	if len(cands) == 0 {
+		if c.engine.Waiting() {
+			task.Retry = true
+			return nil
+		}
 		task.Done = true
 		return nil
 	}
@@ -230,10 +250,17 @@ func (c *Coordinator) ReportResult(res Result, ack *bool) error {
 		}
 	}
 	rec := core.Record{
-		Point:    ls.cand.Point,
-		Scenario: ls.scenario,
-		TestID:   res.TestID,
-		Skipped:  res.Skipped,
+		Point:      ls.cand.Point,
+		Scenario:   ls.scenario,
+		TestID:     res.TestID,
+		Skipped:    res.Skipped,
+		Backend:    res.Backend,
+		ExitStatus: res.ExitStatus,
+		Duration:   time.Duration(res.DurationNS),
+	}
+	if rec.Backend == "" {
+		// Legacy managers predate the backend field; they run the model.
+		rec.Backend = backend.Model
 	}
 	// Rebuild the armed plan from the scenario (the wire Result carries
 	// only the outcome), so a persistent session's journal can replay
@@ -254,6 +281,14 @@ func (c *Coordinator) ReportResult(res Result, ack *bool) error {
 // test, which only the managers load.
 func (c *Coordinator) SetTargetName(name string) {
 	c.engine.SetTargetName(name)
+}
+
+// SetLeaseTimeout enables lease expiry before serving: candidates
+// leased by a manager that dies without reporting are re-leased to
+// other managers after d instead of leaking until Finish. Call it
+// before the first NextTest.
+func (c *Coordinator) SetLeaseTimeout(d time.Duration) {
+	c.engine.SetLeaseTimeout(d)
 }
 
 // Stop ends the session; subsequent NextTest calls return Done.
@@ -348,8 +383,9 @@ func (s *service) ReportResult(res Result, ack *bool) error {
 }
 
 // Manager is a remote node manager: it connects to a coordinator, leases
-// tasks, executes them against its local copy of the target, and reports
-// results, until the coordinator says Done.
+// tasks, executes them on its execution backend — its local copy of the
+// program model, or real supervised subprocesses — and reports results,
+// until the coordinator says Done.
 type Manager struct {
 	ID     string
 	Target *prog.Program
@@ -361,26 +397,58 @@ type Manager struct {
 	Work   int
 	client *rpc.Client
 	plugin inject.Plugin
+	runner backend.Runner
 }
 
-// Dial connects a manager to a coordinator.
+// Dial connects a manager that executes on the model backend against
+// its local copy of the target — the classic §6.1 deployment.
 func Dial(addr, id string, target *prog.Program) (*Manager, error) {
+	return DialBackend(addr, id, backend.Model, backend.Config{Target: target})
+}
+
+// DialBackend connects a manager that executes leased tests on any
+// registered execution backend — e.g. name "process" with a Command
+// spec runs every leased scenario as a real supervised subprocess on
+// the manager's machine. Unknown backend names fail with the registry's
+// error listing every valid choice.
+func DialBackend(addr, id, name string, bcfg backend.Config) (*Manager, error) {
+	r, err := backend.New(name, bcfg)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnode: %w", err)
+	}
 	client, err := rpc.Dial("tcp", addr)
 	if err != nil {
+		r.Close()
 		return nil, fmt.Errorf("rpcnode: dial %s: %w", addr, err)
 	}
-	return &Manager{ID: id, Target: target, client: client}, nil
+	return &Manager{ID: id, Target: bcfg.Target, client: client, runner: r}, nil
 }
 
-// Close releases the manager's connection.
-func (m *Manager) Close() error { return m.client.Close() }
+// Close releases the manager's connection and its execution backend.
+func (m *Manager) Close() error {
+	err := m.client.Close()
+	if m.runner != nil {
+		if cerr := m.runner.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // RunOne leases and executes a single task. It returns done == true when
-// the coordinator has no more work.
+// the coordinator has no more work. Retry responses (the session
+// waiting out expirable lost leases) are polled through internally.
 func (m *Manager) RunOne() (done bool, err error) {
 	var task Task
-	if err := m.client.Call("Coordinator.NextTest", m.ID, &task); err != nil {
-		return false, err
+	for {
+		task = Task{}
+		if err := m.client.Call("Coordinator.NextTest", m.ID, &task); err != nil {
+			return false, err
+		}
+		if !task.Retry {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 	if task.Done {
 		return true, nil
@@ -397,13 +465,16 @@ func (m *Manager) RunOne() (done bool, err error) {
 		return false, m.client.Call("Coordinator.ReportResult",
 			Result{Seq: task.Seq, Skipped: true, Manager: m.ID}, &ack)
 	}
-	out := prog.Run(m.Target, pt.TestID, plan)
+	out, ex := m.runner.Run(pt.TestID, plan)
 	for extra := 1; extra < m.Work; extra++ {
-		out = prog.Run(m.Target, pt.TestID, plan)
+		out, ex = m.runner.Run(pt.TestID, plan)
 	}
 	res := wireResult(out, pt.TestID)
 	res.Seq = task.Seq
 	res.Manager = m.ID
+	res.Backend = ex.Backend
+	res.ExitStatus = ex.ExitStatus
+	res.DurationNS = int64(ex.Duration)
 	var ack bool
 	return false, m.client.Call("Coordinator.ReportResult", res, &ack)
 }

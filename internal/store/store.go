@@ -46,6 +46,7 @@ import (
 	"sync"
 	"time"
 
+	"afex/internal/backend"
 	"afex/internal/core"
 	"afex/internal/explore"
 	"afex/internal/faultspace"
@@ -100,6 +101,15 @@ type Entry struct {
 	Plan     []inject.Fault `json:"plan,omitempty"`
 	Skipped  bool           `json:"skipped,omitempty"`
 
+	// Backend is the execution backend that ran the scenario; absent
+	// means "model", which keeps model journals byte-identical to the
+	// pre-backend format (and deterministic for deterministic
+	// sessions). ExitStatus and DurationNS are the process backend's
+	// exit disposition and wall clock, likewise absent for model runs.
+	Backend    string `json:"backend,omitempty"`
+	ExitStatus string `json:"exitStatus,omitempty"`
+	DurationNS int64  `json:"durationNS,omitempty"`
+
 	Injected bool     `json:"injected,omitempty"`
 	Failed   bool     `json:"failed,omitempty"`
 	Crashed  bool     `json:"crashed,omitempty"`
@@ -139,20 +149,30 @@ func (e *Entry) Record() core.Record {
 			out.Blocks[b] = struct{}{}
 		}
 	}
+	backendName := e.Backend
+	if backendName == "" {
+		// Absent means model — both in journals written by this version
+		// (which omit the default) and in pre-backend journals (whose
+		// sessions could only run the model).
+		backendName = backend.Model
+	}
 	return core.Record{
-		ID:        e.Seq,
-		Point:     faultspace.Point{Sub: e.Sub, Fault: append(faultspace.Fault(nil), e.Fault...)},
-		Scenario:  e.Scenario,
-		TestID:    e.TestID,
-		Plan:      inject.Plan{Faults: append([]inject.Fault(nil), e.Plan...)},
-		Skipped:   e.Skipped,
-		Outcome:   out,
-		NewBlocks: e.NewBlocks,
-		Impact:    e.Impact,
-		Fitness:   e.Fitness,
-		Cluster:   e.Cluster,
-		Relevance: e.Relevance,
-		Shard:     e.Shard,
+		ID:         e.Seq,
+		Point:      faultspace.Point{Sub: e.Sub, Fault: append(faultspace.Fault(nil), e.Fault...)},
+		Scenario:   e.Scenario,
+		TestID:     e.TestID,
+		Plan:       inject.Plan{Faults: append([]inject.Fault(nil), e.Plan...)},
+		Skipped:    e.Skipped,
+		Backend:    backendName,
+		ExitStatus: e.ExitStatus,
+		Duration:   time.Duration(e.DurationNS),
+		Outcome:    out,
+		NewBlocks:  e.NewBlocks,
+		Impact:     e.Impact,
+		Fitness:    e.Fitness,
+		Cluster:    e.Cluster,
+		Relevance:  e.Relevance,
+		Shard:      e.Shard,
 	}
 }
 
@@ -182,6 +202,8 @@ func entryFrom(run int, c explore.Candidate, rec core.Record) *Entry {
 		TestID:      rec.TestID,
 		Plan:        append([]inject.Fault(nil), rec.Plan.Faults...),
 		Skipped:     rec.Skipped,
+		ExitStatus:  rec.ExitStatus,
+		DurationNS:  int64(rec.Duration),
 		Injected:    rec.Outcome.Injected,
 		Failed:      rec.Outcome.Failed,
 		Crashed:     rec.Outcome.Crashed,
@@ -193,6 +215,12 @@ func entryFrom(run int, c explore.Candidate, rec core.Record) *Entry {
 		Fitness:     rec.Fitness,
 		Relevance:   rec.Relevance,
 		Cluster:     rec.Cluster,
+	}
+	// "model" is the implicit default: omitting it keeps model journal
+	// bytes identical to the pre-backend format; Entry.Record restores
+	// it on read.
+	if rec.Backend != backend.Model {
+		e.Backend = rec.Backend
 	}
 	if len(rec.Outcome.Blocks) > 0 {
 		e.Blocks = sortedBlocks(rec.Outcome.Blocks)
@@ -631,8 +659,13 @@ func (s *Store) Recover() (*core.Restore, error) {
 // call sites need between store.Open and core.NewEngine.
 func (s *Store) Attach(cfg *core.Config) error {
 	target := ""
-	if cfg.Target != nil {
+	switch {
+	case cfg.Target != nil:
 		target = cfg.Target.Name
+	case cfg.Command != nil:
+		// Process sessions are identified by their command spec: runs
+		// sharing a state directory must drive the same fixture.
+		target = cfg.Command.Target()
 	}
 	return s.AttachNamed(cfg, target)
 }

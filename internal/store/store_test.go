@@ -1,9 +1,12 @@
 package store
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"afex/internal/core"
 	"afex/internal/explore"
@@ -238,5 +241,56 @@ func TestRecoverEmpty(t *testing.T) {
 	}
 	if r != nil {
 		t.Fatalf("empty store recovered %+v", r)
+	}
+}
+
+// TestEntryBackendFieldsRoundTrip: the execution metadata the process
+// backend stamps on records — backend name, exit disposition, wall
+// clock — journals and restores intact, so process-backend sessions
+// resume and replay with the same fidelity model ones do.
+func TestEntryBackendFieldsRoundTrip(t *testing.T) {
+	c, rec := testRecord(3)
+	rec.Backend = "process"
+	rec.ExitStatus = "signal:killed"
+	rec.Duration = 123 * time.Millisecond
+
+	e := entryFrom(0, c, rec)
+	if e.Backend != "process" || e.ExitStatus != "signal:killed" || e.DurationNS != int64(123*time.Millisecond) {
+		t.Fatalf("entry = backend %q exit %q duration %d", e.Backend, e.ExitStatus, e.DurationNS)
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Entry
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Record()
+	if got.Backend != rec.Backend || got.ExitStatus != rec.ExitStatus || got.Duration != rec.Duration {
+		t.Fatalf("round trip lost execution metadata: %+v", got)
+	}
+
+	// Model records — stamped Backend "model" by the real pipeline —
+	// journal no execution metadata at all: their bytes stay
+	// deterministic and identical to the pre-backend format, and the
+	// implicit default is restored on read.
+	_, modelRec := testRecord(4)
+	modelRec.Backend = "model"
+	raw, err = json.Marshal(entryFrom(0, c, modelRec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"exitStatus", "durationNS", `"backend"`} {
+		if strings.Contains(string(raw), field) {
+			t.Errorf("model entry %s carries %s", raw, field)
+		}
+	}
+	var modelBack Entry
+	if err := json.Unmarshal(raw, &modelBack); err != nil {
+		t.Fatal(err)
+	}
+	if got := modelBack.Record().Backend; got != "model" {
+		t.Errorf("restored model record has backend %q, want the implicit default", got)
 	}
 }

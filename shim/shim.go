@@ -1,0 +1,226 @@
+// Package shim is the cooperating half of AFEX's process execution
+// backend: a tiny, stdlib-only library that fixture binaries (real
+// subprocesses under test) link to consult the armed injection plan and
+// report what happened back to the supervising explorer.
+//
+// A fixture wraps its fallible library calls in Call, covers basic
+// blocks with Cover, and flushes the coverage report on orderly exit:
+//
+//	func main() {
+//	    defer shim.Flush()
+//	    shim.Cover(1)
+//	    if errno, _, failed := shim.Call("read"); failed {
+//	        shim.Cover(2) // recovery path
+//	        fmt.Fprintln(os.Stderr, "read failed:", errno)
+//	        os.Exit(1)
+//	    }
+//	    ...
+//	}
+//
+// Outside an AFEX session (AFEX_PLAN unset) every Call succeeds, Cover
+// and Flush are no-ops, and the binary behaves exactly as if it had
+// never linked the shim — fixtures stay runnable by hand.
+//
+// The wire protocol (AFEX_PLAN / AFEX_REPORT_FD, the JSONL event
+// stream) is documented in wire.go; the supervisor side lives in
+// internal/backend.
+package shim
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// state is the process-wide shim runtime, armed once from the
+// environment on first use.
+type state struct {
+	active bool
+	plan   PlanWire
+	report *os.File
+	enc    *json.Encoder
+
+	mu     sync.Mutex
+	calls  map[string]int // per-function call counters
+	fired  []bool         // which plan faults already fired
+	blocks map[int]struct{}
+}
+
+var (
+	once sync.Once
+	st   state
+)
+
+func arm() {
+	raw := os.Getenv(PlanEnv)
+	if raw == "" {
+		return
+	}
+	if err := json.Unmarshal([]byte(raw), &st.plan); err != nil {
+		// A malformed plan means a broken supervisor, not a fixture bug;
+		// run fault-free rather than guessing.
+		return
+	}
+	st.active = true
+	st.calls = make(map[string]int)
+	st.fired = make([]bool, len(st.plan.Faults))
+	st.blocks = make(map[int]struct{})
+	if v := os.Getenv(ReportFDEnv); v != "" {
+		if fd, err := strconv.Atoi(v); err == nil && fd > 2 {
+			st.report = os.NewFile(uintptr(fd), "afex-report")
+		}
+	}
+	if st.report != nil {
+		st.enc = json.NewEncoder(st.report)
+	}
+}
+
+// Active reports whether the process runs under an AFEX supervisor with
+// an armed plan.
+func Active() bool {
+	once.Do(arm)
+	return st.active
+}
+
+// TestID returns the test index the supervisor selected (0 when
+// inactive). Fixtures that take the test via argv can ignore it.
+func TestID() int {
+	once.Do(arm)
+	return st.plan.TestID
+}
+
+// Call consults the plan for one library call: the fixture names the
+// function it is about to call (or to simulate), the shim counts the
+// call and, when the armed plan says this exact call should fail,
+// reports the fault — errno and retval to fail with — and immediately
+// streams the injection-point stack trace to the supervisor. Each plan
+// fault fires at most once. Safe for concurrent use.
+func Call(function string) (errno string, retval int, failed bool) {
+	once.Do(arm)
+	if !st.active {
+		return "", 0, false
+	}
+	st.mu.Lock()
+	st.calls[function]++
+	n := st.calls[function]
+	var hit *FaultWire
+	for i := range st.plan.Faults {
+		f := &st.plan.Faults[i]
+		if st.fired[i] || f.CallNumber <= 0 {
+			continue
+		}
+		if f.Function == function && f.CallNumber == n {
+			st.fired[i] = true
+			hit = f
+			break
+		}
+	}
+	st.mu.Unlock()
+	if hit == nil {
+		return "", 0, false
+	}
+	emit(Event{
+		Kind:     EventInject,
+		Function: function,
+		Call:     n,
+		Stack:    captureStack(),
+	})
+	return hit.Errno, hit.Retval, true
+}
+
+// Cover records that the basic block executed. Block ids are the
+// fixture's own; 0 is reserved for "no block".
+func Cover(block int) {
+	once.Do(arm)
+	if !st.active || block == 0 {
+		return
+	}
+	st.mu.Lock()
+	st.blocks[block] = struct{}{}
+	st.mu.Unlock()
+}
+
+// Crash labels a planted bug and flushes the label to the supervisor
+// before the fixture brings the process down (a self-delivered fatal
+// signal, an abort). Call it immediately before crashing so the
+// supervisor can pair the label with the signaled exit.
+func Crash(id string) {
+	once.Do(arm)
+	if !st.active {
+		return
+	}
+	emit(Event{Kind: EventCrash, ID: id})
+}
+
+// Flush streams the covered-block set to the supervisor. Call it on
+// orderly exit (defer in main); crashed processes lose coverage by
+// design, like a real process dying before gcov flushes its counters.
+// Flush may be called more than once; each call reports the cumulative
+// set.
+func Flush() {
+	once.Do(arm)
+	if !st.active {
+		return
+	}
+	st.mu.Lock()
+	blocks := make([]int, 0, len(st.blocks))
+	for b := range st.blocks {
+		blocks = append(blocks, b)
+	}
+	st.mu.Unlock()
+	sort.Ints(blocks)
+	emit(Event{Kind: EventBlocks, Blocks: blocks})
+}
+
+// emit writes one event line to the report pipe. os.File writes are
+// unbuffered, so every event is durable the moment emit returns — which
+// is what lets injection stacks survive an immediately following crash.
+func emit(ev Event) {
+	if st.enc == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_ = st.enc.Encode(ev) // a broken pipe means the supervisor is gone; nothing to do
+}
+
+// captureStack renders the fixture's call stack at the injection point,
+// outermost frame first, with the shim's own frames (skipped by depth —
+// Callers, captureStack, Call) and runtime frames elided — the trace
+// AFEX's redundancy clustering compares. Frames render as
+// "package.Function:line" so two faults on distinct lines of one
+// function cluster apart, like the program model's pseudo-callsites.
+func captureStack() []string {
+	pc := make([]uintptr, 64)
+	n := runtime.Callers(3, pc)
+	frames := runtime.CallersFrames(pc[:n])
+	var rev []string
+	for {
+		fr, more := frames.Next()
+		name := fr.Function
+		switch {
+		case name == "":
+		case strings.HasPrefix(name, "runtime."):
+		default:
+			rev = append(rev, name+":"+strconv.Itoa(fr.Line))
+		}
+		if !more {
+			break
+		}
+	}
+	out := make([]string, len(rev))
+	for i, fr := range rev {
+		out[len(rev)-1-i] = fr
+	}
+	return out
+}
+
+// reset re-arms the shim from the current environment; tests only.
+func reset() {
+	st = state{}
+	once = sync.Once{}
+}

@@ -1,0 +1,136 @@
+package shim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// withPlan arms the shim with plan and a report pipe, runs fn, and
+// returns the events the shim emitted.
+func withPlan(t *testing.T, plan PlanWire, fn func()) []Event {
+	t.Helper()
+	raw, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(PlanEnv, string(raw))
+	t.Setenv(ReportFDEnv, fmt.Sprint(pw.Fd()))
+	reset()
+	fn()
+	pw.Close()
+	defer pr.Close()
+	defer reset()
+
+	var events []Event
+	sc := bufio.NewScanner(pr)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func TestInactiveWithoutPlan(t *testing.T) {
+	t.Setenv(PlanEnv, "")
+	reset()
+	defer reset()
+	if Active() {
+		t.Fatal("shim active without AFEX_PLAN")
+	}
+	if _, _, failed := Call("read"); failed {
+		t.Fatal("inactive shim failed a call")
+	}
+	Cover(1)
+	Flush() // must not panic or write anywhere
+}
+
+func TestCallFiresOnExactCallNumber(t *testing.T) {
+	plan := PlanWire{TestID: 2, Faults: []FaultWire{
+		{Function: "read", CallNumber: 2, Errno: "EIO", Retval: -1},
+	}}
+	events := withPlan(t, plan, func() {
+		if !Active() || TestID() != 2 {
+			t.Errorf("Active=%v TestID=%d, want true/2", Active(), TestID())
+		}
+		if _, _, failed := Call("read"); failed {
+			t.Error("call 1 failed; plan arms call 2")
+		}
+		if _, _, failed := Call("write"); failed {
+			t.Error("other function failed")
+		}
+		errno, retval, failed := Call("read")
+		if !failed || errno != "EIO" || retval != -1 {
+			t.Errorf("call 2 = (%q,%d,%v), want (EIO,-1,true)", errno, retval, failed)
+		}
+		if _, _, failed := Call("read"); failed {
+			t.Error("fault fired twice")
+		}
+		Cover(7)
+		Cover(3)
+		Cover(7)
+		Flush()
+	})
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want inject+blocks", len(events))
+	}
+	inj := events[0]
+	if inj.Kind != EventInject || inj.Function != "read" || inj.Call != 2 {
+		t.Errorf("inject event = %+v", inj)
+	}
+	if len(inj.Stack) == 0 {
+		t.Error("inject event carries no stack")
+	}
+	for _, fr := range inj.Stack {
+		if strings.Contains(fr, "shim.Call") {
+			t.Errorf("stack leaks shim frame: %v", inj.Stack)
+		}
+	}
+	// Outermost-first ordering: the testing harness frame precedes this
+	// test function's closure.
+	last := inj.Stack[len(inj.Stack)-1]
+	if !strings.Contains(last, "shim_test") && !strings.Contains(last, "TestCallFires") {
+		t.Errorf("innermost frame %q is not the call site; stack %v", last, inj.Stack)
+	}
+	blk := events[1]
+	if blk.Kind != EventBlocks || fmt.Sprint(blk.Blocks) != "[3 7]" {
+		t.Errorf("blocks event = %+v, want sorted [3 7]", blk)
+	}
+}
+
+func TestCrashEventPrecedesDeath(t *testing.T) {
+	plan := PlanWire{Faults: []FaultWire{{Function: "malloc", CallNumber: 1, Errno: "ENOMEM"}}}
+	events := withPlan(t, plan, func() {
+		if _, _, failed := Call("malloc"); !failed {
+			t.Fatal("armed malloc call did not fail")
+		}
+		Crash("fixture/unchecked-malloc")
+		// No Flush: the process "dies" here; coverage is lost, the
+		// inject and crash events are already on the pipe.
+	})
+	if len(events) != 2 || events[0].Kind != EventInject || events[1].Kind != EventCrash {
+		t.Fatalf("events = %+v, want inject then crash", events)
+	}
+	if events[1].ID != "fixture/unchecked-malloc" {
+		t.Errorf("crash id = %q", events[1].ID)
+	}
+}
+
+func TestMalformedPlanDeactivates(t *testing.T) {
+	t.Setenv(PlanEnv, "{not json")
+	reset()
+	defer reset()
+	if Active() {
+		t.Fatal("malformed plan armed the shim")
+	}
+}

@@ -1,0 +1,87 @@
+package shim
+
+// The AFEX process-backend wire protocol. The supervisor (package
+// internal/backend, the "process" execution backend) launches the system
+// under test as a real subprocess and speaks to the cooperating shim
+// linked into it through two channels:
+//
+//   - PlanEnv (AFEX_PLAN): a JSON PlanWire carrying the armed injection
+//     plan — which library calls to fail, on which call number, with
+//     which errno/retval — plus the testID the supervisor selected. An
+//     empty or unset AFEX_PLAN deactivates the shim entirely: the
+//     fixture runs fault-free, exactly as if it had never linked the
+//     shim.
+//   - ReportFDEnv (AFEX_REPORT_FD): the file descriptor number of the
+//     report pipe the supervisor opened before exec (conventionally 3,
+//     the first slot after stdio). The shim streams newline-delimited
+//     JSON Events into it: an "inject" event the moment a fault fires
+//     (carrying the injection-point stack trace AFEX clusters on), an
+//     optional "crash" event labelling a planted bug just before the
+//     process dies, and a final "blocks" event with the covered-block
+//     set flushed on orderly exit.
+//
+// Injection events are written and flushed immediately, not buffered to
+// exit: a fixture that crashes or is SIGKILLed right after the fault
+// fires still delivers the stack the supervisor needs for redundancy
+// clustering. Coverage is best-effort by design — a crashed process
+// loses its "blocks" event, mirroring how gcov data is lost when a real
+// process dies without flushing counters.
+
+// Environment variable names of the supervisor→shim half of the
+// protocol.
+const (
+	// PlanEnv carries the JSON-encoded PlanWire.
+	PlanEnv = "AFEX_PLAN"
+	// ReportFDEnv carries the decimal fd number of the report pipe.
+	ReportFDEnv = "AFEX_REPORT_FD"
+)
+
+// Event kinds of the shim→supervisor half of the protocol.
+const (
+	// EventInject reports a fired fault: Function/Call identify the
+	// injection point, Stack is the trace (outermost frame first).
+	EventInject = "inject"
+	// EventBlocks reports the covered basic blocks, once, at orderly
+	// exit.
+	EventBlocks = "blocks"
+	// EventCrash labels a planted bug (CrashID) just before the process
+	// kills itself; the supervisor pairs it with the signaled exit.
+	EventCrash = "crash"
+)
+
+// PlanWire is the JSON document carried in AFEX_PLAN: one armed
+// injection plan for one test execution.
+type PlanWire struct {
+	// TestID selects which of the fixture's test cases this execution
+	// runs; it is informational for fixtures that already receive the
+	// test via argv.
+	TestID int `json:"testID"`
+	// Faults are the armed faults, in plan order.
+	Faults []FaultWire `json:"faults"`
+}
+
+// FaultWire is one atomic fault of a plan: fail the CallNumber-th call
+// to Function with the given errno and return value. CallNumber 0 means
+// "never fire" (the no-injection point fault spaces may include).
+type FaultWire struct {
+	Function   string `json:"function"`
+	CallNumber int    `json:"callNumber"`
+	Errno      string `json:"errno,omitempty"`
+	Retval     int    `json:"retval"`
+}
+
+// Event is one newline-delimited JSON record on the report pipe.
+type Event struct {
+	// Kind is one of EventInject, EventBlocks, EventCrash.
+	Kind string `json:"e"`
+	// Function and Call identify the injection point (EventInject).
+	Function string `json:"function,omitempty"`
+	Call     int    `json:"call,omitempty"`
+	// Stack is the injection-point stack trace, outermost frame first
+	// (EventInject) — what AFEX's redundancy clustering compares.
+	Stack []string `json:"stack,omitempty"`
+	// Blocks is the covered-block set (EventBlocks).
+	Blocks []int `json:"blocks,omitempty"`
+	// ID is the planted-bug label (EventCrash).
+	ID string `json:"id,omitempty"`
+}
