@@ -89,12 +89,20 @@
 // # Persistence
 //
 // Options.StateDir makes a session durable and cumulative: every
-// executed scenario is appended to a JSONL journal, the session state
+// executed scenario is appended to a journal, the session state
 // (explorer fitness state, redundancy clusters, similarity memory) is
 // snapshotted periodically, and runs sharing the directory never
-// re-execute each other's scenarios. Options.Resume continues a killed
-// run exactly where it stopped; ReplayJournal (CLI: afex replay)
-// re-executes recorded failures from their journaled injection plans.
+// re-execute each other's scenarios. Options.JournalFormat picks the
+// journal encoding when the directory is created: "jsonl" (the default
+// — greppable, byte-deterministic) or "binary" (length-prefixed
+// crc-framed entries with periodic index blocks — no JSON encode on the
+// hot path, and a killed run resumes in O(snapshot + tail) instead of
+// re-reading the whole journal). Options.Resume continues a killed run
+// exactly where it stopped; ReplayJournal (CLI: afex replay)
+// re-executes recorded failures from their journaled injection plans,
+// whichever format recorded them; ReadStateStats (CLI: afex stats)
+// inspects a directory; CompactState folds the snapshot-covered prefix
+// of a binary journal into its archive segment.
 // NewPersistentCoordinator gives a distributed coordinator the same
 // durability. See the README's "Persistence & resume" section.
 package afex
@@ -231,9 +239,38 @@ type (
 	// JournalEntry is one journaled scenario execution of a persistent
 	// session (Options.StateDir).
 	JournalEntry = store.Entry
-	// Meta describes a state directory: target, space signature, runs.
+	// Meta describes a state directory: target, space signature, runs,
+	// journal format.
 	Meta = store.Meta
+	// StateStats summarizes a state directory: journal format, segment
+	// and index counts, entry count, resume-tail size (afex stats).
+	StateStats = store.Stats
 )
+
+// Journal format names accepted by Options.JournalFormat. The format is
+// chosen when a state directory is created and recorded in its
+// metadata; an existing directory always keeps its format.
+const (
+	// JournalJSONL is the default journal format: one JSON object per
+	// scenario, greppable, byte-deterministic for deterministic
+	// sessions.
+	JournalJSONL = store.FormatJSONL
+	// JournalBinary is the hot-path format: length-prefixed crc-framed
+	// binary entries with periodic index blocks, appended without JSON
+	// encoding and resumed in O(snapshot + tail) instead of O(run).
+	JournalBinary = store.FormatBinary
+)
+
+// ReadStateStats inspects a state directory read-only: which journal
+// format it uses, entry/segment/index counts, and the resume-tail size
+// past the latest snapshot. It is `afex stats` as a library call.
+func ReadStateStats(dir string) (*StateStats, error) { return store.ReadStats(dir) }
+
+// CompactState folds the journal prefix covered by a binary state
+// directory's latest snapshot into its archive segment, keeping the
+// resume path O(snapshot + tail) for long-lived sessions. The directory
+// must not be open in any session. Returns the number of entries moved.
+func CompactState(dir string) (int, error) { return store.Compact(dir) }
 
 // DefaultBatch is the per-worker lease batch size used when
 // Options.Batch is zero and the session runs parallel.
@@ -270,7 +307,10 @@ func NewSession(opts Options) (*Engine, func() error, error) {
 		}
 		return eng, func() error { return nil }, nil
 	}
-	st, err := store.Open(opts.StateDir)
+	st, err := store.OpenOptions(opts.StateDir, store.Options{
+		Format:     opts.JournalFormat,
+		TailResume: opts.Resume,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -92,7 +92,7 @@ func NewCoordinatorFor(space *Space, algorithm string, cfg ExploreOptions, budge
 // after Coordinator.Result.
 func NewPersistentCoordinator(targetName string, space *Space, algorithm string, cfg ExploreOptions, budget, shards int, stateDir string, resume bool) (*Coordinator, func() error, error) {
 	ecfg := core.Config{Space: space, Iterations: budget, Resume: resume}
-	st, err := store.Open(stateDir)
+	st, err := store.OpenOptions(stateDir, store.Options{TailResume: resume})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -21,6 +21,7 @@
 //	afex worker  --target coreutils --addr host:7070 --id mgr01
 //	afex worker  --backend process --target "cmd:./crashy {test}" --addr host:7070 --id mgr02
 //	afex targets [--json]
+//	afex stats   <state-dir> [--json]
 //
 // Exit status: 0 on success with no failures found, 1 on errors, 2 on
 // usage mistakes, and 3 when the exploration (or serve session) found
@@ -72,6 +73,8 @@ func main() {
 		err = cmdWorker(os.Args[2:])
 	case "targets":
 		err = cmdTargets(os.Args[2:], os.Stdout)
+	case "stats":
+		err = cmdStats(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -98,6 +101,7 @@ commands:
   serve     run an exploration coordinator for remote node managers
   worker    join a coordinator as a node manager
   targets   list built-in targets and registered execution backends
+  stats     inspect a state directory: journal format, entries, resume tail
 
 exit status 3 means the exploration found failure-inducing scenarios.`)
 }
@@ -128,6 +132,7 @@ func cmdExplore(args []string) error {
 	spaceDesc := fs.String("space", "", "fault-space description in the Fig. 3 language, or @file (required for cmd: targets; overrides the profiled space for built-in ones)")
 	execTimeout := fs.Duration("timeout", 0, "process backend: per-test wall-clock cap; expired tests are killed and folded as Hung (0 = default)")
 	procs := fs.Int("procs", 0, "process backend: max concurrently running subprocesses, independent of --workers (0 = default)")
+	testsPerProc := fs.Int("tests-per-proc", 0, "process backend: scenarios a warm worker process serves before being recycled (0 = default, negative = fork/exec per scenario)")
 	var testArgs multiFlag
 	fs.Var(&testArgs, "test-args", "process backend: per-test argument row appended to the command template, repeatable (row i serves testID i)")
 	algorithm := fs.String("algorithm", afex.FitnessGuided, "exploration strategy: "+strings.Join(afex.Algorithms(), " | "))
@@ -150,6 +155,7 @@ func cmdExplore(args []string) error {
 	budget := fs.Duration("time-budget", 0, "stop after this much wall clock (0 = no limit)")
 	verbose := fs.Bool("verbose", false, "log progress every 100 tests")
 	stateDir := fs.String("state-dir", "", "persist the session here: journal every scenario, never re-execute one across runs; --iterations counts the whole session including prior runs")
+	journalFormat := fs.String("journal-format", "", "with --state-dir: journal format for a NEW directory, "+afex.JournalJSONL+" (default) or "+afex.JournalBinary+" (indexed binary segments; existing directories keep their format)")
 	resume := fs.Bool("resume", false, "with --state-dir: restore the explorer's search state and continue where the previous run stopped")
 	progress := fs.Duration("progress", 0, "print engine stats (tests run, failures, clusters, leases) on this interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
@@ -208,22 +214,24 @@ func cmdExplore(args []string) error {
 		space = afex.SpaceFor(target, *nFuncs, *callLo, *callHi)
 	}
 	opts := afex.Options{
-		Target:      target,
-		Backend:     *backendName,
-		Command:     command,
-		ExecTimeout: *execTimeout,
-		Procs:       *procs,
-		Space:       space,
-		Algorithm:   *algorithm,
-		Iterations:  *iterations,
-		Workers:     *workers,
-		Batch:       *batch,
-		Shards:      *shards,
-		Feedback:    *feedback,
-		TimeBudget:  *budget,
-		StateDir:    *stateDir,
-		Resume:      *resume,
-		Explore:     afex.ExploreOptions{Seed: *seed},
+		Target:        target,
+		Backend:       *backendName,
+		Command:       command,
+		ExecTimeout:   *execTimeout,
+		Procs:         *procs,
+		TestsPerProc:  *testsPerProc,
+		Space:         space,
+		Algorithm:     *algorithm,
+		Iterations:    *iterations,
+		Workers:       *workers,
+		Batch:         *batch,
+		Shards:        *shards,
+		Feedback:      *feedback,
+		TimeBudget:    *budget,
+		StateDir:      *stateDir,
+		JournalFormat: *journalFormat,
+		Resume:        *resume,
+		Explore:       afex.ExploreOptions{Seed: *seed},
 	}
 	if *verbose {
 		opts.Progress = func(s afex.Snapshot) {
@@ -606,6 +614,7 @@ func cmdWorker(args []string) error {
 	backendName := fs.String("backend", "", "execution backend: "+strings.Join(afex.Backends(), " | ")+" (default: model for built-in targets, process for cmd: targets)")
 	execTimeout := fs.Duration("timeout", 0, "process backend: per-test wall-clock cap (0 = default)")
 	procs := fs.Int("procs", 0, "process backend: max concurrently running subprocesses (0 = default)")
+	testsPerProc := fs.Int("tests-per-proc", 0, "process backend: scenarios a warm worker process serves before being recycled (0 = default, negative = fork/exec per scenario)")
 	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
 	id := fs.String("id", "worker", "manager identity reported to the coordinator")
 	if err := fs.Parse(args); err != nil {
@@ -615,7 +624,7 @@ func cmdWorker(args []string) error {
 	if procTarget && *backendName == "" {
 		*backendName = afex.ProcessBackend
 	}
-	bcfg := afex.BackendConfig{Timeout: *execTimeout, Procs: *procs}
+	bcfg := afex.BackendConfig{Timeout: *execTimeout, Procs: *procs, TestsPerProc: *testsPerProc}
 	if procTarget {
 		spec, err := afex.ParseCommandSpec(*targetName)
 		if err != nil {
@@ -669,4 +678,58 @@ func cmdTargets(args []string, w io.Writer) error {
 	}
 	fmt.Fprintln(w, `process targets are given as a cmd: spec, e.g. --target "cmd:./crashy {test}"`)
 	return nil
+}
+
+// cmdStats inspects a state directory without opening (or locking) it:
+// journal format, entry/segment/index counts, snapshot position, and
+// the resume-tail size — how much journal the next --resume must
+// materialize. --json emits the same data machine-readably.
+func cmdStats(args []string, w io.Writer) error {
+	var dir string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		dir, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if dir == "" && fs.NArg() == 1 {
+		dir = fs.Arg(0)
+	} else if fs.NArg() != 0 || dir == "" {
+		return fmt.Errorf("stats requires exactly one state directory: afex stats <state-dir> [--json]")
+	}
+	st, err := afex.ReadStateStats(dir)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	fmt.Fprintf(w, "journal format:     %s\n", st.Format)
+	if st.Target != "" {
+		fmt.Fprintf(w, "target:             %s\n", st.Target)
+	}
+	fmt.Fprintf(w, "runs:               %d\n", st.Runs)
+	fmt.Fprintf(w, "entries:            %d (archive %d + live %d, %d segment%s)\n",
+		st.Entries, st.ArchivedEntries, st.LiveEntries, st.Segments, plural(st.Segments))
+	fmt.Fprintf(w, "index blocks:       %d (side-index records %d)\n", st.IndexBlocks, st.SideIndexRecords)
+	if st.HasSnapshot {
+		fmt.Fprintf(w, "snapshot seq:       %d\n", st.SnapshotSeq)
+	} else {
+		fmt.Fprintf(w, "snapshot seq:       none\n")
+	}
+	fmt.Fprintf(w, "resume tail:        %d entr%s\n", st.TailEntries, pluralY(st.TailEntries))
+	fmt.Fprintf(w, "compacted through:  %d\n", st.CompactedSeq)
+	fmt.Fprintf(w, "journal bytes:      %d (archive %d)\n", st.JournalBytes, st.ArchiveBytes)
+	return nil
+}
+
+func pluralY(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
 }

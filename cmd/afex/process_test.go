@@ -76,73 +76,81 @@ func TestCmdExploreProcessTargetValidation(t *testing.T) {
 }
 
 // TestCmdExploreProcessResume: the full persistence loop on the process
-// backend — an interrupted-then-resumed session journals, entry for
-// entry, exactly what one uninterrupted run journals (wall clock and
-// run indices aside), scenario keys never repeat, and `afex replay`
-// reproduces the recorded failures by re-running the fixture.
+// backend, once per journal format — an interrupted-then-resumed
+// session journals, entry for entry, exactly what one uninterrupted run
+// journals (wall clock and run indices aside), scenario keys never
+// repeat, and `afex replay` reproduces the recorded failures by
+// re-running the fixture.
 func TestCmdExploreProcessResume(t *testing.T) {
-	const total = 30
-	full := filepath.Join(t.TempDir(), "full")
-	split := filepath.Join(t.TempDir(), "split")
+	for _, format := range []string{afex.JournalJSONL, afex.JournalBinary} {
+		t.Run(format, func(t *testing.T) {
+			const total = 30
+			full := filepath.Join(t.TempDir(), "full")
+			split := filepath.Join(t.TempDir(), "split")
+			formatArgs := func(extra ...string) []string {
+				return crashyArgs(append([]string{"--journal-format", format}, extra...)...)
+			}
 
-	if err := noFailures(cmdExplore(crashyArgs("--state-dir", full, "--iterations", fmt.Sprint(total)))); err != nil {
-		t.Fatal(err)
-	}
-	// The "kill": a run with a smaller budget finishes cleanly at 12
-	// folds — at snapshot granularity that is exactly a SIGKILL landing
-	// after fold 12 (Finish writes the snapshot the resume restores).
-	if err := noFailures(cmdExplore(crashyArgs("--state-dir", split, "--iterations", "12"))); err != nil {
-		t.Fatal(err)
-	}
-	if err := noFailures(cmdExplore(crashyArgs("--state-dir", split, "--iterations", fmt.Sprint(total), "--resume"))); err != nil {
-		t.Fatal(err)
-	}
+			if err := noFailures(cmdExplore(formatArgs("--state-dir", full, "--iterations", fmt.Sprint(total)))); err != nil {
+				t.Fatal(err)
+			}
+			// The "kill": a run with a smaller budget finishes cleanly at 12
+			// folds — at snapshot granularity that is exactly a SIGKILL landing
+			// after fold 12 (Finish writes the snapshot the resume restores).
+			if err := noFailures(cmdExplore(formatArgs("--state-dir", split, "--iterations", "12"))); err != nil {
+				t.Fatal(err)
+			}
+			if err := noFailures(cmdExplore(formatArgs("--state-dir", split, "--iterations", fmt.Sprint(total), "--resume"))); err != nil {
+				t.Fatal(err)
+			}
 
-	fullEntries, err := readJournalEntries(full)
-	if err != nil {
-		t.Fatal(err)
-	}
-	splitEntries, err := readJournalEntries(split)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(fullEntries) != total || len(splitEntries) != total {
-		t.Fatalf("journals hold %d and %d entries, want %d", len(fullEntries), len(splitEntries), total)
-	}
-	seen := map[string]bool{}
-	for i := range fullEntries {
-		a, b := fullEntries[i], splitEntries[i]
-		if seen[b.Key()] {
-			t.Fatalf("scenario %s executed twice across the split runs", b.Key())
-		}
-		seen[b.Key()] = true
-		// Wall clock and run index are the only legitimate differences
-		// between the uninterrupted and the resumed session.
-		a.DurationNS, b.DurationNS = 0, 0
-		a.Run, b.Run = 0, 0
-		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
-			t.Fatalf("entry %d diverged after resume:\n full: %+v\nsplit: %+v", i, a, b)
-		}
-	}
-	// Sanity: the equality above covered real failures, journaled with
-	// their backend identity.
-	failures := 0
-	for _, e := range fullEntries {
-		if e.Failed {
-			failures++
-		}
-		if e.Backend != afex.ProcessBackend {
-			t.Fatalf("entry %d journaled backend %q, want process", e.Seq, e.Backend)
-		}
-	}
-	if failures == 0 {
-		t.Fatal("no failures among the journaled scenarios; the fixture should plant some")
-	}
+			fullEntries, err := readJournalEntries(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			splitEntries, err := readJournalEntries(split)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fullEntries) != total || len(splitEntries) != total {
+				t.Fatalf("journals hold %d and %d entries, want %d", len(fullEntries), len(splitEntries), total)
+			}
+			seen := map[string]bool{}
+			for i := range fullEntries {
+				a, b := fullEntries[i], splitEntries[i]
+				if seen[b.Key()] {
+					t.Fatalf("scenario %s executed twice across the split runs", b.Key())
+				}
+				seen[b.Key()] = true
+				// Wall clock and run index are the only legitimate differences
+				// between the uninterrupted and the resumed session.
+				a.DurationNS, b.DurationNS = 0, 0
+				a.Run, b.Run = 0, 0
+				if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+					t.Fatalf("entry %d diverged after resume:\n full: %+v\nsplit: %+v", i, a, b)
+				}
+			}
+			// Sanity: the equality above covered real failures, journaled with
+			// their backend identity.
+			failures := 0
+			for _, e := range fullEntries {
+				if e.Failed {
+					failures++
+				}
+				if e.Backend != afex.ProcessBackend {
+					t.Fatalf("entry %d journaled backend %q, want process", e.Seq, e.Backend)
+				}
+			}
+			if failures == 0 {
+				t.Fatal("no failures among the journaled scenarios; the fixture should plant some")
+			}
 
-	// Recorded failures replay through the process backend from the
-	// journaled plans (the recorded cmd: target re-runs the fixture).
-	if err := cmdReplay([]string{split, "--timeout", "2s"}); err != nil {
-		t.Fatalf("process replay did not reproduce recorded failures: %v", err)
+			// Recorded failures replay through the process backend from the
+			// journaled plans (the recorded cmd: target re-runs the fixture).
+			if err := cmdReplay([]string{split, "--timeout", "2s"}); err != nil {
+				t.Fatalf("process replay did not reproduce recorded failures: %v", err)
+			}
+		})
 	}
 }
 

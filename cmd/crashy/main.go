@@ -33,7 +33,6 @@ import (
 )
 
 func main() {
-	defer shim.Flush()
 	test := 0
 	if len(os.Args) > 1 {
 		n, err := strconv.Atoi(os.Args[1])
@@ -43,29 +42,36 @@ func main() {
 		}
 		test = n
 	}
+	shim.Serve(test, runTest)
+}
+
+// runTest dispatches one test case and returns its exit code; Serve
+// turns that into the process exit (one-shot) or a per-scenario "done"
+// report (worker mode).
+func runTest(test int) int {
 	switch test {
 	case 0:
-		readConfig()
+		return readConfig()
 	case 1:
-		cacheInit()
+		return cacheInit()
 	case 2:
-		flushLog()
+		return flushLog()
 	case 3:
-		probe()
+		return probe()
 	default:
 		fmt.Fprintf(os.Stderr, "crashy: no test %d\n", test)
-		os.Exit(2)
+		return 2
 	}
 }
 
 // readConfig: clean error handling end to end — open has a fallback
 // path, read retries once then gives up with an orderly failure exit.
-func readConfig() {
+func readConfig() int {
 	shim.Cover(1)
 	if errno, _, failed := shim.Call("open"); failed {
 		shim.Cover(2) // recovery: fall back to defaults, report, exit 1
 		fmt.Fprintf(os.Stderr, "crashy: open config: %s\n", errno)
-		os.Exit(1)
+		return 1
 	}
 	for i := 0; i < 3; i++ {
 		shim.Cover(3 + i)
@@ -75,16 +81,17 @@ func readConfig() {
 			if errno, _, failed := shim.Call("read"); failed {
 				shim.Cover(6)
 				fmt.Fprintf(os.Stderr, "crashy: read config: %s\n", errno)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }
 
 // cacheInit: the planted crash — the first malloc's return value is
 // used unchecked (the Apache strdup pattern), so a fault there brings
 // the whole process down on a signal.
-func cacheInit() {
+func cacheInit() int {
 	shim.Cover(10)
 	if _, _, failed := shim.Call("malloc"); failed {
 		// Unchecked: the nil "pointer" is dereferenced immediately.
@@ -95,15 +102,16 @@ func cacheInit() {
 	if errno, _, failed := shim.Call("malloc"); failed {
 		shim.Cover(12) // clean recovery: release, report, orderly failure
 		fmt.Fprintf(os.Stderr, "crashy: cache alloc: %s\n", errno)
-		os.Exit(1)
+		return 1
 	}
 	shim.Cover(13)
+	return 0
 }
 
 // flushLog: the planted hang — the first write's error path waits on a
 // retry condition that never signals (a blocking retry loop without a
 // timeout).
-func flushLog() {
+func flushLog() int {
 	shim.Cover(20)
 	if _, _, failed := shim.Call("write"); failed {
 		shim.Cover(21)
@@ -113,13 +121,15 @@ func flushLog() {
 	if _, _, failed := shim.Call("write"); failed {
 		shim.Cover(23) // tolerated: log data is best-effort
 	}
+	return 0
 }
 
 // probe: every fault on this path is harmless.
-func probe() {
+func probe() int {
 	for i := 0; i < 2; i++ {
 		shim.Cover(30 + i)
 		shim.Call("open")
 		shim.Call("read")
 	}
+	return 0
 }

@@ -59,6 +59,13 @@ type Config struct {
 	// engine's worker count, so memory- or port-hungry targets can be
 	// throttled below it. Zero selects DefaultProcs.
 	Procs int
+	// TestsPerProc bounds how many scenarios one warm worker process
+	// serves before the supervisor recycles it (process backend, worker
+	// mode) — the defense against state leaking across scenarios in
+	// long-lived fixtures. Zero selects DefaultTestsPerProc; negative
+	// disables warm workers entirely, forcing one fork/exec per
+	// scenario.
+	TestsPerProc int
 }
 
 // Exec is the per-execution metadata a runner reports alongside the

@@ -207,17 +207,40 @@ func TestProcessDeterministicOutcomes(t *testing.T) {
 	}
 }
 
-// BenchmarkProcessExecutor measures one supervised subprocess execution
-// end to end (spawn, inject, report pipe, wait) — the per-test floor of
-// the process backend.
+// BenchmarkProcessExecutor measures one supervised scenario execution
+// end to end under both execution modes: cold pays a fork/exec + env
+// marshal per scenario (TestsPerProc < 0 forces it), warm re-arms a
+// persistent worker over the arm pipe. CI's bench smoke asserts the
+// warm/cold scenarios/sec ratio stays ≥ 5x.
 func BenchmarkProcessExecutor(b *testing.B) {
-	r := crashyRunner(b, 5*time.Second)
 	plan := fault("open", 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		out, _ := r.Run(0, plan)
-		if !out.Injected {
-			b.Fatal("fault did not fire")
-		}
+	for _, mode := range []struct {
+		name string
+		tpp  int
+	}{{"cold", -1}, {"warm", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			spec, err := ParseSpec("cmd:" + crashyBin + " {test}")
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := New(Process, Config{
+				Command: spec, Timeout: 5 * time.Second, Procs: 2, TestsPerProc: mode.tpp,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, _ := r.Run(0, plan)
+				if !out.Injected {
+					b.Fatal("fault did not fire")
+				}
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N)/s, "scenarios/sec")
+			}
+		})
 	}
 }

@@ -39,6 +39,12 @@ const DefaultProcs = 4
 type processRunner struct {
 	spec    *CommandSpec
 	timeout time.Duration
+	// baseEnv is the spawn environment minus the plan: the inherited
+	// environment plus the report-fd convention, built once at
+	// construction. Per scenario only the AFEX_PLAN entry differs, so
+	// Run appends it to a capacity-capped view of this slice instead of
+	// re-walking os.Environ per spawn.
+	baseEnv []string
 	// sem is the process pool: one slot per concurrently running
 	// subprocess. Sized independently of the engine's worker count —
 	// effective parallelism is min(workers, procs).
@@ -48,7 +54,28 @@ type processRunner struct {
 	closed bool
 }
 
+// newProcess builds the process backend. It prefers the warm-worker
+// pool (one persistent fixture process per pool slot, re-armed per
+// scenario) and falls back to per-scenario fork/exec when the fixture
+// does not speak worker mode, when the spec carries per-test argv tails
+// (which must be baked in at spawn time), or when Config.TestsPerProc
+// is negative.
 func newProcess(cfg Config) (Runner, error) {
+	cold, err := newColdProcess(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Command.TestArgs) > 0 || cfg.TestsPerProc < 0 {
+		return cold, nil
+	}
+	if warm := newWorkerRunner(cfg, cold); warm != nil {
+		return warm, nil
+	}
+	return cold, nil
+}
+
+// newColdProcess builds the one-shot (fork/exec per scenario) runner.
+func newColdProcess(cfg Config) (*processRunner, error) {
 	if cfg.Command == nil || len(cfg.Command.Argv) == 0 {
 		return nil, fmt.Errorf("process backend requires a command spec (cmd: target)")
 	}
@@ -68,13 +95,14 @@ func newProcess(cfg Config) (Runner, error) {
 	return &processRunner{
 		spec:    cfg.Command,
 		timeout: timeout,
+		baseEnv: append(os.Environ(), shim.ReportFDEnv+"=3"),
 		sem:     make(chan struct{}, procs),
 	}, nil
 }
 
-// planWire renders the armed plan in the shim's AFEX_PLAN format.
-func planWire(testID int, plan inject.Plan) string {
-	w := shim.PlanWire{TestID: testID, Faults: make([]shim.FaultWire, 0, len(plan.Faults))}
+// wirePlan renders the armed plan in the shim's PlanWire shape.
+func wirePlan(testID, seq int, plan inject.Plan) shim.PlanWire {
+	w := shim.PlanWire{TestID: testID, Seq: seq, Faults: make([]shim.FaultWire, 0, len(plan.Faults))}
 	for _, f := range plan.Faults {
 		w.Faults = append(w.Faults, shim.FaultWire{
 			Function:   f.Function,
@@ -83,7 +111,12 @@ func planWire(testID int, plan inject.Plan) string {
 			Retval:     f.Err.Retval,
 		})
 	}
-	raw, err := json.Marshal(w)
+	return w
+}
+
+// planWire renders the armed plan in the shim's AFEX_PLAN format.
+func planWire(testID int, plan inject.Plan) string {
+	raw, err := json.Marshal(wirePlan(testID, 0, plan))
 	if err != nil {
 		panic("backend: plan wire encoding cannot fail: " + err.Error())
 	}
@@ -117,9 +150,10 @@ func (p *processRunner) Run(testID int, plan inject.Plan) (prog.Outcome, Exec) {
 	// The report pipe rides after stdio: ExtraFiles[0] is fd 3 in the
 	// child, and AFEX_REPORT_FD names it so the convention can move.
 	cmd.ExtraFiles = []*os.File{pw}
-	cmd.Env = append(os.Environ(),
-		shim.PlanEnv+"="+planWire(testID, plan),
-		shim.ReportFDEnv+"=3")
+	// The capacity cap forces append to copy, so concurrent Runs never
+	// share the hoisted slice's backing array.
+	cmd.Env = append(p.baseEnv[:len(p.baseEnv):len(p.baseEnv)],
+		shim.PlanEnv+"="+planWire(testID, plan))
 
 	start := time.Now()
 	if err := cmd.Start(); err != nil {
@@ -172,14 +206,14 @@ func (p *processRunner) Run(testID int, plan inject.Plan) (prog.Outcome, Exec) {
 	pr.Close()
 	<-readerDone
 
-	return p.fold(events, cmd.ProcessState, timedOut, duration)
+	return foldReport(events, cmd.ProcessState, timedOut, duration)
 }
 
-// fold maps the report events and the process disposition onto the
-// engine's outcome vocabulary.
-func (p *processRunner) fold(events []shim.Event, ps *os.ProcessState, timedOut bool, duration time.Duration) (prog.Outcome, Exec) {
-	out := prog.Outcome{}
-	crashID := ""
+// foldEvents parses the shim's report stream into the outcome fields it
+// carries directly: injection stack, covered blocks, and the planted
+// crash label (returned separately — only a signaled death promotes it
+// to the outcome).
+func foldEvents(events []shim.Event) (out prog.Outcome, crashID string) {
 	for _, ev := range events {
 		switch ev.Kind {
 		case shim.EventInject:
@@ -200,7 +234,38 @@ func (p *processRunner) fold(events []shim.Event, ps *os.ProcessState, timedOut 
 			crashID = ev.ID
 		}
 	}
+	return out, crashID
+}
 
+// foldExit maps an orderly scenario exit code onto the outcome
+// vocabulary; shared by the one-shot process disposition and the warm
+// worker's per-scenario "done" report.
+func foldExit(out *prog.Outcome, ex *Exec, code int) {
+	ex.ExitStatus = fmt.Sprintf("exit:%d", code)
+	out.Failed = code != 0
+}
+
+// foldDeath maps a signaled process death onto the outcome vocabulary:
+// a real crash, labelled by the planted-bug id when the shim flushed
+// one, or by a synthesized crash@<point>/<signal> id otherwise.
+func foldDeath(out *prog.Outcome, ex *Exec, ps *os.ProcessState, crashID string) {
+	ex.ExitStatus = "signal:" + signalName(ps)
+	out.Failed = true
+	out.Crashed = true
+	out.CrashID = crashID
+	if out.CrashID == "" {
+		at := "?"
+		if n := len(out.InjectionStack); n > 0 {
+			at = out.InjectionStack[n-1]
+		}
+		out.CrashID = fmt.Sprintf("crash@%s/%s", at, signalName(ps))
+	}
+}
+
+// foldReport maps the report events and the process disposition onto
+// the engine's outcome vocabulary.
+func foldReport(events []shim.Event, ps *os.ProcessState, timedOut bool, duration time.Duration) (prog.Outcome, Exec) {
+	out, crashID := foldEvents(events)
 	ex := Exec{Backend: Process, Duration: duration}
 	switch {
 	case timedOut:
@@ -208,22 +273,11 @@ func (p *processRunner) fold(events []shim.Event, ps *os.ProcessState, timedOut 
 		out.Failed = true
 		out.Hung = true
 	case ps != nil && ps.ExitCode() >= 0:
-		ex.ExitStatus = fmt.Sprintf("exit:%d", ps.ExitCode())
-		out.Failed = ps.ExitCode() != 0
+		foldExit(&out, &ex, ps.ExitCode())
 	default:
 		// ExitCode < 0 without our timeout kill: the process died on a
 		// signal — a real crash.
-		ex.ExitStatus = "signal:" + signalName(ps)
-		out.Failed = true
-		out.Crashed = true
-		out.CrashID = crashID
-		if out.CrashID == "" {
-			at := "?"
-			if n := len(out.InjectionStack); n > 0 {
-				at = out.InjectionStack[n-1]
-			}
-			out.CrashID = fmt.Sprintf("crash@%s/%s", at, signalName(ps))
-		}
+		foldDeath(&out, &ex, ps, crashID)
 	}
 	return out, ex
 }

@@ -1,0 +1,346 @@
+package backend
+
+// The warm-worker pool: the process backend's answer to the fork/exec
+// tax. Instead of spawning one subprocess per leased scenario, the
+// supervisor spawns Config.Procs persistent fixture processes in worker
+// mode (AFEX_WORKER_FD set, no AFEX_PLAN) and streams re-arm messages —
+// one serialized PlanWire per scenario — down each worker's arm pipe.
+// The shim resets call counters and coverage between scenarios
+// (shim.Serve / rearm) and answers each with a "done" event carrying
+// the scenario's exit code, so a clean scenario costs one pipe write
+// and one pipe read instead of a process lifetime.
+//
+// Lifecycle:
+//
+//   - A worker is recycled (arm pipe closed → orderly exit 0 → respawn
+//     on next use) after Config.TestsPerProc scenarios, bounding how
+//     much fixture state can leak across scenarios.
+//   - A scenario that crashes its worker takes only that worker down:
+//     the report pipe's EOF is the death signal, the in-flight scenario
+//     folds exactly once — from the worker's ProcessState, exactly as a
+//     one-shot crash would — and the slot respawns lazily.
+//   - A scenario that exceeds the timeout gets its worker's process
+//     group killed and folds to Hung, again exactly once.
+//   - Construction probes the fixture: a binary that never announces
+//     worker readiness (an old one-shot fixture that ignores
+//     AFEX_WORKER_FD) falls back to the cold per-scenario runner, so
+//     warm workers are the default without breaking existing targets.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"afex/internal/inject"
+	"afex/internal/prog"
+	"afex/shim"
+)
+
+// DefaultTestsPerProc is how many scenarios one warm worker serves
+// before recycling when Config.TestsPerProc is zero.
+const DefaultTestsPerProc = 256
+
+// readyTimeout caps the construction-time probe: a fixture that has not
+// announced worker readiness this long after spawn is treated as a
+// one-shot binary and the pool falls back to cold execution.
+const readyTimeout = 2 * time.Second
+
+// worker is one persistent fixture process of the pool.
+type worker struct {
+	cmd *exec.Cmd
+	arm *os.File // supervisor's write end of the arm pipe (child fd 4)
+	// events carries the worker's report stream; the reader goroutine
+	// closes it at report-pipe EOF, which is how Run observes death.
+	events chan shim.Event
+	wait   chan error // buffered; receives cmd.Wait exactly once
+	seq    int        // last arm sequence number issued
+	served int        // scenarios completed since spawn
+}
+
+// workerRunner is the warm pool. It reuses the cold runner's spec,
+// timeout and validation; cold remains the spawn-failure fallback path
+// only in the sense that both speak the same fold vocabulary.
+type workerRunner struct {
+	spec         *CommandSpec
+	timeout      time.Duration
+	testsPerProc int
+	baseEnv      []string
+	// slots is the pool: cap = Procs, each holding a live worker or nil
+	// (spawn lazily on first use). Receiving a slot bounds concurrency
+	// exactly like the cold runner's semaphore.
+	slots chan *worker
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newWorkerRunner probes the fixture for worker mode and builds the
+// pool, or returns nil when the fixture does not speak it (the caller
+// falls back to the cold runner). cold supplies the already-validated
+// spec and timeout.
+func newWorkerRunner(cfg Config, cold *processRunner) Runner {
+	tpp := cfg.TestsPerProc
+	if tpp == 0 {
+		tpp = DefaultTestsPerProc
+	}
+	p := &workerRunner{
+		spec:         cold.spec,
+		timeout:      cold.timeout,
+		testsPerProc: tpp,
+		baseEnv:      append(os.Environ(), shim.ReportFDEnv+"=3", shim.WorkerFDEnv+"=4"),
+		slots:        make(chan *worker, cap(cold.sem)),
+	}
+	probe, err := p.spawn(0)
+	if err != nil {
+		return nil
+	}
+	p.slots <- probe
+	for i := 1; i < cap(p.slots); i++ {
+		p.slots <- nil
+	}
+	return p
+}
+
+// spawn launches one worker-mode fixture process and waits for its
+// readiness announcement. The testID only feeds the argv template —
+// worker-mode fixtures take the authoritative test id from each arm
+// message.
+func (p *workerRunner) spawn(testID int) (*worker, error) {
+	argv := p.spec.ArgvFor(testID)
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	isolateProcessGroup(cmd)
+
+	reportR, reportW, err := os.Pipe()
+	if err != nil {
+		return nil, err
+	}
+	armR, armW, err := os.Pipe()
+	if err != nil {
+		reportR.Close()
+		reportW.Close()
+		return nil, err
+	}
+	// ExtraFiles[0] is child fd 3 (report, child writes), ExtraFiles[1]
+	// is child fd 4 (arm, child reads); the env names both so the
+	// convention can move.
+	cmd.ExtraFiles = []*os.File{reportW, armR}
+	cmd.Env = p.baseEnv
+
+	if err := cmd.Start(); err != nil {
+		reportR.Close()
+		reportW.Close()
+		armR.Close()
+		armW.Close()
+		return nil, err
+	}
+	reportW.Close() // child's ends now
+	armR.Close()
+
+	w := &worker{
+		cmd:    cmd,
+		arm:    armW,
+		events: make(chan shim.Event, 64),
+		wait:   make(chan error, 1),
+	}
+	go func() {
+		defer close(w.events)
+		defer reportR.Close()
+		sc := bufio.NewScanner(reportR)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			var ev shim.Event
+			if json.Unmarshal(sc.Bytes(), &ev) == nil {
+				w.events <- ev
+			}
+		}
+	}()
+	go func() { w.wait <- cmd.Wait() }()
+
+	// Handshake: a worker-mode shim emits "ready" before anything else.
+	// A one-shot fixture instead runs its test fault-free and exits
+	// (events closes without a ready), selecting the cold fallback.
+	timer := time.NewTimer(readyTimeout)
+	defer timer.Stop()
+	select {
+	case ev, ok := <-w.events:
+		if ok && ev.Kind == shim.EventReady {
+			return w, nil
+		}
+	case <-timer.C:
+	}
+	p.reap(w)
+	return nil, errNotWorkerMode
+}
+
+var errNotWorkerMode = errors.New("fixture does not speak worker mode")
+
+// reap force-kills a worker and waits out its exit; used for handshake
+// failures, timeouts, and pool shutdown.
+func (p *workerRunner) reap(w *worker) {
+	if w == nil {
+		return
+	}
+	w.arm.Close()
+	killTree(w.cmd)
+	<-w.wait
+	for range w.events {
+	}
+}
+
+// retire recycles a worker that served its quota: closing the arm pipe
+// is the orderly shutdown signal (shim.Serve returns and exits 0), with
+// a kill backstop should the fixture ignore it.
+func (p *workerRunner) retire(w *worker) {
+	if w == nil {
+		return
+	}
+	w.arm.Close()
+	timer := time.NewTimer(p.timeout)
+	defer timer.Stop()
+	select {
+	case <-w.wait:
+	case <-timer.C:
+		killTree(w.cmd)
+		<-w.wait
+	}
+	for range w.events {
+	}
+}
+
+// Run executes one scenario on a warm worker, spawning or respawning
+// the slot's worker as needed. Each call folds exactly one outcome,
+// even when the scenario kills its worker mid-flight.
+func (p *workerRunner) Run(testID int, plan inject.Plan) (prog.Outcome, Exec) {
+	w := <-p.slots
+	defer func() { p.slots <- w }()
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		p.reap(w)
+		w = nil
+		return prog.Outcome{Failed: true}, Exec{Backend: Process, ExitStatus: "runner-closed"}
+	}
+
+	// Two attempts: an arm-pipe write can fail only when the worker died
+	// between scenarios (its outcome already folded), so retrying once
+	// on a fresh worker never double-reports a scenario.
+	for attempt := 0; attempt < 2; attempt++ {
+		if w == nil {
+			fresh, err := p.spawn(testID)
+			if err != nil {
+				return prog.Outcome{Failed: true}, Exec{Backend: Process, ExitStatus: "spawn:" + err.Error()}
+			}
+			w = fresh
+		}
+		out, ex, armed := p.runScenario(&w, testID, plan)
+		if armed {
+			return out, ex
+		}
+	}
+	return prog.Outcome{Failed: true}, Exec{Backend: Process, ExitStatus: "worker-lost"}
+}
+
+// runScenario arms one plan on *wp and collects its outcome. armed
+// reports whether the scenario reached the worker: false means the arm
+// write failed against an already-dead worker and the caller may retry
+// on a fresh one. *wp is nilled whenever the worker is gone (death,
+// timeout, recycling), so the slot respawns lazily.
+func (p *workerRunner) runScenario(wp **worker, testID int, plan inject.Plan) (prog.Outcome, Exec, bool) {
+	w := *wp
+	w.seq++
+	seq := w.seq
+	msg, err := json.Marshal(wirePlan(testID, seq, plan))
+	if err != nil {
+		panic("backend: plan wire encoding cannot fail: " + err.Error())
+	}
+	start := time.Now()
+	if _, err := w.arm.Write(append(msg, '\n')); err != nil {
+		// The worker died between scenarios; nothing was armed.
+		p.reap(w)
+		*wp = nil
+		return prog.Outcome{}, Exec{}, false
+	}
+
+	var events []shim.Event
+	timer := time.NewTimer(p.timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case ev, ok := <-w.events:
+			if !ok {
+				// Report-pipe EOF mid-scenario: the scenario crashed its
+				// worker. Fold the death as this scenario's outcome —
+				// exactly once — and leave the slot empty.
+				<-w.wait
+				duration := time.Since(start)
+				out, crashID := foldEvents(events)
+				ex := Exec{Backend: Process, Duration: duration}
+				if ps := w.cmd.ProcessState; ps != nil && ps.ExitCode() >= 0 {
+					// Orderly exit without a done event (fixture bypassed
+					// Serve, e.g. os.Exit inside the body): still one
+					// scenario, one outcome.
+					foldExit(&out, &ex, ps.ExitCode())
+				} else {
+					foldDeath(&out, &ex, w.cmd.ProcessState, crashID)
+				}
+				*wp = nil
+				return out, ex, true
+			}
+			if ev.Kind == shim.EventDone && ev.Seq == seq {
+				duration := time.Since(start)
+				out, _ := foldEvents(events)
+				ex := Exec{Backend: Process, Duration: duration}
+				foldExit(&out, &ex, ev.Exit)
+				w.served++
+				if w.served >= p.testsPerProc {
+					p.retire(w)
+					*wp = nil
+				}
+				return out, ex, true
+			}
+			events = append(events, ev)
+		case <-timer.C:
+			// Per-scenario wall clock exhausted: the scenario hung its
+			// worker. Kill the whole group and fold Hung.
+			killTree(w.cmd)
+			<-w.wait
+			for range w.events {
+			}
+			out, ex := foldReport(events, w.cmd.ProcessState, true, time.Since(start))
+			*wp = nil
+			return out, ex, true
+		}
+	}
+}
+
+// Close retires every worker and refuses further runs. Draining the
+// slots waits out in-flight scenarios, exactly like the cold runner's
+// semaphore drain.
+func (p *workerRunner) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	workers := make([]*worker, 0, cap(p.slots))
+	for i := 0; i < cap(p.slots); i++ {
+		workers = append(workers, <-p.slots)
+	}
+	for _, w := range workers {
+		p.retire(w)
+	}
+	for i := 0; i < cap(p.slots); i++ {
+		p.slots <- nil
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"afex/internal/inject"
+)
+
+// warmRunner builds the process backend with explicit pool/recycle
+// parameters and asserts it actually selected the warm-worker pool.
+func warmRunner(t *testing.T, procs, testsPerProc int, timeout time.Duration) *workerRunner {
+	t.Helper()
+	spec, err := ParseSpec("cmd:" + crashyBin + " {test}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Process, Config{
+		Command: spec, Timeout: timeout, Procs: procs, TestsPerProc: testsPerProc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := r.(*workerRunner)
+	if !ok {
+		t.Fatalf("process backend selected %T, want warm worker pool", r)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func TestWorkerPoolReusesProcess(t *testing.T) {
+	r := warmRunner(t, 1, 0, 5*time.Second)
+	for i := 0; i < 4; i++ {
+		out, ex := r.Run(3, inject.Plan{})
+		if out.Failed || ex.ExitStatus != "exit:0" {
+			t.Fatalf("scenario %d = %+v (%s), want clean pass", i, out, ex.ExitStatus)
+		}
+		if len(out.Blocks) == 0 {
+			t.Fatalf("scenario %d delivered no coverage", i)
+		}
+	}
+	// White box: with one slot and no crashes, all four scenarios must
+	// have run on the same worker process.
+	w := <-r.slots
+	r.slots <- w
+	if w == nil || w.served != 4 {
+		t.Fatalf("pool slot = %+v, want one live worker with served=4", w)
+	}
+}
+
+func TestWorkerCoverageResetsBetweenScenarios(t *testing.T) {
+	r := warmRunner(t, 1, 0, 5*time.Second)
+	// Test 3 covers blocks 30-31; test 0 covers 1,3-5. If the shim did
+	// not reset coverage at re-arm, the second scenario would report the
+	// union.
+	if out, _ := r.Run(3, inject.Plan{}); len(out.Blocks) == 0 {
+		t.Fatal("first scenario delivered no coverage")
+	}
+	out, _ := r.Run(0, inject.Plan{})
+	for b := range out.Blocks {
+		if b >= 30 {
+			t.Fatalf("scenario 2 coverage %v leaked blocks from scenario 1", out.Blocks)
+		}
+	}
+	// Call counters must reset too: the same callNumber-1 fault fires
+	// again on a reused worker.
+	first, _ := r.Run(0, fault("open", 1))
+	second, _ := r.Run(0, fault("open", 1))
+	if !first.Injected || !second.Injected {
+		t.Fatalf("repeat injection on warm worker: %v then %v, want both injected",
+			first.Injected, second.Injected)
+	}
+}
+
+func TestWorkerCrashMidScenarioFoldsOnceAndRespawns(t *testing.T) {
+	r := warmRunner(t, 1, 0, 5*time.Second)
+	// Warm up the worker with a clean scenario, then crash it.
+	if out, _ := r.Run(3, inject.Plan{}); out.Failed {
+		t.Fatal("warm-up scenario failed")
+	}
+	out, ex := r.Run(1, fault("malloc", 1))
+	if !out.Injected || !out.Crashed || out.Hung {
+		t.Fatalf("crash scenario = %+v, want Crashed", out)
+	}
+	if out.CrashID != "crashy/unchecked-malloc" {
+		t.Errorf("CrashID = %q, want the shim-labelled planted bug", out.CrashID)
+	}
+	if !strings.HasPrefix(ex.ExitStatus, "signal:") {
+		t.Errorf("ExitStatus = %q, want signal:*", ex.ExitStatus)
+	}
+	// The slot is empty now — the death consumed the worker — and the
+	// next scenario respawns it transparently.
+	w := <-r.slots
+	r.slots <- w
+	if w != nil {
+		t.Fatalf("slot still holds %+v after its worker crashed", w)
+	}
+	out, ex = r.Run(3, inject.Plan{})
+	if out.Failed || ex.ExitStatus != "exit:0" {
+		t.Fatalf("post-crash scenario = %+v (%s), want clean pass on respawned worker", out, ex.ExitStatus)
+	}
+}
+
+func TestWorkerHangKillsOnlyThatWorker(t *testing.T) {
+	r := warmRunner(t, 1, 0, 400*time.Millisecond)
+	out, ex := r.Run(2, fault("write", 1))
+	if !out.Hung || ex.ExitStatus != "timeout" {
+		t.Fatalf("hung scenario = %+v (%s), want Hung/timeout", out, ex.ExitStatus)
+	}
+	out, _ = r.Run(3, inject.Plan{})
+	if out.Failed {
+		t.Fatalf("post-hang scenario = %+v, want clean pass on respawned worker", out)
+	}
+}
+
+func TestWorkerRecyclesAfterQuota(t *testing.T) {
+	r := warmRunner(t, 1, 2, 5*time.Second)
+	for i := 0; i < 2; i++ {
+		if out, _ := r.Run(3, inject.Plan{}); out.Failed {
+			t.Fatalf("scenario %d failed", i)
+		}
+	}
+	// Quota reached: the worker was retired and the slot emptied.
+	w := <-r.slots
+	r.slots <- w
+	if w != nil {
+		t.Fatalf("slot holds %+v after quota, want retirement", w)
+	}
+	// The next scenario spawns a fresh worker with a fresh quota.
+	if out, _ := r.Run(3, inject.Plan{}); out.Failed {
+		t.Fatal("post-recycle scenario failed")
+	}
+	w = <-r.slots
+	r.slots <- w
+	if w == nil || w.served != 1 {
+		t.Fatalf("recycled slot = %+v, want fresh worker with served=1", w)
+	}
+}
+
+func TestWorkerFallsBackColdForTestArgs(t *testing.T) {
+	spec, err := ParseSpec("cmd:" + crashyBin + " {test}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-test argv tails must be baked in at spawn time, so the
+	// backend keeps one fork/exec per scenario for them.
+	spec.TestArgs = [][]string{{}, {}, {}, {}}
+	r, err := New(Process, Config{Command: spec, Timeout: 5 * time.Second, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.(*processRunner); !ok {
+		t.Fatalf("TestArgs spec selected %T, want cold runner", r)
+	}
+	if out, _ := r.Run(3, inject.Plan{}); out.Failed {
+		t.Fatal("cold run failed")
+	}
+}
+
+func TestWorkerFallsBackColdForOneShotFixture(t *testing.T) {
+	// A binary that ignores AFEX_WORKER_FD never announces readiness;
+	// the probe must notice and fall back to cold execution rather than
+	// treating every scenario as a dead worker.
+	spec, err := ParseSpec("cmd:sleep 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Process, Config{Command: spec, Timeout: 5 * time.Second, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.(*processRunner); !ok {
+		t.Fatalf("one-shot fixture selected %T, want cold runner", r)
+	}
+}
+
+func TestWorkerForcedColdByNegativeTestsPerProc(t *testing.T) {
+	spec, err := ParseSpec("cmd:" + crashyBin + " {test}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Process, Config{Command: spec, Timeout: 5 * time.Second, Procs: 1, TestsPerProc: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.(*processRunner); !ok {
+		t.Fatalf("TestsPerProc=-1 selected %T, want cold runner", r)
+	}
+}

@@ -100,6 +100,11 @@ type Engine struct {
 	prevElapsed  time.Duration
 	sinceSnap    int
 	adaptiveSnap bool
+	// seen accumulates every folded scenario key when a store is
+	// attached; snapshots export it (SessionState.Aggregates.SeenKeys)
+	// so a tail restore can seed the novelty filter without re-reading
+	// the whole journal. Nil for store-less sessions.
+	seen map[string]struct{}
 }
 
 // NewEngine validates cfg and builds an engine. ex overrides the
@@ -190,10 +195,11 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 	}
 	if bname != "" {
 		r, err := backend.New(bname, backend.Config{
-			Target:  cfg.Target,
-			Command: cfg.Command,
-			Timeout: cfg.ExecTimeout,
-			Procs:   cfg.Procs,
+			Target:       cfg.Target,
+			Command:      cfg.Command,
+			Timeout:      cfg.ExecTimeout,
+			Procs:        cfg.Procs,
+			TestsPerProc: cfg.TestsPerProc,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
@@ -236,6 +242,17 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 	}
 	if len(cfg.Seen) > 0 {
 		ex = explore.NewNovel(ex, cfg.Seen)
+	}
+	// Seen-key tracking feeds snapshot aggregates, which is what makes
+	// tail-only resume possible; only store-backed sessions pay for it.
+	if cfg.Store != nil {
+		e.seen = make(map[string]struct{}, len(cfg.Seen)+len(e.res.Records))
+		for k := range cfg.Seen {
+			e.seen[k] = struct{}{}
+		}
+		for i := range e.res.Records {
+			e.seen[e.res.Records[i].Point.Key()] = struct{}{}
+		}
 	}
 	e.explorer = ex
 	e.adaptiveSnap = adaptiveSnap
@@ -470,6 +487,9 @@ func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcom
 
 	// Tally and cluster.
 	e.res.Executed++
+	if e.seen != nil {
+		e.seen[rec.Point.Key()] = struct{}{}
+	}
 	if rec.Skipped {
 		e.res.Holes++
 	}

@@ -65,6 +65,25 @@ type SessionState struct {
 	AllStacks     *cluster.SetState `json:"allStacks,omitempty"`
 	FailClusters  *cluster.SetState `json:"failClusters,omitempty"`
 	CrashClusters *cluster.SetState `json:"crashClusters,omitempty"`
+	// Aggregates summarizes the records the snapshot covers, making the
+	// snapshot self-sufficient for counter restoration: a store can then
+	// resume by materializing only the journal tail past Seq (O(snapshot
+	// + tail)) instead of re-reading the whole journal. Absent in
+	// snapshots written before this field existed — those resume via the
+	// full-journal path.
+	Aggregates *Aggregates `json:"aggregates,omitempty"`
+}
+
+// Aggregates are the result-set counters over journal entries [0, Seq)
+// plus the scenario keys executed so far (the novelty-filter seed).
+type Aggregates struct {
+	Injected int            `json:"injected"`
+	Failed   int            `json:"failed"`
+	Crashed  int            `json:"crashed"`
+	Hung     int            `json:"hung"`
+	Holes    int            `json:"holes,omitempty"`
+	CrashIDs map[string]int `json:"crashIDs,omitempty"`
+	SeenKeys []string       `json:"seenKeys,omitempty"`
 }
 
 // Restore is a recovered session handed to NewEngine via
@@ -75,12 +94,18 @@ type Restore struct {
 	// State is the most recent snapshot, or nil when the session crashed
 	// before writing one — everything is then rebuilt from Records.
 	State *SessionState
+	// Base is the journal sequence Records starts at. Zero means the
+	// full journal is materialized (the default). Non-zero means a tail
+	// restore: Records holds only entries [Base, end), Base must equal
+	// State.Seq, and State.Aggregates must be present — counters and
+	// seen keys for [0, Base) come from it instead of from records.
+	Base int
 	// Records are the journaled records in execution order; their IDs
-	// must equal their indices.
+	// must equal Base + their indices.
 	Records []Record
-	// Tail is the explorer feedback for Records[State.Seq:] (all records
-	// when State is nil), replayed into the explorer so executed points
-	// enter its history even though the snapshot predates them.
+	// Tail is the explorer feedback for Records[State.Seq-Base:] (all
+	// records when State is nil), replayed into the explorer so executed
+	// points enter its history even though the snapshot predates them.
 	Tail []explore.Feedback
 	// Elapsed is the prior runs' cumulative wall clock.
 	Elapsed time.Duration
@@ -93,16 +118,44 @@ type Restore struct {
 // when no snapshot exists. Called from NewEngine before any lease, so no
 // locking.
 func (e *Engine) applyRestore(r *Restore) error {
+	base := r.Base
 	for i := range r.Records {
-		if r.Records[i].ID != i {
-			return fmt.Errorf("core: restore record %d has ID %d (journal out of order)", i, r.Records[i].ID)
+		if r.Records[i].ID != base+i {
+			return fmt.Errorf("core: restore record %d has ID %d (journal out of order)", base+i, r.Records[i].ID)
 		}
 	}
-	seq := 0
+	if base > 0 {
+		// Tail restore: records [0, base) were not materialized, so the
+		// snapshot must self-describe them.
+		if r.State == nil || r.State.Aggregates == nil {
+			return fmt.Errorf("core: tail restore from base %d without snapshot aggregates", base)
+		}
+		if r.State.Seq != base {
+			return fmt.Errorf("core: tail restore base %d does not match snapshot seq %d", base, r.State.Seq)
+		}
+		ag := r.State.Aggregates
+		e.res.Injected = ag.Injected
+		e.res.Failed = ag.Failed
+		e.res.Crashed = ag.Crashed
+		e.res.Hung = ag.Hung
+		e.res.Holes = ag.Holes
+		for id, n := range ag.CrashIDs {
+			e.res.CrashIDs[id] = n
+		}
+		// Coverage over [0, base) comes from the snapshot's block lists;
+		// the tail's blocks merge in below.
+		for _, b := range r.State.Covered {
+			e.covered[b] = struct{}{}
+		}
+		for _, b := range r.State.Recovered {
+			e.recovered[b] = struct{}{}
+		}
+	}
+	seq := base
 	if r.State != nil {
 		seq = r.State.Seq
-		if seq > len(r.Records) {
-			return fmt.Errorf("core: snapshot covers %d records but journal has %d", seq, len(r.Records))
+		if seq > base+len(r.Records) {
+			return fmt.Errorf("core: snapshot covers %d records but journal has %d", seq, base+len(r.Records))
 		}
 		var err error
 		if e.allStacks, err = cluster.NewSetFromState(r.State.AllStacks); err != nil {
@@ -116,8 +169,9 @@ func (e *Engine) applyRestore(r *Restore) error {
 		}
 	}
 
+	e.res.base = base
 	e.res.Records = append([]Record(nil), r.Records...)
-	e.res.Executed = len(r.Records)
+	e.res.Executed = base + len(r.Records)
 	for i := range e.res.Records {
 		rec := &e.res.Records[i]
 		out := rec.Outcome
@@ -148,7 +202,7 @@ func (e *Engine) applyRestore(r *Restore) error {
 		// The snapshot's cluster sets cover records [0, seq); re-add the
 		// tail in fold order, which reproduces the live clustering
 		// exactly (Add is deterministic in insertion order).
-		if i >= seq && out.Injected {
+		if rec.ID >= seq && out.Injected {
 			e.allStacks.Add(rec.ID, out.InjectionStack)
 			if out.Failed {
 				e.failClusters.Add(rec.ID, out.InjectionStack)
@@ -191,6 +245,26 @@ func (e *Engine) sessionStateLocked() *SessionState {
 		AllStacks:     e.allStacks.ExportState(),
 		FailClusters:  e.failClusters.ExportState(),
 		CrashClusters: e.crashClusters.ExportState(),
+		Aggregates: &Aggregates{
+			Injected: e.res.Injected,
+			Failed:   e.res.Failed,
+			Crashed:  e.res.Crashed,
+			Hung:     e.res.Hung,
+			Holes:    e.res.Holes,
+		},
+	}
+	if len(e.res.CrashIDs) > 0 {
+		st.Aggregates.CrashIDs = make(map[string]int, len(e.res.CrashIDs))
+		for id, n := range e.res.CrashIDs {
+			st.Aggregates.CrashIDs[id] = n
+		}
+	}
+	if e.seen != nil {
+		st.Aggregates.SeenKeys = make([]string, 0, len(e.seen))
+		for k := range e.seen {
+			st.Aggregates.SeenKeys = append(st.Aggregates.SeenKeys, k)
+		}
+		sort.Strings(st.Aggregates.SeenKeys)
 	}
 	if se, ok := e.explorer.(explore.StatefulExplorer); ok {
 		st.Explorer = se.ExportState()

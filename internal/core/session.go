@@ -76,6 +76,19 @@ type Config struct {
 	// parallelism is min(Workers, Procs)). Zero selects
 	// backend.DefaultProcs.
 	Procs int
+	// TestsPerProc bounds how many scenarios one warm worker process
+	// serves before the process backend recycles it. Zero selects
+	// backend.DefaultTestsPerProc; negative disables warm workers,
+	// forcing one fork/exec per scenario.
+	TestsPerProc int
+	// JournalFormat selects the persistent journal encoding for a new
+	// state directory: "jsonl" (the default — line-delimited JSON,
+	// greppable, byte-deterministic for deterministic sessions) or
+	// "binary" (length-prefixed entries with periodic index blocks —
+	// the fast path for large sessions). Existing directories keep the
+	// format they were created with; setting a conflicting format
+	// fails session construction.
+	JournalFormat string
 	// Space is the fault space to explore.
 	Space *faultspace.Union
 	// Algorithm selects the explorer by registered strategy name:
@@ -265,6 +278,11 @@ type ResultSet struct {
 	// spaces report math.MaxInt64 rather than wrapping.
 	SpaceSize int64
 
+	// Records are the materialized records, in execution order. They
+	// normally cover the whole session; after a tail-only restore
+	// (Restore.Base > 0) they cover only record IDs [Base(), Executed)
+	// — counters still describe the full session. Index via RecordByID
+	// when IDs may predate Base().
 	Records []Record
 
 	Executed int
@@ -307,6 +325,24 @@ type ResultSet struct {
 
 	failClusters  *cluster.Set
 	crashClusters *cluster.Set
+	// base is the record ID Records starts at (Restore.Base; 0 unless
+	// the session tail-restored from a compacted/indexed journal).
+	base int
+}
+
+// Base returns the record ID Records[0] corresponds to: 0 for a fully
+// materialized session, the snapshot sequence for a tail-only restore.
+func (r *ResultSet) Base() int { return r.base }
+
+// RecordByID returns the record with the given session-wide ID, or nil
+// when it is not materialized (an ID from before a tail-only restore's
+// base, or out of range).
+func (r *ResultSet) RecordByID(id int) *Record {
+	i := id - r.base
+	if i < 0 || i >= len(r.Records) {
+		return nil
+	}
+	return &r.Records[i]
 }
 
 // Run executes a fault-exploration session and returns its results.
@@ -339,10 +375,11 @@ func recoveryBlocks(p *prog.Program) map[int]struct{} {
 // FailedAt reports whether the i-th executed test was a failure-inducing
 // injection (used by the cumulative curves of Fig. 8).
 func (r *ResultSet) FailedAt(i int) bool {
-	if i < 0 || i >= len(r.Records) {
+	rec := r.RecordByID(i)
+	if rec == nil {
 		return false
 	}
-	out := r.Records[i].Outcome
+	out := rec.Outcome
 	return out.Injected && out.Failed
 }
 
@@ -382,7 +419,15 @@ func (r *ResultSet) Representatives() []Record {
 		if len(cl.Members) == 0 {
 			continue
 		}
-		out = append(out, r.Records[cl.Members[0]])
+		// After a tail-only restore, clusters can reference records that
+		// predate the materialized base; fall forward to the first
+		// member that is available.
+		for _, m := range cl.Members {
+			if rec := r.RecordByID(m); rec != nil {
+				out = append(out, *rec)
+				break
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkSegmentTailSeek isolates the journal term of a tail resume:
+// seeking through journal.idx to the last index block before the
+// snapshot and decoding only the frames past it. The journal doubles
+// from 100k to 200k entries while the tail stays 512 (both sizes are
+// multiples of the index interval, so the seek lands the same distance
+// before the tail) — flat ns/op across the pair is the indexed-segment
+// acceptance property (the remaining resume cost, decoding the
+// snapshot's aggregates, is O(snapshot) and independent of this seek).
+func BenchmarkSegmentTailSeek(b *testing.B) {
+	const tail = 512
+	for _, n := range []int{100 * DefaultIndexEvery, 200 * DefaultIndexEvery} {
+		b.Run(fmt.Sprintf("%dk", n/1024), func(b *testing.B) {
+			dir := b.TempDir()
+			s, err := OpenOptions(dir, Options{Format: FormatBinary})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Begin("bench", "sig", "bench"); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				c, rec := testRecord(i)
+				s.JournalRecord(c, rec)
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			journal := filepath.Join(dir, binJournalName)
+			idx := filepath.Join(dir, idxName)
+			from := n - tail
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				entries, scanned, _, ok := readSegmentTail(journal, idx, from)
+				if !ok || len(entries) != tail {
+					b.Fatalf("tail seek: ok=%v entries=%d", ok, len(entries))
+				}
+				b.ReportMetric(float64(scanned), "decoded")
+			}
+		})
+	}
+}
+
+// BenchmarkEntryCodec measures the per-entry encode/decode pair of the
+// binary segment format — the bytes the store pays per fold instead of
+// a JSON marshal.
+func BenchmarkEntryCodec(b *testing.B) {
+	c, rec := testRecord(7)
+	en := entryFrom(7, c, rec)
+	var enc segEnc
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.encodeEntry(en)
+		if _, err := decodeEntry(enc.bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,453 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"afex/internal/cluster"
+	"afex/internal/core"
+	"afex/internal/inject"
+	"afex/internal/libc"
+)
+
+// writeEntries journals n testRecord entries into dir with the given
+// options and closes the store.
+func writeEntries(t *testing.T, dir string, opts Options, n int) {
+	t.Helper()
+	s, err := OpenOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("demo", "sig", "2026-08-08T00:00:00Z"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		c, rec := testRecord(i)
+		s.JournalRecord(c, rec)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryJournalMatchesJSONL: the same session journaled in both
+// formats reads back as deep-equal entries — the codec-parity contract
+// that lets resume and replay treat the formats interchangeably.
+func TestBinaryJournalMatchesJSONL(t *testing.T) {
+	jsonlDir, binDir := t.TempDir(), t.TempDir()
+	writeEntries(t, jsonlDir, Options{Format: FormatJSONL}, 50)
+	writeEntries(t, binDir, Options{Format: FormatBinary}, 50)
+
+	jl, err := ReadJournal(jsonlDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := ReadJournal(binDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jl) != 50 || len(bl) != 50 {
+		t.Fatalf("journals hold %d (jsonl) and %d (binary) entries, want 50", len(jl), len(bl))
+	}
+	for i := range jl {
+		if !reflect.DeepEqual(jl[i], bl[i]) {
+			t.Fatalf("entry %d differs between formats:\n jsonl: %+v\nbinary: %+v", i, jl[i], bl[i])
+		}
+	}
+}
+
+// TestBinaryEntryCodecFullFields: every Entry field — including the
+// nested injection plan with errno/retval and the float scores —
+// round-trips through the binary codec.
+func TestBinaryEntryCodecFullFields(t *testing.T) {
+	c, rec := testRecord(7)
+	rec.Backend = "process"
+	rec.ExitStatus = "signal:killed"
+	rec.Duration = 123 * time.Millisecond
+	rec.Outcome.Crashed = true
+	rec.Outcome.Hung = false
+	rec.Outcome.CrashID = "crashy/unchecked-malloc"
+	rec.Plan = inject.Plan{Faults: []inject.Fault{
+		{Function: "read", CallNumber: 2, Err: libc.ErrorReturn{Retval: -1, Errno: "EIO"}},
+		{Function: "malloc", CallNumber: 9, Err: libc.ErrorReturn{Errno: "ENOMEM"}},
+	}}
+	rec.Relevance = 0.375
+	rec.Skipped = false
+	want := entryFrom(2, c, rec)
+
+	var enc segEnc
+	enc.encodeEntry(want)
+	got, err := decodeEntry(enc.bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, *want) {
+		t.Fatalf("binary codec round trip:\n got %+v\nwant %+v", got, *want)
+	}
+
+	// Truncated payloads must error, never mis-decode.
+	for cut := 1; cut < len(enc.bytes()); cut += 7 {
+		if back, err := decodeEntry(enc.bytes()[:len(enc.bytes())-cut]); err == nil && reflect.DeepEqual(back, *want) {
+			t.Fatalf("truncated payload (-%d bytes) decoded to the full entry", cut)
+		}
+	}
+}
+
+// TestBinaryTornTailRepairedOnOpen: the binary analogue of the JSONL
+// crash-tail contract — torn trailing bytes are dropped by readers and
+// truncated before append, so crash → resume → replay keeps the segment
+// readable and contiguous.
+func TestBinaryTornTailRepairedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	writeEntries(t, dir, Options{Format: FormatBinary}, 10)
+
+	path := filepath.Join(dir, binJournalName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Fatalf("torn segment loaded %d entries, want 9", len(entries))
+	}
+
+	// "Resume": reopen and append after the torn tail.
+	s, err := OpenOptions(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.format != FormatBinary {
+		t.Fatalf("reopen resolved format %q, want binary from meta", s.format)
+	}
+	s.Begin("demo", "sig", "")
+	for i := 9; i < 15; i++ {
+		c, rec := testRecord(i)
+		s.JournalRecord(c, rec)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 15 {
+		t.Fatalf("segment has %d entries after crash+resume, want 15", len(entries))
+	}
+	for i, e := range entries {
+		if e.Seq != i {
+			t.Fatalf("entry %d has seq %d — torn tail fused with an append", i, e.Seq)
+		}
+	}
+}
+
+// TestBinaryCorruptFrameDropsTail: a flipped byte inside the final
+// frame fails its crc and the reader treats everything from there as
+// torn.
+func TestBinaryCorruptFrameDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	writeEntries(t, dir, Options{Format: FormatBinary}, 10)
+	path := filepath.Join(dir, binJournalName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Fatalf("corrupt final frame: loaded %d entries, want 9", len(entries))
+	}
+}
+
+// testSnapshot builds a snapshot at seq that self-describes its prefix
+// (aggregates + cluster sets), as the engine's sessionStateLocked does.
+func testSnapshot(seq int, entries []Entry) *core.SessionState {
+	ag := &core.Aggregates{CrashIDs: map[string]int{}}
+	for i := 0; i < seq; i++ {
+		e := &entries[i]
+		if e.Injected {
+			ag.Injected++
+		}
+		if e.Injected && e.Failed {
+			ag.Failed++
+		}
+		ag.SeenKeys = append(ag.SeenKeys, e.Key())
+	}
+	return &core.SessionState{
+		Seq:           seq,
+		Aggregates:    ag,
+		AllStacks:     cluster.NewSet(1).ExportState(),
+		FailClusters:  cluster.NewSet(1).ExportState(),
+		CrashClusters: cluster.NewSet(1).ExportState(),
+	}
+}
+
+// TestBinaryTailResume: with TailResume on, Recover materializes only
+// the entries past the snapshot — seeked to through the index blocks,
+// decoding O(tail + IndexEvery) entries, not O(run) — and reports the
+// snapshot's seq as the restore base.
+func TestBinaryTailResume(t *testing.T) {
+	dir := t.TempDir()
+	const n, indexEvery, snapAt = 200, 16, 150
+	writeEntries(t, dir, Options{Format: FormatBinary, IndexEvery: indexEvery}, n)
+	all, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenOptions(dir, Options{TailResume: true, IndexEvery: indexEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SnapshotSession(testSnapshot(snapAt, all))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || r.Base != snapAt {
+		t.Fatalf("tail resume: base = %+v, want %d", r, snapAt)
+	}
+	if len(r.Records) != n-snapAt || len(r.Tail) != n-snapAt {
+		t.Fatalf("tail resume materialized %d records / %d feedback, want %d", len(r.Records), len(r.Tail), n-snapAt)
+	}
+	for i, rec := range r.Records {
+		if rec.ID != snapAt+i {
+			t.Fatalf("tail record %d has ID %d, want %d", i, rec.ID, snapAt+i)
+		}
+	}
+
+	// Flatness: the seek lands at most one index interval before the
+	// tail, regardless of how long the journal is.
+	_, scanned, _, ok := readSegmentTail(filepath.Join(dir, binJournalName), filepath.Join(dir, idxName), snapAt)
+	if !ok {
+		t.Fatal("readSegmentTail refused a healthy segment")
+	}
+	if max := (n - snapAt) + indexEvery; scanned > max {
+		t.Fatalf("tail seek decoded %d entries, want <= tail+interval = %d", scanned, max)
+	}
+}
+
+// TestBinaryTailResumeFallsBack: a snapshot that cannot self-describe
+// its prefix (no aggregates — e.g. written by an older build) falls
+// back to the full-journal path with every record materialized.
+func TestBinaryTailResumeFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	const n = 40
+	writeEntries(t, dir, Options{Format: FormatBinary}, n)
+	all, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(30, all)
+	snap.Aggregates = nil
+
+	s, err := OpenOptions(dir, Options{TailResume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SnapshotSession(snap)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || r.Base != 0 || len(r.Records) != n {
+		t.Fatalf("fallback recover: %+v (records %d), want base 0 with %d records", r, len(r.Records), n)
+	}
+}
+
+// TestBinaryTailResumeRejectsLostJournal: a snapshot ahead of what the
+// segment actually holds must not tail-resume into a hole — the full
+// path discards the snapshot instead.
+func TestBinaryTailResumeRejectsLostJournal(t *testing.T) {
+	dir := t.TempDir()
+	const n = 20
+	writeEntries(t, dir, Options{Format: FormatBinary}, n)
+	all, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenOptions(dir, Options{TailResume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SnapshotSession(testSnapshot(n, all))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(n, all)
+	snap.Seq = n + 5 // claims records the journal never got
+	if r := s.recoverTail(snap); r != nil {
+		t.Fatalf("tail resume accepted a snapshot ahead of the journal: %+v", r)
+	}
+}
+
+// TestCompact: the snapshot-covered prefix moves to the archive, full
+// reads still see every entry exactly once, tail resume keeps working,
+// and a re-run with nothing new to cover is a no-op.
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	const n, snapAt = 120, 100
+	writeEntries(t, dir, Options{Format: FormatBinary, IndexEvery: 16}, n)
+	all, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenOptions(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SnapshotSession(testSnapshot(snapAt, all))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	moved, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != snapAt {
+		t.Fatalf("compaction archived %d entries, want %d", moved, snapAt)
+	}
+	st, err := ReadStats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ArchivedEntries != snapAt || st.LiveEntries != n-snapAt || st.Entries != n || st.CompactedSeq != snapAt {
+		t.Fatalf("post-compaction stats: %+v", st)
+	}
+
+	after, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all, after) {
+		t.Fatalf("compaction changed the journal's content: %d entries vs %d", len(after), len(all))
+	}
+
+	// Tail resume over the compacted directory.
+	s2, err := OpenOptions(dir, Options{TailResume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || r.Base != snapAt || len(r.Records) != n-snapAt {
+		t.Fatalf("tail resume after compaction: base %d records %d, want %d/%d", r.Base, len(r.Records), snapAt, n-snapAt)
+	}
+	// Appending continues the same sequence in the rewritten live segment.
+	s2.Begin("demo", "sig", "")
+	for i := n; i < n+10; i++ {
+		c, rec := testRecord(i)
+		s2.JournalRecord(c, rec)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown) != n+10 {
+		t.Fatalf("journal holds %d entries after post-compaction appends, want %d", len(grown), n+10)
+	}
+	for i, e := range grown {
+		if e.Seq != i {
+			t.Fatalf("entry %d has seq %d after compaction+append", i, e.Seq)
+		}
+	}
+
+	if moved, err := Compact(dir); err != nil || moved != 0 {
+		t.Fatalf("re-compaction with no new snapshot moved %d entries (err %v), want 0", moved, err)
+	}
+}
+
+// TestCompactRejectsJSONL: compaction is a binary-format operation.
+func TestCompactRejectsJSONL(t *testing.T) {
+	dir := t.TempDir()
+	writeEntries(t, dir, Options{}, 5)
+	if _, err := Compact(dir); err == nil {
+		t.Fatal("compaction accepted a JSONL directory")
+	}
+}
+
+// TestOpenOptionsFormatConflicts: a directory keeps its creation
+// format; asking for the other one is an error, and unknown names are
+// rejected up front.
+func TestOpenOptionsFormatConflicts(t *testing.T) {
+	dir := t.TempDir()
+	writeEntries(t, dir, Options{Format: FormatJSONL}, 1)
+	if _, err := OpenOptions(dir, Options{Format: FormatBinary}); err == nil {
+		t.Fatal("JSONL directory reopened as binary")
+	}
+	binDir := t.TempDir()
+	writeEntries(t, binDir, Options{Format: FormatBinary}, 1)
+	if _, err := OpenOptions(binDir, Options{Format: FormatJSONL}); err == nil {
+		t.Fatal("binary directory reopened as JSONL")
+	}
+	if _, err := OpenOptions(t.TempDir(), Options{Format: "sqlite"}); err == nil {
+		t.Fatal("unknown journal format accepted")
+	}
+	// No explicit format: both reopen as themselves.
+	for _, d := range []string{dir, binDir} {
+		s, err := OpenOptions(d, Options{})
+		if err != nil {
+			t.Fatalf("reopen %s: %v", d, err)
+		}
+		s.Close()
+	}
+}
+
+// TestStatsJSONL: the stats reader reports the legacy format without
+// touching locks (it must work while another process holds the dir).
+func TestStatsJSONL(t *testing.T) {
+	dir := t.TempDir()
+	writeEntries(t, dir, Options{}, 12)
+	st, err := ReadStats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Format != FormatJSONL || st.Entries != 12 || st.LiveEntries != 12 ||
+		st.Segments != 1 || st.IndexBlocks != 0 || st.TailEntries != 12 {
+		t.Fatalf("jsonl stats: %+v", st)
+	}
+}
+
+// TestStatsBinaryIndexCounts: index frames appear on the configured
+// cadence and the side index mirrors them.
+func TestStatsBinaryIndexCounts(t *testing.T) {
+	dir := t.TempDir()
+	writeEntries(t, dir, Options{Format: FormatBinary, IndexEvery: 10}, 35)
+	st, err := ReadStats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Format != FormatBinary || st.Entries != 35 || st.IndexBlocks != 3 || st.SideIndexRecords != 3 {
+		t.Fatalf("binary stats: %+v", st)
+	}
+}

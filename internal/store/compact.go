@@ -1,0 +1,189 @@
+package store
+
+// Journal compaction for binary state directories: the prefix a
+// snapshot already covers is moved into archive.afexj and the live
+// segment is rewritten to hold only the tail, keeping the resume path
+// O(snapshot + tail) no matter how long the session has lived. The
+// archive is append-only and full reads (replay, stats, non-tail
+// resume) concatenate archive + live with keep-first key dedup, so a
+// crash at ANY point mid-compaction leaves a directory that reads
+// identically: overlap dedups away, and a re-run skips entries the
+// archive already holds.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"afex/internal/core"
+)
+
+// Compact folds the journaled prefix covered by the latest snapshot
+// into the archive segment and rewrites the live journal (and its side
+// index) to the tail. The directory must be closed — Compact takes the
+// same single-writer lock a Store holds — and must use the binary
+// journal format. It returns the number of entries moved to the
+// archive; (0, nil) when there is nothing new to compact.
+func Compact(dir string) (int, error) {
+	s := &Store{dir: dir}
+	if err := s.lockDir(); err != nil {
+		return 0, err
+	}
+	defer s.unlockDir()
+
+	raw, err := os.ReadFile(filepath.Join(dir, metaName))
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return 0, fmt.Errorf("store: corrupt %s: %w", metaName, err)
+	}
+	if meta.Version != Version {
+		return 0, fmt.Errorf("store: %s has format version %d, this build reads %d", dir, meta.Version, Version)
+	}
+	if format := meta.Journal; format != FormatBinary {
+		if format == "" {
+			format = FormatJSONL
+		}
+		return 0, fmt.Errorf("store: compaction requires the %q journal format; %s journals in %q", FormatBinary, dir, format)
+	}
+
+	snapRaw, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if os.IsNotExist(err) {
+		return 0, nil // no snapshot, nothing provably coverable
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	var snap core.SessionState
+	if err := json.Unmarshal(snapRaw, &snap); err != nil {
+		return 0, nil // unreadable snapshot: compact nothing
+	}
+	if snap.Seq <= meta.CompactedSeq {
+		return 0, nil
+	}
+
+	livePath := filepath.Join(dir, binJournalName)
+	idxPath := filepath.Join(dir, idxName)
+	archPath := filepath.Join(dir, archiveName)
+	if _, _, err := repairSegment(livePath, idxPath); err != nil {
+		return 0, fmt.Errorf("store: repair journal: %w", err)
+	}
+	live, err := readSegment(livePath)
+	if err != nil {
+		return 0, err
+	}
+	arch, err := readSegment(archPath)
+	if err != nil {
+		return 0, err
+	}
+	// The archive's own content, not meta's watermark, decides what to
+	// append: a crash after a prior append but before the meta rewrite
+	// must not duplicate frames on the re-run.
+	archEnd := 0
+	if len(arch) > 0 {
+		archEnd = arch[len(arch)-1].Seq + 1
+	}
+
+	moved, err := appendArchive(archPath, live, archEnd, snap.Seq)
+	if err != nil {
+		return 0, err
+	}
+	if err := rewriteLive(livePath, idxPath, live, snap.Seq); err != nil {
+		return 0, err
+	}
+	meta.CompactedSeq = snap.Seq
+	if err := writeAtomicFile(dir, metaName, mustJSON(&meta)); err != nil {
+		return 0, err
+	}
+	return moved, nil
+}
+
+// appendArchive appends live entries with Seq in [archEnd, upto) to the
+// archive segment, creating it if needed, and syncs before returning —
+// the live rewrite may be about to drop the only other copy.
+func appendArchive(path string, live []Entry, archEnd, upto int) (int, error) {
+	moved := 0
+	for i := range live {
+		if live[i].Seq >= archEnd && live[i].Seq < upto {
+			moved++
+		}
+	}
+	if moved == 0 {
+		return 0, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err != nil {
+		return 0, err
+	} else if fi.Size() == 0 {
+		if _, err := f.Write([]byte(segMagic)); err != nil {
+			return 0, err
+		}
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var enc segEnc
+	var frame []byte
+	for i := range live {
+		if live[i].Seq < archEnd || live[i].Seq >= upto {
+			continue
+		}
+		enc.encodeEntry(&live[i])
+		frame = appendFrame(frame[:0], frameEntry, enc.bytes())
+		if _, err := bw.Write(frame); err != nil {
+			return 0, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return moved, nil
+}
+
+// rewriteLive replaces the live segment and side index with the entries
+// at Seq >= from, re-emitting index frames on the standard cadence. Both
+// files go through temp + rename, ordered journal first, so a crash
+// between the renames leaves a stale side index that readers detect and
+// ignore.
+func rewriteLive(livePath, idxPath string, live []Entry, from int) error {
+	seg := []byte(segMagic)
+	var idx []byte
+	var enc segEnc
+	lastIndexOff := int64(-1)
+	for i := range live {
+		if live[i].Seq < from {
+			continue
+		}
+		enc.encodeEntry(&live[i])
+		seg = appendFrame(seg, frameEntry, enc.bytes())
+		if (live[i].Seq+1)%DefaultIndexEvery == 0 {
+			off := int64(len(seg))
+			seg = appendFrame(seg, frameIndex, indexPayload(live[i].Seq+1, lastIndexOff))
+			lastIndexOff = off
+			idx = appendIdxRec(idx, live[i].Seq+1, off)
+		}
+	}
+	dir := filepath.Dir(livePath)
+	if err := writeAtomicFile(dir, filepath.Base(livePath), seg); err != nil {
+		return err
+	}
+	return writeAtomicFile(dir, filepath.Base(idxPath), idx)
+}
+
+// writeAtomicFile replaces dir/name via a temp file + rename.
+func writeAtomicFile(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, name))
+}

@@ -1,0 +1,174 @@
+package store
+
+// Read-only state-directory inspection backing `afex stats`: what
+// format a directory journals in, how many entries it holds and where
+// (archive vs live segment), how dense the index is, and how big the
+// resume tail past the latest snapshot is — the number that decides
+// whether the next --resume is O(tail) or O(run).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Stats summarizes a state directory.
+type Stats struct {
+	// Format is the directory's journal format (FormatJSONL or
+	// FormatBinary).
+	Format string `json:"format"`
+	// Target and Runs come from meta.json.
+	Target string `json:"target,omitempty"`
+	Runs   int    `json:"runs"`
+	// Entries counts journaled entries across all segments;
+	// ArchivedEntries and LiveEntries split it for binary directories
+	// (JSONL has a single segment, all live).
+	Entries         int `json:"entries"`
+	ArchivedEntries int `json:"archivedEntries"`
+	LiveEntries     int `json:"liveEntries"`
+	// Segments is the number of journal segment files present.
+	Segments int `json:"segments"`
+	// IndexBlocks counts the in-segment index frames of the live binary
+	// journal; SideIndexRecords the records of the journal.idx seek
+	// file. Zero for JSONL.
+	IndexBlocks      int `json:"indexBlocks"`
+	SideIndexRecords int `json:"sideIndexRecords"`
+	// HasSnapshot/SnapshotSeq describe the latest snapshot;
+	// CompactedSeq is the archive watermark.
+	HasSnapshot  bool `json:"hasSnapshot"`
+	SnapshotSeq  int  `json:"snapshotSeq"`
+	CompactedSeq int  `json:"compactedSeq"`
+	// TailEntries is the resume-tail size: entries past the snapshot,
+	// the amount of journal a tail resume must materialize.
+	TailEntries int `json:"tailEntries"`
+	// JournalBytes and ArchiveBytes are the segment file sizes.
+	JournalBytes int64 `json:"journalBytes"`
+	ArchiveBytes int64 `json:"archiveBytes"`
+}
+
+// ReadStats inspects a state directory without locking it (read-only —
+// it is safe against a live writer, though counts may trail by the
+// writer's buffer).
+func ReadStats(dir string) (*Stats, error) {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("store: %s is not a state directory", dir)
+	}
+	var meta Meta
+	haveMeta := false
+	if raw, err := os.ReadFile(filepath.Join(dir, metaName)); err == nil {
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return nil, fmt.Errorf("store: corrupt %s: %w", metaName, err)
+		}
+		if meta.Version != Version {
+			return nil, fmt.Errorf("store: %s has format version %d, this build reads %d", dir, meta.Version, Version)
+		}
+		haveMeta = true
+	}
+	format, err := resolveFormat(dir, meta, "", haveMeta)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stats{
+		Format:       format,
+		Target:       meta.Target,
+		Runs:         meta.Runs,
+		CompactedSeq: meta.CompactedSeq,
+	}
+	if format == FormatBinary {
+		err = st.scanBinary(dir)
+	} else {
+		err = st.scanJSONL(dir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot + resume tail.
+	if raw, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		var snap struct {
+			Seq int `json:"seq"`
+		}
+		if json.Unmarshal(raw, &snap) == nil {
+			st.HasSnapshot = true
+			st.SnapshotSeq = snap.Seq
+		}
+	}
+	st.TailEntries = st.Entries - st.SnapshotSeq
+	if st.TailEntries < 0 {
+		st.TailEntries = 0
+	}
+	return st, nil
+}
+
+func (st *Stats) scanJSONL(dir string) error {
+	path := filepath.Join(dir, journalName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	st.Segments = 1
+	st.JournalBytes = fi.Size()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			st.Entries++
+		}
+	}
+	st.LiveEntries = st.Entries
+	return nil
+}
+
+func (st *Stats) scanBinary(dir string) error {
+	for _, seg := range []struct {
+		name    string
+		entries *int
+		bytes   *int64
+		live    bool
+	}{
+		{archiveName, &st.ArchivedEntries, &st.ArchiveBytes, false},
+		{binJournalName, &st.LiveEntries, &st.JournalBytes, true},
+	} {
+		f, err := os.Open(filepath.Join(dir, seg.name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		res, err := scanSegment(f, int64(len(segMagic)))
+		f.Close()
+		if err != nil {
+			return err
+		}
+		st.Segments++
+		*seg.entries = res.entries
+		*seg.bytes = fi.Size()
+		if seg.live {
+			st.IndexBlocks = res.indexFrames
+		}
+	}
+	st.Entries = st.ArchivedEntries + st.LiveEntries
+	if fi, err := os.Stat(filepath.Join(dir, idxName)); err == nil {
+		st.SideIndexRecords = int(fi.Size() / idxRecSize)
+	}
+	return nil
+}

@@ -25,9 +25,24 @@
 //
 // Layout of a state directory:
 //
-//	meta.json     target name, space signature, run count, run stamps
-//	journal.jsonl one Entry per executed scenario, append-only
+//	meta.json     target name, space signature, run count, run stamps,
+//	              journal format, compaction watermark
+//	journal.jsonl one Entry per executed scenario, append-only (the
+//	              default "jsonl" format — human-greppable, and byte
+//	              deterministic for a deterministic session)
+//	journal.afexj the "binary" format: crc-framed length-prefixed
+//	              entries with periodic index blocks (see binary.go)
+//	journal.idx   side index into journal.afexj's index blocks, so a
+//	              resume seeks to the tail instead of scanning the run
+//	archive.afexj compacted journal prefix already covered by a
+//	              snapshot (binary format only; see Compact)
 //	snapshot.json latest core.SessionState, replaced atomically
+//
+// The journal format is chosen per directory at creation (Options.Format
+// via OpenOptions) and recorded in meta.json; an existing directory
+// always keeps its format, and both formats resume and replay
+// identically — "binary" just does it without the per-record JSON
+// encode and without the O(run) resume scan.
 //
 // Timestamps are deliberately "from config": journal entries carry only
 // their run index (keeping journal bytes deterministic for a
@@ -40,6 +55,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -62,7 +78,37 @@ const (
 
 	// Version guards the on-disk format.
 	Version = 1
+
+	// FormatJSONL and FormatBinary are the journal formats a state
+	// directory can use. JSONL is the default: one JSON object per line,
+	// byte-deterministic for deterministic sessions and greppable.
+	// Binary is the hot-path format: length-prefixed crc-framed entries
+	// with periodic index blocks, appended without JSON encoding and
+	// resumed in O(snapshot + tail).
+	FormatJSONL  = "jsonl"
+	FormatBinary = "binary"
 )
+
+// Options tunes OpenOptions. The zero value opens with the directory's
+// existing format (JSONL for new directories) and full-journal resume.
+type Options struct {
+	// Format selects the journal format for a NEW directory: FormatJSONL
+	// (the default) or FormatBinary. An existing directory keeps the
+	// format it was created with; asking for a different one is an
+	// error, never a silent rewrite.
+	Format string
+	// TailResume lets Recover materialize only the journal tail past the
+	// latest snapshot (binary format only): counters and seen keys for
+	// the covered prefix come from the snapshot's aggregates, so a
+	// 100k-entry session resumes in O(snapshot + tail) instead of
+	// decoding every entry. Recover falls back to the full-journal path
+	// whenever the snapshot cannot self-describe its prefix.
+	TailResume bool
+	// IndexEvery overrides the entry interval between index blocks in
+	// binary journals (0 = DefaultIndexEvery). Smaller intervals mean
+	// finer tail seeks at slightly more journal bytes.
+	IndexEvery int
+}
 
 // Meta describes a state directory.
 type Meta struct {
@@ -77,6 +123,14 @@ type Meta struct {
 	Runs int `json:"runs"`
 	// Stamps records one caller-provided timestamp per run.
 	Stamps []string `json:"stamps,omitempty"`
+	// Journal is the directory's journal format (FormatJSONL or
+	// FormatBinary). Absent in directories written before formats
+	// existed — those are JSONL by construction.
+	Journal string `json:"journal,omitempty"`
+	// CompactedSeq is the compaction watermark of a binary directory:
+	// entries [0, CompactedSeq) live in archive.afexj, the live journal
+	// holds the rest. Always <= the snapshot's Seq.
+	CompactedSeq int `json:"compactedSeq,omitempty"`
 }
 
 // Entry is one journaled scenario execution: the candidate's coordinates
@@ -249,13 +303,32 @@ type msg struct {
 
 // Store is an open state directory. It implements core.Store.
 type Store struct {
-	dir  string
-	meta Meta
-	run  int
+	dir        string
+	meta       Meta
+	run        int
+	format     string
+	tailResume bool
+	indexEvery int
 
 	journal *os.File
 	bw      *bufio.Writer
 	lock    *os.File
+
+	// JSONL writer state: one persistent encoder over bw, so the hot
+	// append path reuses the encoder's internal buffer instead of
+	// allocating a fresh Marshal result per record.
+	enc *json.Encoder
+
+	// Binary writer state, touched only by the writer goroutine: the
+	// reusable entry/frame encode buffers, the live segment's append
+	// offset, the offset of the last index frame (-1 before the first),
+	// and the open side-index file.
+	benc         segEnc
+	frameBuf     []byte
+	idxBuf       []byte
+	liveOff      int64
+	lastIndexOff int64
+	idx          *os.File
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -268,23 +341,29 @@ type Store struct {
 	wg sync.WaitGroup
 }
 
-// Open opens (creating if needed) a state directory and starts the
-// background writer. The directory is locked against concurrent writers
-// (flock on unix; a dead process's lock is released by the kernel).
-// Callers must Close the store to flush the journal tail and release
-// the lock.
-func Open(dir string) (*Store, error) {
+// Open opens (creating if needed) a state directory with default
+// Options and starts the background writer. See OpenOptions.
+func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions opens (creating if needed) a state directory and starts
+// the background writer. The directory is locked against concurrent
+// writers (flock on unix; a dead process's lock is released by the
+// kernel). Callers must Close the store to flush the journal tail and
+// release the lock.
+func OpenOptions(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, meta: Meta{Version: Version}}
+	s := &Store{dir: dir, meta: Meta{Version: Version}, tailResume: opts.TailResume}
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.lockDir(); err != nil {
 		return nil, err
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, metaName))
+	haveMeta := false
 	switch {
 	case err == nil:
+		haveMeta = true
 		if err := json.Unmarshal(raw, &s.meta); err != nil {
 			s.unlockDir()
 			return nil, fmt.Errorf("store: corrupt %s: %w", metaName, err)
@@ -298,24 +377,121 @@ func Open(dir string) (*Store, error) {
 		s.unlockDir()
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	// A SIGKILL mid-append can leave a torn final line. Readers drop it,
-	// but appending after it would fuse the torn bytes with the next
+	s.format, err = resolveFormat(dir, s.meta, opts.Format, haveMeta)
+	if err != nil {
+		s.unlockDir()
+		return nil, err
+	}
+	s.meta.Journal = s.format
+	s.indexEvery = opts.IndexEvery
+	if s.indexEvery <= 0 {
+		s.indexEvery = DefaultIndexEvery
+	}
+	// A SIGKILL mid-append can leave a torn final entry. Readers drop
+	// it, but appending after it would fuse the torn bytes with the next
 	// entry into permanent mid-file corruption — truncate it away before
 	// opening for append (we hold the directory lock, so no other writer
 	// can race the repair).
-	if err := repairJournalTail(filepath.Join(dir, journalName)); err != nil {
-		s.unlockDir()
-		return nil, fmt.Errorf("store: repair journal: %w", err)
+	if s.format == FormatBinary {
+		err = s.openBinaryJournal()
+	} else {
+		err = s.openJSONLJournal()
 	}
-	s.journal, err = os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		s.unlockDir()
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, err
 	}
 	s.bw = bufio.NewWriterSize(s.journal, 1<<16)
+	if s.format == FormatJSONL {
+		s.enc = json.NewEncoder(s.bw)
+	}
 	s.wg.Add(1)
 	go s.writerLoop()
 	return s, nil
+}
+
+func (s *Store) openJSONLJournal() error {
+	if err := repairJournalTail(filepath.Join(s.dir, journalName)); err != nil {
+		return fmt.Errorf("store: repair journal: %w", err)
+	}
+	var err error
+	s.journal, err = os.OpenFile(filepath.Join(s.dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) openBinaryJournal() error {
+	live := filepath.Join(s.dir, binJournalName)
+	idxPath := filepath.Join(s.dir, idxName)
+	size, lastIndexOff, err := repairSegment(live, idxPath)
+	if err != nil {
+		return fmt.Errorf("store: repair journal: %w", err)
+	}
+	s.journal, err = os.OpenFile(live, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if size == 0 {
+		if _, err := s.journal.Write([]byte(segMagic)); err != nil {
+			s.journal.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		size = int64(len(segMagic))
+	}
+	s.liveOff, s.lastIndexOff = size, lastIndexOff
+	s.idx, err = os.OpenFile(idxPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.journal.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// resolveFormat decides a directory's journal format: what meta.json
+// records (with pre-format directories meaning JSONL), else what
+// journal files are present, else what the caller asked for, else
+// JSONL. An explicit request that contradicts the directory's existing
+// format is an error.
+func resolveFormat(dir string, meta Meta, want string, haveMeta bool) (string, error) {
+	switch want {
+	case "", FormatJSONL, FormatBinary:
+	default:
+		return "", fmt.Errorf("store: unknown journal format %q (valid: %s, %s)", want, FormatJSONL, FormatBinary)
+	}
+	have := ""
+	switch {
+	case haveMeta && meta.Journal != "":
+		if meta.Journal != FormatJSONL && meta.Journal != FormatBinary {
+			return "", fmt.Errorf("store: %s records unknown journal format %q", dir, meta.Journal)
+		}
+		have = meta.Journal
+	case haveMeta:
+		have = FormatJSONL // pre-format directories only ever wrote JSONL
+	default:
+		_, errBin := os.Stat(filepath.Join(dir, binJournalName))
+		_, errJSONL := os.Stat(filepath.Join(dir, journalName))
+		switch {
+		case errBin == nil && errJSONL == nil:
+			return "", fmt.Errorf("store: %s holds both %s and %s and no meta.json to disambiguate", dir, binJournalName, journalName)
+		case errBin == nil:
+			have = FormatBinary
+		case errJSONL == nil:
+			have = FormatJSONL
+		}
+	}
+	if have != "" {
+		if want != "" && want != have {
+			return "", fmt.Errorf("store: %s already journals in %q format; existing directories keep their format (use a new --state-dir for %q)",
+				dir, have, want)
+		}
+		return have, nil
+	}
+	if want == "" {
+		return FormatJSONL, nil
+	}
+	return want, nil
 }
 
 // Dir returns the state directory path.
@@ -403,6 +579,9 @@ func (s *Store) Close() error {
 	s.wg.Wait()
 	s.setErr(s.bw.Flush())
 	s.setErr(s.journal.Close())
+	if s.idx != nil {
+		s.setErr(s.idx.Close())
+	}
 	s.unlockDir()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -439,14 +618,15 @@ func (s *Store) writerLoop() {
 func (s *Store) process(m *msg) {
 	switch {
 	case m.rec != nil:
-		raw, err := json.Marshal(entryFrom(m.run, m.cand, *m.rec))
-		if err != nil {
-			s.setErr(err)
+		e := entryFrom(m.run, m.cand, *m.rec)
+		if s.format == FormatBinary {
+			s.appendBinary(e)
 			return
 		}
-		raw = append(raw, '\n')
-		_, err = s.bw.Write(raw)
-		s.setErr(err)
+		// The persistent encoder produces exactly Marshal's bytes plus
+		// the trailing newline, but reuses its encode buffer across
+		// records instead of allocating a fresh one per append.
+		s.setErr(s.enc.Encode(e))
 	case m.snap != nil:
 		// The journal must never lag a snapshot that references it.
 		if err := s.bw.Flush(); err != nil {
@@ -459,6 +639,42 @@ func (s *Store) process(m *msg) {
 			return
 		}
 		s.setErr(s.writeAtomic(snapshotName, raw))
+	}
+}
+
+// appendBinary writes one entry frame to the live segment, plus an
+// index frame and a side-index record after every indexEvery-th entry.
+// Runs on the writer goroutine only.
+func (s *Store) appendBinary(e *Entry) {
+	s.benc.encodeEntry(e)
+	s.frameBuf = appendFrame(s.frameBuf[:0], frameEntry, s.benc.bytes())
+	if _, err := s.bw.Write(s.frameBuf); err != nil {
+		s.setErr(err)
+		return
+	}
+	s.liveOff += int64(len(s.frameBuf))
+	if (e.Seq+1)%s.indexEvery != 0 {
+		return
+	}
+	off := s.liveOff
+	s.frameBuf = appendFrame(s.frameBuf[:0], frameIndex, indexPayload(e.Seq+1, s.lastIndexOff))
+	if _, err := s.bw.Write(s.frameBuf); err != nil {
+		s.setErr(err)
+		return
+	}
+	s.liveOff += int64(len(s.frameBuf))
+	s.lastIndexOff = off
+	// The side index must never point past the journal's durable bytes:
+	// flush the segment before recording the offset. readIdx drops
+	// records past the file size, so a crash between the two writes
+	// costs one seek hint, never correctness.
+	if err := s.bw.Flush(); err != nil {
+		s.setErr(err)
+		return
+	}
+	s.idxBuf = appendIdxRec(s.idxBuf[:0], e.Seq+1, off)
+	if _, err := s.idx.Write(s.idxBuf); err != nil {
+		s.setErr(err)
 	}
 }
 
@@ -521,11 +737,7 @@ func repairJournalTail(path string) error {
 // writeAtomic replaces dir/name via a temp file + rename, so readers
 // never observe a partially written file.
 func (s *Store) writeAtomic(name string, data []byte) error {
-	tmp := filepath.Join(s.dir, name+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, filepath.Join(s.dir, name))
+	return writeAtomicFile(s.dir, name, data)
 }
 
 func mustJSON(v any) []byte {
@@ -537,12 +749,23 @@ func mustJSON(v any) []byte {
 }
 
 // ReadJournal loads the entries of a journal file (or of the journal
-// inside a state directory). A truncated final line — the signature of a
-// crash mid-append — is dropped silently; corruption anywhere else is an
-// error. Duplicate scenario keys keep the first occurrence.
+// inside a state directory, either format). A truncated final entry —
+// the signature of a crash mid-append — is dropped silently; JSONL
+// corruption anywhere else is an error. Duplicate scenario keys keep
+// the first occurrence.
 func ReadJournal(path string) ([]Entry, error) {
 	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		if _, err := os.Stat(filepath.Join(path, binJournalName)); err == nil {
+			return readBinaryDir(path)
+		}
 		path = filepath.Join(path, journalName)
+	}
+	if sniffBinary(path) {
+		entries, err := readSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		return dedupEntries(entries), nil
 	}
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -573,8 +796,56 @@ func ReadJournal(path string) ([]Entry, error) {
 	return entries, nil
 }
 
+// sniffBinary reports whether the file at path starts with the binary
+// segment magic.
+func sniffBinary(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [len(segMagic)]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return string(magic[:]) == segMagic
+}
+
+// readBinaryDir loads a binary directory's full journal: the compacted
+// archive (when one exists) followed by the live segment. The keep-first
+// dedup makes an interrupted compaction harmless — entries present in
+// both segments read once, from the archive.
+func readBinaryDir(dir string) ([]Entry, error) {
+	arch, err := readSegment(filepath.Join(dir, archiveName))
+	if err != nil {
+		return nil, err
+	}
+	live, err := readSegment(filepath.Join(dir, binJournalName))
+	if err != nil {
+		return nil, err
+	}
+	return dedupEntries(append(arch, live...)), nil
+}
+
+// dedupEntries keeps the first occurrence of each scenario key — the
+// same rule the JSONL reader applies line by line.
+func dedupEntries(entries []Entry) []Entry {
+	out := entries[:0]
+	seen := make(map[string]bool, len(entries))
+	for i := range entries {
+		if key := entries[i].Key(); !seen[key] {
+			seen[key] = true
+			out = append(out, entries[i])
+		}
+	}
+	return out
+}
+
 // LoadEntries reads the store's journal.
 func (s *Store) LoadEntries() ([]Entry, error) {
+	if s.format == FormatBinary {
+		return readBinaryDir(s.dir)
+	}
 	return ReadJournal(filepath.Join(s.dir, journalName))
 }
 
@@ -601,11 +872,19 @@ func (s *Store) LoadSnapshot() (*core.SessionState, error) {
 // and search state from the snapshot when one is usable. It returns nil
 // when the directory holds no prior state.
 func (s *Store) Recover() (*core.Restore, error) {
-	entries, err := s.LoadEntries()
+	snap, err := s.LoadSnapshot()
 	if err != nil {
 		return nil, err
 	}
-	snap, err := s.LoadSnapshot()
+	if s.tailResume {
+		// Binary directories with a self-describing snapshot resume in
+		// O(snapshot + tail); any validation failure falls through to
+		// the full-journal path below.
+		if r := s.recoverTail(snap); r != nil {
+			return r, nil
+		}
+	}
+	entries, err := s.LoadEntries()
 	if err != nil {
 		return nil, err
 	}
@@ -649,6 +928,64 @@ func (s *Store) Recover() (*core.Restore, error) {
 		}
 	}
 	return r, nil
+}
+
+// recoverTail builds a tail-only Restore: the snapshot self-describes
+// journal entries [0, Seq) via its aggregates, so only the tail past it
+// is decoded — seeked to through the segment's index blocks. Returns
+// nil whenever any precondition or validation fails; Recover then takes
+// the full-journal path, which handles every degenerate case.
+func (s *Store) recoverTail(snap *core.SessionState) *core.Restore {
+	if s.format != FormatBinary || snap == nil || snap.Seq <= 0 {
+		return nil
+	}
+	if snap.Aggregates == nil || snap.AllStacks == nil || snap.FailClusters == nil || snap.CrashClusters == nil {
+		return nil
+	}
+	if s.meta.CompactedSeq > snap.Seq {
+		return nil // archive reaches past the snapshot: inconsistent
+	}
+	entries, _, lastSeq, ok := readSegmentTail(
+		filepath.Join(s.dir, binJournalName), filepath.Join(s.dir, idxName), snap.Seq)
+	if !ok {
+		return nil
+	}
+	// The journal (live segment, or archive when the live tail is empty)
+	// must reach the snapshot: a snapshot ahead of the journal means
+	// journal bytes were lost, which the full path detects and handles
+	// by discarding the snapshot.
+	end := lastSeq + 1
+	if end < s.meta.CompactedSeq {
+		end = s.meta.CompactedSeq
+	}
+	if end < snap.Seq {
+		return nil
+	}
+	// The tail must be contiguous from the snapshot and introduce no
+	// duplicate scenario keys (vs itself or the snapshot's seen set) —
+	// otherwise the full path's renumbering/dedup semantics apply.
+	seen := make(map[string]bool, len(snap.Aggregates.SeenKeys)+len(entries))
+	for _, k := range snap.Aggregates.SeenKeys {
+		seen[k] = true
+	}
+	for i := range entries {
+		if entries[i].Seq != snap.Seq+i {
+			return nil
+		}
+		if key := entries[i].Key(); seen[key] {
+			return nil
+		} else {
+			seen[key] = true
+		}
+	}
+	r := &core.Restore{State: snap, Base: snap.Seq, Elapsed: snap.Elapsed}
+	r.Records = make([]core.Record, len(entries))
+	r.Tail = make([]explore.Feedback, len(entries))
+	for i := range entries {
+		r.Records[i] = entries[i].Record()
+		r.Tail[i] = entries[i].Feedback()
+	}
+	return r
 }
 
 // Attach wires the store into an exploration config: it registers the
@@ -698,6 +1035,13 @@ func (s *Store) AttachNamed(cfg *core.Config, target string) error {
 		}
 		cfg.Restore = r
 		cfg.Seen = make(map[string]bool, len(r.Records))
+		if r.Base > 0 && r.State != nil && r.State.Aggregates != nil {
+			// Tail restore: keys for the unmaterialized prefix come from
+			// the snapshot's aggregates.
+			for _, k := range r.State.Aggregates.SeenKeys {
+				cfg.Seen[k] = true
+			}
+		}
 		for i := range r.Records {
 			cfg.Seen[r.Records[i].Point.Key()] = true
 		}

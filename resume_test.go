@@ -2,6 +2,7 @@ package afex
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 )
 
@@ -178,6 +179,102 @@ func TestCrashResumePortfolioProperty(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestCrashResumeJournalFormats is the clause-2 equality test at the
+// journal level, under both journal formats: a session killed after
+// killAt folds and resumed must leave a journal entry-for-entry
+// identical (modulo run stamp and wall-clock duration) to the journal
+// of an uninterrupted run — and identical across formats, since the
+// binary codec must carry exactly what the JSONL lines carry. The
+// binary variant additionally asserts the resume took the indexed
+// tail-seek path (Base() > 0) rather than silently refolding the whole
+// journal.
+func TestCrashResumeJournalFormats(t *testing.T) {
+	const total, killAt, seed = 120, 59, 2
+
+	// Reference: one uninterrupted persistent run, legacy format.
+	refDir := t.TempDir()
+	refOpts := resumeOptions(seed, total, refDir)
+	refOpts.StateStamp = "ref"
+	if _, err := Explore(refOpts); err != nil {
+		t.Fatal(err)
+	}
+	refEntries, err := ReplayJournal(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refEntries) != total {
+		t.Fatalf("reference journal has %d entries, want %d", len(refEntries), total)
+	}
+
+	normalize := func(entries []JournalEntry) []JournalEntry {
+		out := append([]JournalEntry(nil), entries...)
+		for i := range out {
+			out[i].Run = 0
+			out[i].DurationNS = 0
+		}
+		return out
+	}
+	want := normalize(refEntries)
+
+	for _, format := range []string{JournalJSONL, JournalBinary} {
+		t.Run(format, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := resumeOptions(seed, total, dir)
+			opts.JournalFormat = format
+			opts.SnapshotEvery = 1
+			opts.StateStamp = "run-0"
+			opts.Stop = func(s Snapshot) bool { return s.Executed >= killAt }
+			eng, cleanup, err := NewSession(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.RunWith(eng.LocalExecutor())
+			if err := cleanup(); err != nil {
+				t.Fatal(err)
+			}
+
+			ropts := resumeOptions(seed, total, dir)
+			ropts.JournalFormat = format
+			ropts.Resume = true
+			ropts.StateStamp = "run-1"
+			res, err := Explore(ropts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Executed != total {
+				t.Fatalf("merged session executed %d, want %d", res.Executed, total)
+			}
+			if format == JournalBinary {
+				if res.Base() != killAt {
+					t.Fatalf("binary resume has base %d, want the tail-seek path from snapshot %d", res.Base(), killAt)
+				}
+				if len(res.Records) != total-killAt {
+					t.Fatalf("tail restore materialized %d records, want %d", len(res.Records), total-killAt)
+				}
+			}
+
+			entries, err := ReplayJournal(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := normalize(entries)
+			if len(got) != len(want) {
+				t.Fatalf("journal has %d entries, want %d", len(got), len(want))
+			}
+			seen := make(map[string]bool, total)
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("journal entry %d diverges from uninterrupted run:\n got %+v\nwant %+v", i, got[i], want[i])
+				}
+				if seen[got[i].Key()] {
+					t.Fatalf("scenario %s journaled twice", got[i].Key())
+				}
+				seen[got[i].Key()] = true
+			}
+		})
 	}
 }
 

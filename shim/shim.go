@@ -21,13 +21,28 @@
 // and Flush are no-ops, and the binary behaves exactly as if it had
 // never linked the shim — fixtures stay runnable by hand.
 //
-// The wire protocol (AFEX_PLAN / AFEX_REPORT_FD, the JSONL event
-// stream) is documented in wire.go; the supervisor side lives in
-// internal/backend.
+// Fixtures that want to run warm (no fork/exec per scenario) hand their
+// test body to Serve instead of calling it from main directly:
+//
+//	func main() {
+//	    test, _ := strconv.Atoi(os.Args[1])
+//	    shim.Serve(test, runTest) // runTest(test int) (exitCode int)
+//	}
+//
+// Serve runs the body once and exits when spawned one-shot, and loops
+// on supervisor re-arm messages when spawned in worker mode (see
+// wire.go, "Worker mode").
+//
+// The wire protocol (AFEX_PLAN / AFEX_REPORT_FD / AFEX_WORKER_FD, the
+// JSONL event stream) is documented in wire.go; the supervisor side
+// lives in internal/backend.
 package shim
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -40,11 +55,12 @@ import (
 // environment on first use.
 type state struct {
 	active bool
-	plan   PlanWire
 	report *os.File
+	worker *os.File
 	enc    *json.Encoder
 
 	mu     sync.Mutex
+	plan   PlanWire
 	calls  map[string]int // per-function call counters
 	fired  []bool         // which plan faults already fired
 	blocks map[int]struct{}
@@ -56,27 +72,52 @@ var (
 )
 
 func arm() {
+	// The pipes come up regardless of the plan: worker-mode processes
+	// start plan-less (the first plan arrives as an arm message) but
+	// must already be able to emit their "ready" event.
+	st.report = pipeFromEnv(ReportFDEnv, "afex-report")
+	st.worker = pipeFromEnv(WorkerFDEnv, "afex-worker")
+	if st.report != nil {
+		st.enc = json.NewEncoder(st.report)
+	}
 	raw := os.Getenv(PlanEnv)
 	if raw == "" {
 		return
 	}
-	if err := json.Unmarshal([]byte(raw), &st.plan); err != nil {
+	var p PlanWire
+	if err := json.Unmarshal([]byte(raw), &p); err != nil {
 		// A malformed plan means a broken supervisor, not a fixture bug;
 		// run fault-free rather than guessing.
 		return
 	}
-	st.active = true
+	rearm(p)
+}
+
+// pipeFromEnv opens the inherited fd named (in decimal) by the
+// environment variable, or nil when unset or not a plausible fd.
+func pipeFromEnv(env, name string) *os.File {
+	v := os.Getenv(env)
+	if v == "" {
+		return nil
+	}
+	fd, err := strconv.Atoi(v)
+	if err != nil || fd <= 2 {
+		return nil
+	}
+	return os.NewFile(uintptr(fd), name)
+}
+
+// rearm installs a plan and zeroes all per-scenario state: call
+// counters, fired flags, and the covered-block set. One-shot processes
+// rearm once from AFEX_PLAN; workers rearm per arm message.
+func rearm(p PlanWire) {
+	st.mu.Lock()
+	st.plan = p
 	st.calls = make(map[string]int)
-	st.fired = make([]bool, len(st.plan.Faults))
+	st.fired = make([]bool, len(p.Faults))
 	st.blocks = make(map[int]struct{})
-	if v := os.Getenv(ReportFDEnv); v != "" {
-		if fd, err := strconv.Atoi(v); err == nil && fd > 2 {
-			st.report = os.NewFile(uintptr(fd), "afex-report")
-		}
-	}
-	if st.report != nil {
-		st.enc = json.NewEncoder(st.report)
-	}
+	st.active = true
+	st.mu.Unlock()
 }
 
 // Active reports whether the process runs under an AFEX supervisor with
@@ -90,6 +131,8 @@ func Active() bool {
 // inactive). Fixtures that take the test via argv can ignore it.
 func TestID() int {
 	once.Do(arm)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.plan.TestID
 }
 
@@ -176,6 +219,57 @@ func Flush() {
 	emit(Event{Kind: EventBlocks, Blocks: blocks})
 }
 
+// Serve runs the fixture's per-test body under the supervisor and never
+// returns. One-shot (no AFEX_WORKER_FD): run executes once with the
+// test the fixture selected (typically from argv), coverage flushes,
+// and the process exits with run's code — Flush-before-exit means
+// orderly failure exits report coverage even though os.Exit skips
+// deferred calls. Worker mode (AFEX_WORKER_FD set): Serve announces
+// readiness and then runs one scenario per re-arm message — the armed
+// plan's TestID overrides the spawn-time argument — until the
+// supervisor closes the arm pipe, which is the orderly recycle signal
+// (exit 0).
+//
+// run must return an exit code instead of calling os.Exit itself, so a
+// warm worker survives failing scenarios; genuine crashes (planted
+// bugs, fatal signals) still take the whole process down, and the
+// supervisor maps the death and respawns.
+func Serve(test int, run func(test int) int) {
+	once.Do(arm)
+	if st.worker == nil {
+		code := run(test)
+		Flush()
+		os.Exit(code)
+	}
+	serveLoop(st.worker, run)
+	os.Exit(0)
+}
+
+// serveLoop is Serve's worker-mode engine, split out so tests can drive
+// it against an in-memory pipe. It returns at arm-pipe EOF.
+func serveLoop(armPipe io.Reader, run func(test int) int) {
+	emit(Event{Kind: EventReady})
+	sc := bufio.NewScanner(armPipe)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var p PlanWire
+		if err := json.Unmarshal(line, &p); err != nil {
+			// A malformed arm message means a broken supervisor; report
+			// the scenario as a clean no-op rather than stalling it.
+			emit(Event{Kind: EventDone, Seq: p.Seq})
+			continue
+		}
+		rearm(p)
+		code := run(p.TestID)
+		Flush()
+		emit(Event{Kind: EventDone, Exit: code, Seq: p.Seq})
+	}
+}
+
 // emit writes one event line to the report pipe. os.File writes are
 // unbuffered, so every event is durable the moment emit returns — which
 // is what lets injection stacks survive an immediately following crash.
@@ -188,15 +282,25 @@ func emit(ev Event) {
 	_ = st.enc.Encode(ev) // a broken pipe means the supervisor is gone; nothing to do
 }
 
+// shimFile is this source file's path — the file every shim harness
+// frame (Call, Serve, serveLoop) reports in a runtime stack.
+var shimFile = func() string {
+	_, file, _, _ := runtime.Caller(0)
+	return file
+}()
+
 // captureStack renders the fixture's call stack at the injection point,
-// outermost frame first, with the shim's own frames (skipped by depth —
-// Callers, captureStack, Call) and runtime frames elided — the trace
-// AFEX's redundancy clustering compares. Frames render as
+// outermost frame first, with the shim's own frames and runtime frames
+// elided — the trace AFEX's redundancy clustering compares. Shim frames
+// are filtered by source file, not call depth, so the same fixture code
+// yields the same stack whether it runs one-shot (Serve → run) or
+// re-armed in worker mode (Serve → serveLoop → run) — injection points
+// must cluster together across execution modes. Frames render as
 // "package.Function:line" so two faults on distinct lines of one
 // function cluster apart, like the program model's pseudo-callsites.
 func captureStack() []string {
 	pc := make([]uintptr, 64)
-	n := runtime.Callers(3, pc)
+	n := runtime.Callers(2, pc)
 	frames := runtime.CallersFrames(pc[:n])
 	var rev []string
 	for {
@@ -205,6 +309,7 @@ func captureStack() []string {
 		switch {
 		case name == "":
 		case strings.HasPrefix(name, "runtime."):
+		case fr.File == shimFile:
 		default:
 			rev = append(rev, name+":"+strconv.Itoa(fr.Line))
 		}

@@ -134,3 +134,110 @@ func TestMalformedPlanDeactivates(t *testing.T) {
 		t.Fatal("malformed plan armed the shim")
 	}
 }
+
+// runWorker drives serveLoop over in-memory pipes: arm messages go in,
+// the report stream comes out. It returns once the loop exits at arm
+// EOF.
+func runWorker(t *testing.T, arms []PlanWire, run func(test int) int) []Event {
+	t.Helper()
+	armR, armW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repR, repW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(PlanEnv, "")
+	t.Setenv(ReportFDEnv, fmt.Sprint(repW.Fd()))
+	reset()
+	defer reset()
+	once.Do(arm)
+
+	go func() {
+		enc := json.NewEncoder(armW)
+		for _, p := range arms {
+			if err := enc.Encode(p); err != nil {
+				break
+			}
+		}
+		armW.Close()
+	}()
+	serveLoop(armR, run)
+	armR.Close()
+	repW.Close()
+	defer repR.Close()
+
+	var events []Event
+	sc := bufio.NewScanner(repR)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func TestServeLoopRearmsBetweenScenarios(t *testing.T) {
+	arms := []PlanWire{
+		{TestID: 1, Seq: 1, Faults: []FaultWire{{Function: "read", CallNumber: 1, Errno: "EIO", Retval: -1}}},
+		{TestID: 2, Seq: 2}, // fault-free
+		{TestID: 1, Seq: 3, Faults: []FaultWire{{Function: "read", CallNumber: 1, Errno: "EIO", Retval: -1}}},
+	}
+	var tests []int
+	events := runWorker(t, arms, func(test int) int {
+		tests = append(tests, test)
+		Cover(40 + test)
+		if _, _, failed := Call("read"); failed {
+			return 1
+		}
+		return 0
+	})
+	if fmt.Sprint(tests) != "[1 2 1]" {
+		t.Fatalf("test ids = %v, want the armed sequence [1 2 1]", tests)
+	}
+	if len(events) == 0 || events[0].Kind != EventReady {
+		t.Fatalf("events %+v do not open with ready", events)
+	}
+	var dones []Event
+	var injects int
+	for _, ev := range events[1:] {
+		switch ev.Kind {
+		case EventDone:
+			dones = append(dones, ev)
+		case EventInject:
+			injects++
+		case EventBlocks:
+			if len(ev.Blocks) != 1 {
+				t.Errorf("blocks %v leaked across scenarios, want exactly one per scenario", ev.Blocks)
+			}
+		}
+	}
+	// Scenario 3 re-fires the same callNumber-1 fault scenario 1 fired:
+	// the re-arm reset the call counters.
+	if injects != 2 {
+		t.Fatalf("got %d inject events, want 2 (counters reset between scenarios)", injects)
+	}
+	if len(dones) != 3 {
+		t.Fatalf("got %d done events, want 3", len(dones))
+	}
+	for i, want := range []struct{ seq, exit int }{{1, 1}, {2, 0}, {3, 1}} {
+		if dones[i].Seq != want.seq || dones[i].Exit != want.exit {
+			t.Errorf("done %d = seq %d exit %d, want seq %d exit %d",
+				i, dones[i].Seq, dones[i].Exit, want.seq, want.exit)
+		}
+	}
+}
+
+func TestServeLoopExitsAtArmEOF(t *testing.T) {
+	ran := 0
+	events := runWorker(t, nil, func(int) int { ran++; return 0 })
+	if ran != 0 {
+		t.Fatalf("ran %d scenarios with no arm messages", ran)
+	}
+	if len(events) != 1 || events[0].Kind != EventReady {
+		t.Fatalf("events = %+v, want only ready", events)
+	}
+}

@@ -26,6 +26,24 @@ package shim
 // clustering. Coverage is best-effort by design — a crashed process
 // loses its "blocks" event, mirroring how gcov data is lost when a real
 // process dies without flushing counters.
+//
+// # Worker mode
+//
+// Spawning a fresh process per scenario pays a full fork/exec + runtime
+// start per test. Worker mode removes that tax: the supervisor spawns
+// the fixture once with WorkerFDEnv (AFEX_WORKER_FD) naming a second
+// pipe (conventionally fd 4, the slot after the report pipe) and NO
+// AFEX_PLAN, and the fixture hands its per-test body to Serve. The shim
+// then announces itself with a "ready" event and loops: each
+// newline-delimited JSON PlanWire arriving on the worker pipe re-arms
+// the plan (call counters, fired flags and coverage reset to zero), the
+// test body runs, coverage flushes, and a "done" event echoing the
+// arm message's Seq reports the scenario's exit code — all without a
+// new process. EOF on the worker pipe is the orderly shutdown signal
+// (the supervisor recycles workers by closing their arm pipe). A
+// scenario that crashes or hangs takes the whole worker down exactly
+// like a one-shot process would; the supervisor observes the missing
+// "done", maps the death the usual way, and respawns only that worker.
 
 // Environment variable names of the supervisor→shim half of the
 // protocol.
@@ -34,6 +52,10 @@ const (
 	PlanEnv = "AFEX_PLAN"
 	// ReportFDEnv carries the decimal fd number of the report pipe.
 	ReportFDEnv = "AFEX_REPORT_FD"
+	// WorkerFDEnv carries the decimal fd number of the worker arm pipe
+	// (supervisor→shim). Its presence selects worker mode: Serve loops
+	// on re-arm messages instead of running one scenario and exiting.
+	WorkerFDEnv = "AFEX_WORKER_FD"
 )
 
 // Event kinds of the shim→supervisor half of the protocol.
@@ -47,6 +69,14 @@ const (
 	// EventCrash labels a planted bug (CrashID) just before the process
 	// kills itself; the supervisor pairs it with the signaled exit.
 	EventCrash = "crash"
+	// EventReady announces a worker-mode shim: Serve emits it once,
+	// before the first arm message, so the supervisor can distinguish a
+	// warm worker from a one-shot fixture that ignores WorkerFDEnv.
+	EventReady = "ready"
+	// EventDone ends one worker-mode scenario: Exit is the test body's
+	// exit code, Seq echoes the arm message so the supervisor can pair
+	// the report with the scenario it armed.
+	EventDone = "done"
 )
 
 // PlanWire is the JSON document carried in AFEX_PLAN: one armed
@@ -54,8 +84,12 @@ const (
 type PlanWire struct {
 	// TestID selects which of the fixture's test cases this execution
 	// runs; it is informational for fixtures that already receive the
-	// test via argv.
+	// test via argv (one-shot mode), and authoritative in worker mode,
+	// where argv was fixed at spawn time.
 	TestID int `json:"testID"`
+	// Seq numbers the arm message within a worker's lifetime; the
+	// scenario's EventDone echoes it. Zero in one-shot AFEX_PLAN use.
+	Seq int `json:"seq,omitempty"`
 	// Faults are the armed faults, in plan order.
 	Faults []FaultWire `json:"faults"`
 }
@@ -84,4 +118,8 @@ type Event struct {
 	Blocks []int `json:"blocks,omitempty"`
 	// ID is the planted-bug label (EventCrash).
 	ID string `json:"id,omitempty"`
+	// Exit is the scenario's exit code and Seq the echoed arm-message
+	// number (EventDone, worker mode).
+	Exit int `json:"exit,omitempty"`
+	Seq  int `json:"seq,omitempty"`
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"afex/internal/cluster"
 	"afex/internal/core"
 	"afex/internal/explore"
 	"afex/internal/faultspace"
@@ -19,10 +20,15 @@ import (
 //	go test -bench 'BenchmarkJournalAppend|BenchmarkResumeLoad' -benchtime 1x
 //
 // BenchmarkJournalAppend measures the cost the engine pays per folded
-// record: JournalRecord is an enqueue (the fold path holds the session
-// lock while calling it), with JSON encoding and file IO amortized by
-// the store's background writer. BenchmarkResumeLoad measures the other
-// end — rebuilding a core.Restore from a journal at session scale.
+// record — once per journal format: JournalRecord is an enqueue (the
+// fold path holds the session lock while calling it), with encoding and
+// file IO amortized by the store's background writer. BenchmarkResumeLoad
+// measures the other end — rebuilding a core.Restore from a journal at
+// session scale. Its binary-tail variants hold the resume tail fixed
+// while doubling the journal: the journal-seek term stays flat (store
+// package: BenchmarkSegmentTailSeek isolates it); what still grows with
+// the run is decoding the snapshot's own seen-key set — the O(snapshot)
+// term of the O(snapshot + tail) resume bound, paid by every format.
 
 func benchJournalRecord(i int) (explore.Candidate, core.Record) {
 	c := explore.Candidate{
@@ -51,58 +57,88 @@ func benchJournalRecord(i int) (explore.Candidate, core.Record) {
 }
 
 func BenchmarkJournalAppend(b *testing.B) {
-	st, err := store.Open(b.TempDir())
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := st.Begin("bench", "sig", "bench"); err != nil {
-		b.Fatal(err)
-	}
-	// Pre-build the records: the benchmark measures the store, not the
-	// synthesis of test data.
-	cands := make([]explore.Candidate, 512)
-	recs := make([]core.Record, 512)
-	for i := range recs {
-		cands[i], recs[i] = benchJournalRecord(i)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		st.JournalRecord(cands[i%512], recs[i%512])
-	}
-	if err := st.Sync(); err != nil {
-		b.Fatal(err)
-	}
-	b.StopTimer()
-	if err := st.Close(); err != nil {
-		b.Fatal(err)
+	for _, format := range []string{store.FormatJSONL, store.FormatBinary} {
+		b.Run(format, func(b *testing.B) {
+			st, err := store.OpenOptions(b.TempDir(), store.Options{Format: format})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Begin("bench", "sig", "bench"); err != nil {
+				b.Fatal(err)
+			}
+			// Pre-build the records: the benchmark measures the store, not
+			// the synthesis of test data.
+			cands := make([]explore.Candidate, 512)
+			recs := make([]core.Record, 512)
+			for i := range recs {
+				cands[i], recs[i] = benchJournalRecord(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.JournalRecord(cands[i%512], recs[i%512])
+			}
+			if err := st.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 
-func BenchmarkResumeLoad(b *testing.B) {
-	const entries = 10000
+// benchResumePoint gives every journal entry a distinct scenario key —
+// resume loading dedupes by key.
+func benchResumePoint(i int) faultspace.Point {
+	return faultspace.Point{Sub: 0, Fault: faultspace.Fault{i, i % 7, i % 60}}
+}
+
+// benchResumeDir journals n distinct-key entries in the given format
+// and, when snapAt > 0, writes a snapshot claiming the first snapAt of
+// them (with the aggregates + cluster state a real session snapshot
+// carries, so a tail resume accepts it).
+func benchResumeDir(b *testing.B, format string, n, snapAt int) string {
+	b.Helper()
 	dir := b.TempDir()
-	st, err := store.Open(dir)
+	st, err := store.OpenOptions(dir, store.Options{Format: format})
 	if err != nil {
 		b.Fatal(err)
 	}
 	if err := st.Begin("bench", "sig", "bench"); err != nil {
 		b.Fatal(err)
 	}
-	for i := 0; i < entries; i++ {
+	for i := 0; i < n; i++ {
 		c, rec := benchJournalRecord(i)
-		// Resume loading dedupes by scenario key; give every entry a
-		// distinct one.
-		rec.Point = faultspace.Point{Sub: 0, Fault: faultspace.Fault{i, i % 7, i % 60}}
+		rec.Point = benchResumePoint(i)
 		c.Point = rec.Point
 		rec.ID = i
 		st.JournalRecord(c, rec)
 	}
+	if snapAt > 0 {
+		ag := &core.Aggregates{CrashIDs: map[string]int{}, SeenKeys: make([]string, snapAt)}
+		for i := 0; i < snapAt; i++ {
+			ag.SeenKeys[i] = benchResumePoint(i).Key()
+		}
+		st.SnapshotSession(&core.SessionState{
+			Seq:           snapAt,
+			Aggregates:    ag,
+			AllStacks:     cluster.NewSet(1).ExportState(),
+			FailClusters:  cluster.NewSet(1).ExportState(),
+			CrashClusters: cluster.NewSet(1).ExportState(),
+		})
+	}
 	if err := st.Close(); err != nil {
 		b.Fatal(err)
 	}
+	return dir
+}
+
+func benchResumeLoad(b *testing.B, dir string, base, records int) {
+	b.Helper()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := store.Open(dir)
+		s, err := store.OpenOptions(dir, store.Options{TailResume: base > 0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,11 +146,35 @@ func BenchmarkResumeLoad(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if r == nil || len(r.Records) != entries {
+		if r == nil || r.Base != base || len(r.Records) != records {
 			b.Fatalf("recovered %v", r)
 		}
 		s.Close()
-		b.ReportMetric(float64(entries), "records")
+		b.ReportMetric(float64(records), "records")
+	}
+}
+
+func BenchmarkResumeLoad(b *testing.B) {
+	// Full-journal loads: every entry decoded and materialized, the cost
+	// a resume pays when no usable snapshot exists.
+	for _, format := range []string{store.FormatJSONL, store.FormatBinary} {
+		b.Run(format+"-full-10k", func(b *testing.B) {
+			dir := benchResumeDir(b, format, 10000, 0)
+			benchResumeLoad(b, dir, 0, 10000)
+		})
+	}
+	// Indexed tail loads: the tail stays 512 entries while the journal
+	// doubles from 100k to 200k. The journal is never refolded — the
+	// seek through the index blocks decodes O(tail) entries (flat across
+	// the pair; BenchmarkSegmentTailSeek in internal/store isolates that
+	// term) — so what remains is O(snapshot): decoding aggregates whose
+	// seen-key set grows with the run, on any journal format.
+	const tail = 512
+	for _, n := range []int{100 * 1024, 200 * 1024} {
+		b.Run(fmt.Sprintf("binary-tail-%dk", n/1024), func(b *testing.B) {
+			dir := benchResumeDir(b, store.FormatBinary, n, n-tail)
+			benchResumeLoad(b, dir, n-tail, tail)
+		})
 	}
 }
 
