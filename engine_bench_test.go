@@ -177,26 +177,27 @@ func BenchmarkClusterSetAdd(b *testing.B) {
 	}
 }
 
-// BenchmarkClusterMaxSimilarity measures the §7.4 feedback probe against
-// a 10k-stack memory — the inner loop of Feedback sessions, which the
-// seed evaluated with a full linear scan per executed test.
+// BenchmarkClusterMaxSimilarity measures the §7.4 feedback probe — the
+// inner loop of Feedback sessions, which the seed evaluated with a full
+// linear scan per executed test. "novel" probes (PeekSimilarity, the
+// pipeline's screening stage) never hit the exact-match hash or memo
+// and pay the screened, band-bounded scan; "memoized" probes repeat and
+// answer from the similarity memo after the first pass.
 func BenchmarkClusterMaxSimilarity(b *testing.B) {
-	rng := xrand.New(23)
-	set := cluster.NewSet(1)
-	var probes [][]string
-	for i := 0; i < 10000; i++ {
-		depth := 2 + rng.Intn(10)
-		st := make([]string, depth)
-		for j := range st {
-			st[j] = fmt.Sprintf("mod%d!fn%d", rng.Intn(12), rng.Intn(50))
-		}
-		set.Add(i, st)
-		if i%100 == 0 {
-			probes = append(probes, st)
-		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = set.MaxSimilarity(probes[i%len(probes)])
+	for _, n := range []int{10000, 100000} {
+		set, probes := simBenchSet(n)
+		b.Run(fmt.Sprintf("stacks=%d", n), func(b *testing.B) {
+			b.Run("novel", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := probes[i%len(probes)]
+					set.PeekSimilarity(p, cluster.StackKey(p))
+				}
+			})
+			b.Run("memoized", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = set.MaxSimilarity(probes[i%len(probes)])
+				}
+			})
+		})
 	}
 }

@@ -6,17 +6,29 @@
 // re-trigger manifestations of the same underlying bug.
 //
 // Set is indexed so that Add and MaxSimilarity stay fast as sessions
-// grow: an exact-match hash answers repeated stacks in O(1), and stacks
-// are bucketed by frame count (and, within a bucket, by outermost frame)
-// so that the edit-distance lower bound |len(a)-len(b)| prunes most
-// candidate comparisons. Results are identical to a linear scan — the
-// pruning only skips comparisons whose distance provably cannot win.
+// grow: an exact-match hash answers repeated stacks in O(1); stacks are
+// bucketed by frame count so the edit-distance lower bound |len(a)-len(b)|
+// prunes whole buckets; within a bucket a frame-signature inverted index
+// (first-k frames) shortlists candidates before any DP runs; and every
+// surviving comparison uses a banded Levenshtein bounded by the distance
+// the current best similarity still allows. MaxSimilarity results are
+// additionally memoized by exact stack key with a log position, so a
+// repeated probe only rescans the stacks added since it was last
+// answered. Results are identical to a naive linear scan with the full
+// DP — the screening only skips comparisons whose distance provably
+// cannot win.
+//
+// Set is safe for concurrent use: read-only similarity screening
+// (PeekSimilarity, View) takes a shared lock so executor workers can
+// screen in parallel, while Add/AddKeyed/ResolveSimilarity/MaxSimilarity
+// serialize under the exclusive lock.
 package cluster
 
 import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Levenshtein returns the edit distance between two stack traces,
@@ -162,21 +174,33 @@ func stackKey(stack []string) string {
 	return b.String()
 }
 
-// firstFrame keys the within-length sub-buckets by outermost frame:
-// stacks that agree on where execution started are the likeliest near
-// matches, so they are compared first and raise the pruning bound early.
-func firstFrame(stack []string) string {
-	if len(stack) == 0 {
-		return ""
-	}
-	return stack[0]
+// StackKey exposes the exact-stack encoding so callers can compute the
+// key once, off the hot path, and thread it through AddKeyed,
+// PeekSimilarity and ResolveSimilarity.
+func StackKey(stack []string) string { return stackKey(stack) }
+
+// sigFrames is how many head frames each stack is posted under in the
+// bucket's inverted index. A banded query with edit limit L can consult
+// the index only when L+1 ≤ sigFrames (see scanBucket); 4 covers the
+// high-similarity limits that matter once any decent match is known.
+const sigFrames = 4
+
+// lenBucket holds every remembered stack of one frame count, with a
+// frame-signature inverted index over the first sigFrames frames.
+type lenBucket struct {
+	// stacks in insertion order; byHead posting lists refer into it.
+	stacks [][]string
+	// byHead maps a frame value appearing among a stack's first
+	// sigFrames frames to the indices of the stacks containing it.
+	byHead map[string][]int
 }
 
-// lenBucket holds every remembered stack of one frame count, sub-grouped
-// by outermost frame.
-type lenBucket struct {
-	byFirst map[string][][]string
-	count   int
+// simMemo is a memoized MaxSimilarity answer: the best similarity over
+// the first upto entries of the set's append-only stack log. A stale
+// entry is still useful — only log[upto:] needs rescanning.
+type simMemo struct {
+	best float64
+	upto int
 }
 
 // Set maintains redundancy clusters incrementally. Each added stack is
@@ -186,7 +210,9 @@ type Set struct {
 	// Threshold is the maximum edit distance (in frames) for two traces
 	// to land in the same cluster.
 	Threshold int
-	clusters  []Cluster
+
+	mu       sync.RWMutex
+	clusters []Cluster
 
 	// repByKey maps a representative's exact stack to its cluster: the
 	// O(1) fast path for the overwhelmingly common case of a re-triggered
@@ -197,12 +223,22 @@ type Set struct {
 	repsByLen map[int][]int
 
 	// The stack memory behind MaxSimilarity: exact multiset plus
-	// length/first-frame buckets of every stack ever added.
+	// length/frame-signature buckets of every stack ever added.
 	allByKey map[string]int
 	allByLen map[int]*lenBucket
 	allN     int
 	minLen   int
 	maxLen   int
+
+	// log records every remembered stack occurrence in insertion order.
+	// It is append-only, which gives similarity answers a version: an
+	// answer computed at log length v stays exact for the first v stacks
+	// forever, so stale answers are repaired by scanning log[v:] only.
+	log [][]string
+	// memo caches MaxSimilarity by exact stack key. Entries are deleted
+	// when their own stack is added (the exact-match hash answers 1 from
+	// then on) and extended lazily via the log when stale.
+	memo map[string]simMemo
 }
 
 // Cluster is one redundancy equivalence class.
@@ -229,16 +265,23 @@ func (s *Set) init() {
 		s.repsByLen = make(map[int][]int)
 		s.allByKey = make(map[string]int)
 		s.allByLen = make(map[int]*lenBucket)
+		s.memo = make(map[string]simMemo)
 	}
 }
 
 // Len returns the number of clusters.
-func (s *Set) Len() int { return len(s.clusters) }
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.clusters)
+}
 
 // Clusters returns the clusters, largest first. The returned slice is a
 // copy; members alias the internal storage.
 func (s *Set) Clusters() []Cluster {
+	s.mu.RLock()
 	out := append([]Cluster(nil), s.clusters...)
+	s.mu.RUnlock()
 	sort.SliceStable(out, func(i, j int) bool { return len(out[i].Members) > len(out[j].Members) })
 	return out
 }
@@ -251,12 +294,27 @@ func (s *Set) remember(key string, stack []string) []string {
 	l := len(stored)
 	b := s.allByLen[l]
 	if b == nil {
-		b = &lenBucket{byFirst: make(map[string][][]string)}
+		b = &lenBucket{byHead: make(map[string][]int)}
 		s.allByLen[l] = b
 	}
-	f := firstFrame(stored)
-	b.byFirst[f] = append(b.byFirst[f], stored)
-	b.count++
+	idx := len(b.stacks)
+	b.stacks = append(b.stacks, stored)
+	head := stored
+	if len(head) > sigFrames {
+		head = head[:sigFrames]
+	}
+	for i, f := range head {
+		dup := false
+		for j := 0; j < i; j++ {
+			if head[j] == f {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			b.byHead[f] = append(b.byHead[f], idx)
+		}
+	}
 	if s.allN == 0 || l < s.minLen {
 		s.minLen = l
 	}
@@ -264,14 +322,26 @@ func (s *Set) remember(key string, stack []string) []string {
 		s.maxLen = l
 	}
 	s.allN++
+	s.log = append(s.log, stored)
 	return stored
 }
 
 // Add inserts the stack with caller id and returns the cluster index it
 // joined and whether it founded a new cluster.
 func (s *Set) Add(id int, stack []string) (clusterID int, isNew bool) {
+	return s.AddKeyed(id, stack, stackKey(stack))
+}
+
+// AddKeyed is Add with the stack key precomputed by the caller (see
+// StackKey), so the fold pipeline hashes each injection stack exactly
+// once across feedback, clustering and journaling.
+func (s *Set) AddKeyed(id int, stack []string, key string) (clusterID int, isNew bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.init()
-	key := stackKey(stack)
+	// This exact stack now answers MaxSimilarity 1 via the exact-match
+	// hash; its memo entry (if any) is dead weight.
+	delete(s.memo, key)
 	stored := s.remember(key, stack)
 
 	// Exact fast path: a stack identical to a representative is at
@@ -332,18 +402,90 @@ func (s *Set) Add(id int, stack []string) (clusterID int, isNew bool) {
 // scenario identical to a known one contributes nothing and a novel one
 // keeps its full fitness.
 //
-// The scan walks length buckets outward from len(stack). A bucket of
-// length lb cannot beat similarity 1 - |la-lb|/max(la,lb), and that
-// bound only decays as |la-lb| grows, so the walk stops as soon as the
-// best similarity found dominates both directions — typically after the
-// exact-match probe or a couple of buckets.
+// The answer is memoized by exact stack key: injection at the same call
+// site reproduces the same stack, so repeated probes dominate real
+// sessions, and a repeat only rescans the stacks added since the memo
+// was written.
 func (s *Set) MaxSimilarity(stack []string) float64 {
+	key := stackKey(stack)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxSimilarityLocked(stack, key)
+}
+
+// maxSimilarityLocked answers MaxSimilarity under the write lock,
+// reading and refreshing the memo.
+func (s *Set) maxSimilarityLocked(stack []string, key string) float64 {
 	if s.allN == 0 {
 		return 0
 	}
-	if s.allByKey[stackKey(stack)] > 0 {
+	if s.allByKey[key] > 0 {
 		return 1
 	}
+	var best float64
+	if m, ok := s.memo[key]; ok {
+		best = s.scanLog(stack, m.best, m.upto)
+	} else {
+		best = s.walkBuckets(stack)
+	}
+	if s.memo == nil {
+		s.memo = make(map[string]simMemo)
+	}
+	s.memo[key] = simMemo{best: best, upto: len(s.log)}
+	return best
+}
+
+// PeekSimilarity is the read-only precompute half of MaxSimilarity: it
+// answers under the shared lock (never writing the memo, so any number
+// of executor workers can screen concurrently) and returns the log
+// version the answer is exact for. The committing side passes both to
+// ResolveSimilarity, which repairs the answer against any stacks added
+// in between — making the pair exactly equivalent to calling
+// MaxSimilarity at commit time.
+func (s *Set) PeekSimilarity(stack []string, key string) (sim float64, version int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.allN == 0 {
+		return 0, 0
+	}
+	if s.allByKey[key] > 0 {
+		return 1, len(s.log)
+	}
+	var best float64
+	if m, ok := s.memo[key]; ok {
+		best = s.scanLog(stack, m.best, m.upto)
+	} else {
+		best = s.walkBuckets(stack)
+	}
+	return best, len(s.log)
+}
+
+// ResolveSimilarity finalizes a PeekSimilarity answer under the write
+// lock: it extends sim over the stacks logged since version and memoizes
+// the result. The return value equals what MaxSimilarity(stack) would
+// compute right now.
+func (s *Set) ResolveSimilarity(stack []string, key string, sim float64, version int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if version < len(s.log) {
+		sim = s.scanLog(stack, sim, version)
+	}
+	if s.allByKey[key] == 0 {
+		if s.memo == nil {
+			s.memo = make(map[string]simMemo)
+		}
+		s.memo[key] = simMemo{best: sim, upto: len(s.log)}
+	}
+	return sim
+}
+
+// walkBuckets computes the best similarity against the whole memory by
+// walking length buckets outward from len(stack). A bucket of length lb
+// cannot beat similarity 1 - |la-lb|/max(la,lb), and that bound only
+// decays as |la-lb| grows, so the walk stops as soon as the best
+// similarity found dominates both directions — typically after a couple
+// of buckets.
+func (s *Set) walkBuckets(stack []string) float64 {
 	la := len(stack)
 	best := 0.0
 	maxD := la - s.minLen
@@ -375,26 +517,150 @@ func (s *Set) MaxSimilarity(stack []string) float64 {
 	return best
 }
 
-// scanBucket scans one length bucket, same-outermost-frame stacks first
-// (the likeliest high-similarity matches, raising best — and therefore
-// the pruning bound — as early as possible).
+// simLimit returns the largest edit distance d whose similarity
+// 1 - d/maxLen still beats best, or -1 if none does. The two adjustment
+// loops pin the boundary exactly regardless of how the initial
+// floating-point guess rounded, so screening decisions match the naive
+// full-DP comparison bit for bit.
+func simLimit(best float64, maxLen int) int {
+	limit := int((1 - best) * float64(maxLen))
+	if limit > maxLen {
+		limit = maxLen
+	}
+	for limit >= 0 && 1-float64(limit)/float64(maxLen) <= best {
+		limit--
+	}
+	for limit < maxLen && 1-float64(limit+1)/float64(maxLen) > best {
+		limit++
+	}
+	return limit
+}
+
+// beatSim runs the banded DP and reports the similarity when the
+// distance is within limit. The similarity expression matches
+// Similarity() exactly, so screened answers are bit-identical to naive
+// ones.
+func beatSim(a, b []string, maxLen, limit int) (float64, bool) {
+	d := boundedLevenshtein(a, b, limit)
+	if d > limit {
+		return 0, false
+	}
+	return 1 - float64(d)/float64(maxLen), true
+}
+
+// shareTailFrame reports whether a and b share a frame value within
+// their last k frames — a necessary condition for lev(a,b) < k (the
+// last kept frame of an optimal alignment sits within the last k frames
+// of both stacks), used to prune index candidates before the DP.
+func shareTailFrame(a, b []string, k int) bool {
+	ai := len(a) - k
+	if ai < 0 {
+		ai = 0
+	}
+	bi := len(b) - k
+	if bi < 0 {
+		bi = 0
+	}
+	for _, fa := range a[ai:] {
+		for _, fb := range b[bi:] {
+			if fa == fb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanBucket scans one length bucket for a similarity beating best.
+//
+// The bucket has a fixed stack length, so the edit limit that could
+// still beat best is fixed too (simLimit). When that limit L satisfies
+// L < len(stack) and L+1 ≤ sigFrames, any stack within distance L must
+// share a frame with the probe among the first L+1 frames of both (an
+// optimal alignment keeps ≥ len-L frames; at most L edits precede the
+// first kept one on either side) — so the byHead inverted index
+// shortlists the only possible winners and everything else is skipped
+// without running any DP. The symmetric tail condition prunes the
+// shortlist further. Survivors are verified with the banded DP, whose
+// band shrinks as best improves.
 func (s *Set) scanBucket(b *lenBucket, stack []string, best float64) float64 {
-	if b == nil {
+	if b == nil || len(b.stacks) == 0 {
 		return best
 	}
-	first := firstFrame(stack)
-	for _, other := range b.byFirst[first] {
-		if sim := Similarity(stack, other); sim > best {
+	la, lb := len(stack), len(b.stacks[0])
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	limit := simLimit(best, maxLen)
+	if limit < 0 {
+		return best
+	}
+	if limit < la && limit+1 <= sigFrames {
+		k := limit + 1
+		var visited map[int]struct{}
+		for i := 0; i < k; i++ {
+			for _, idx := range b.byHead[stack[i]] {
+				if visited == nil {
+					visited = make(map[int]struct{}, 16)
+				}
+				if _, dup := visited[idx]; dup {
+					continue
+				}
+				visited[idx] = struct{}{}
+				other := b.stacks[idx]
+				if !shareTailFrame(stack, other, k) {
+					continue
+				}
+				if sim, ok := beatSim(stack, other, maxLen, limit); ok && sim > best {
+					best = sim
+					limit = simLimit(best, maxLen)
+					if limit < 0 {
+						return best
+					}
+				}
+			}
+		}
+		return best
+	}
+	for _, other := range b.stacks {
+		if sim, ok := beatSim(stack, other, maxLen, limit); ok && sim > best {
 			best = sim
+			limit = simLimit(best, maxLen)
+			if limit < 0 {
+				return best
+			}
 		}
 	}
-	for f, others := range b.byFirst {
-		if f == first {
+	return best
+}
+
+// scanLog extends a similarity answer that is exact for log[:from] over
+// the suffix log[from:], returning the best over the whole memory. This
+// is what makes both memo entries and precomputed (stale) screening
+// answers repairable in time proportional to what was added since.
+func (s *Set) scanLog(stack []string, best float64, from int) float64 {
+	if best >= 1 {
+		return best
+	}
+	la := len(stack)
+	for _, other := range s.log[from:] {
+		lb := len(other)
+		maxLen := la
+		if lb > maxLen {
+			maxLen = lb
+		}
+		if maxLen == 0 {
+			return 1 // both empty: identical traces
+		}
+		limit := simLimit(best, maxLen)
+		if limit < 0 {
 			continue
 		}
-		for _, other := range others {
-			if sim := Similarity(stack, other); sim > best {
-				best = sim
+		if sim, ok := beatSim(stack, other, maxLen, limit); ok && sim > best {
+			best = sim
+			if best >= 1 {
+				return best
 			}
 		}
 	}

@@ -1,0 +1,201 @@
+package cluster
+
+// Property tests for the fold-pipeline similarity machinery: the
+// memoized, frame-screened, bounded MaxSimilarity (and its split
+// PeekSimilarity/ResolveSimilarity form, including stale peeks resolved
+// after later adds) must be value-identical to the naive
+// full-Levenshtein linear reference on randomized stack corpora, and
+// the whole index — including behaviour the memo and signature index
+// influence — must survive a snapshot/restore round trip.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"afex/internal/xrand"
+)
+
+// deepStacks generates stacks deep enough (6–16 frames) that the
+// head-signature screen (limit+1 ≤ sigFrames < depth) actually
+// activates, with heavy near-duplication so screened scans run against
+// high bests and tight bands.
+func deepStacks(rng *xrand.Rand, n int) [][]string {
+	base := make([][]string, n/8+1)
+	for i := range base {
+		depth := 6 + rng.Intn(11)
+		st := make([]string, depth)
+		for j := range st {
+			st[j] = fmt.Sprintf("m%d!f%d", rng.Intn(8), rng.Intn(24))
+		}
+		base[i] = st
+	}
+	out := make([][]string, n)
+	for i := range out {
+		st := base[rng.Intn(len(base))]
+		switch rng.Intn(4) {
+		case 0: // exact repeat
+		case 1: // one-frame mutation
+			st = append([]string(nil), st...)
+			st[rng.Intn(len(st))] = fmt.Sprintf("m%d!f%d", rng.Intn(8), rng.Intn(24))
+		case 2: // truncation (length-bucket neighbours)
+			st = st[:1+rng.Intn(len(st))]
+		case 3: // head mutation (stresses the signature postings)
+			st = append([]string(nil), st...)
+			st[0] = fmt.Sprintf("m%d!f%d", rng.Intn(8), rng.Intn(24))
+		}
+		out[i] = st
+	}
+	return out
+}
+
+func TestScreenedMemoizedSimilarityMatchesNaive(t *testing.T) {
+	corpora := []struct {
+		name string
+		gen  func(*xrand.Rand, int) [][]string
+		n    int
+	}{
+		{"shallow", randomStacks, 400},
+		{"deep", deepStacks, 300},
+	}
+	for _, corpus := range corpora {
+		for _, threshold := range []int{0, 1, 2} {
+			t.Run(fmt.Sprintf("%s/threshold=%d", corpus.name, threshold), func(t *testing.T) {
+				rng := xrand.New(int64(61 + threshold))
+				stacks := corpus.gen(rng, corpus.n)
+				idx := NewSet(threshold)
+				ref := &naiveSet{threshold: threshold}
+
+				// Stale screens: peek now, resolve after `delay` further
+				// adds — exactly the pipeline's precompute-then-commit
+				// shape.
+				type peek struct {
+					stack   []string
+					key     string
+					sim     float64
+					version int
+					due     int
+				}
+				var pending []peek
+
+				resolveDue := func(id int) {
+					kept := pending[:0]
+					for _, p := range pending {
+						if p.due > id {
+							kept = append(kept, p)
+							continue
+						}
+						got := idx.ResolveSimilarity(p.stack, p.key, p.sim, p.version)
+						if want := ref.maxSimilarity(p.stack); got != want {
+							t.Fatalf("after %d adds: Resolve(Peek@v%d)(%v) = %v, naive %v",
+								id, p.version, p.stack, got, want)
+						}
+					}
+					pending = kept
+				}
+
+				for id, st := range stacks {
+					probe := stacks[rng.Intn(len(stacks))]
+					key := StackKey(probe)
+					sim, ver := idx.PeekSimilarity(probe, key)
+					pending = append(pending, peek{probe, key, sim, ver, id + 1 + rng.Intn(5)})
+
+					gi, gn := idx.AddKeyed(id, st, StackKey(st))
+					wi, wn := ref.add(id, st)
+					if gi != wi || gn != wn {
+						t.Fatalf("add %d (%v): indexed (%d,%v) != naive (%d,%v)", id, st, gi, gn, wi, wn)
+					}
+					resolveDue(id)
+
+					// Memoized path: the second probe of the same stack
+					// answers from the memo and must still match naive.
+					probe2 := stacks[rng.Intn(len(stacks))]
+					want := ref.maxSimilarity(probe2)
+					if got := idx.MaxSimilarity(probe2); got != want {
+						t.Fatalf("after %d adds: MaxSimilarity(%v) = %v, naive %v", id+1, probe2, got, want)
+					}
+					if got := idx.MaxSimilarity(probe2); got != want {
+						t.Fatalf("after %d adds: memoized MaxSimilarity(%v) = %v, naive %v", id+1, probe2, got, want)
+					}
+				}
+				resolveDue(len(stacks) + 10)
+
+				// Depth-0 through deep fresh probes, never added.
+				fresh := make([]string, 0, 18)
+				for i := 0; i < 18; i++ {
+					probe := append([]string(nil), fresh...)
+					if g, w := idx.MaxSimilarity(probe), ref.maxSimilarity(probe); g != w {
+						t.Fatalf("fresh depth-%d probe: %v, naive %v", len(probe), g, w)
+					}
+					fresh = append(fresh, fmt.Sprintf("other!x%d", i))
+				}
+			})
+		}
+	}
+}
+
+// TestResumePreservesSimilarityIndex: a Set rebuilt from an exported
+// snapshot must keep answering Add / MaxSimilarity / Peek+Resolve
+// identically to the original as both continue, and re-exporting both
+// after further identical traffic must produce identical bytes — the
+// memo and signature index are derived state and must not leak into
+// (or be required by) the snapshot.
+func TestResumePreservesSimilarityIndex(t *testing.T) {
+	rng := xrand.New(73)
+	stacks := deepStacks(rng, 400)
+	orig := NewSet(2)
+	for id, st := range stacks[:200] {
+		orig.Add(id, st)
+		if id%3 == 0 {
+			// Warm the memo so the export happens with live cache state.
+			orig.MaxSimilarity(stacks[rng.Intn(len(stacks))])
+		}
+	}
+
+	blob, err := json.Marshal(orig.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SetState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := NewSetFromState(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for id := 200; id < 400; id++ {
+		probe := stacks[rng.Intn(len(stacks))]
+		key := StackKey(probe)
+		so, vo := orig.PeekSimilarity(probe, key)
+		sc, vc := clone.PeekSimilarity(probe, key)
+		ro := orig.ResolveSimilarity(probe, key, so, vo)
+		rc := clone.ResolveSimilarity(probe, key, sc, vc)
+		if ro != rc {
+			t.Fatalf("id %d: resolved similarity diverged: %v vs %v", id, ro, rc)
+		}
+		if a, b := orig.MaxSimilarity(probe), clone.MaxSimilarity(probe); a != b {
+			t.Fatalf("id %d: MaxSimilarity diverged: %v vs %v", id, a, b)
+		}
+		stk := stacks[id]
+		ca, na := orig.Add(id, stk)
+		cb, nb := clone.Add(id, stk)
+		if ca != cb || na != nb {
+			t.Fatalf("id %d: Add diverged: (%d,%v) vs (%d,%v)", id, ca, na, cb, nb)
+		}
+	}
+
+	ob, err := json.Marshal(orig.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := json.Marshal(clone.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ob, cb) {
+		t.Fatal("re-exported snapshots diverged after identical post-restore traffic")
+	}
+}

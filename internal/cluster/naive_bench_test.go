@@ -7,7 +7,11 @@ import (
 	"afex/internal/xrand"
 )
 
-func benchStacks() [][]string {
+// benchStacksN is the session-shaped corpus (duplicate-heavy, varied
+// depth) at a chosen scale, plus novel probes that can never hit the
+// exact-match hash: every probe carries one frame from a namespace no
+// corpus stack uses.
+func benchStacksN(n int) (stacks, probes [][]string) {
 	rng := xrand.New(17)
 	base := make([][]string, 600)
 	for i := range base {
@@ -18,7 +22,7 @@ func benchStacks() [][]string {
 		}
 		base[i] = st
 	}
-	stacks := make([][]string, 10000)
+	stacks = make([][]string, n)
 	for i := range stacks {
 		st := base[rng.Intn(len(base))]
 		if rng.Intn(100) < 30 {
@@ -27,6 +31,17 @@ func benchStacks() [][]string {
 		}
 		stacks[i] = st
 	}
+	probes = make([][]string, 512)
+	for i := range probes {
+		st := append([]string(nil), base[rng.Intn(len(base))]...)
+		st[rng.Intn(len(st))] = fmt.Sprintf("probe!x%d", i)
+		probes[i] = st
+	}
+	return stacks, probes
+}
+
+func benchStacks() [][]string {
+	stacks, _ := benchStacksN(10000)
 	return stacks
 }
 
@@ -51,5 +66,38 @@ func BenchmarkIndexedSetAdd10k(b *testing.B) {
 			set.Add(id, st)
 		}
 		b.ReportMetric(float64(set.Len()), "clusters")
+	}
+}
+
+// BenchmarkNaiveMaxSimilarity and BenchmarkIndexedMaxSimilarity compare
+// the §7.4 feedback probe over identical corpora and probe sets: the
+// seed's full Levenshtein scan over every remembered stack versus the
+// screened, band-bounded indexed probe. Probes are novel (no exact-hash
+// or memo shortcut), so the indexed side is measured on its worst case.
+func BenchmarkNaiveMaxSimilarity(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		stacks, probes := benchStacksN(n)
+		ref := &naiveSet{threshold: 1, all: stacks}
+		b.Run(fmt.Sprintf("stacks=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ref.maxSimilarity(probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+func BenchmarkIndexedMaxSimilarity(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		stacks, probes := benchStacksN(n)
+		set := NewSet(1)
+		for id, st := range stacks {
+			set.Add(id, st)
+		}
+		b.Run(fmt.Sprintf("stacks=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := probes[i%len(probes)]
+				set.PeekSimilarity(p, StackKey(p))
+			}
+		})
 	}
 }

@@ -4,8 +4,9 @@ package cluster
 // a Set's clusters and similarity memory that rebuilds byte-for-byte
 // equivalent behaviour without re-running the clustering over every
 // stack. Cluster indices, representatives and member ids are preserved
-// exactly; the exact-match and length-bucket indexes are derived state
-// and are rebuilt on import.
+// exactly; the exact-match hash, length buckets, frame-signature index
+// and similarity memo are derived state and are rebuilt (or repopulated
+// lazily) on import.
 
 import (
 	"fmt"
@@ -31,27 +32,62 @@ type ClusterState struct {
 	Members        []int    `json:"members"`
 }
 
-// ExportState snapshots the set.
-func (s *Set) ExportState() *SetState {
-	st := &SetState{Threshold: s.Threshold}
-	st.Clusters = make([]ClusterState, len(s.clusters))
-	for i, c := range s.clusters {
-		st.Clusters[i] = ClusterState{
-			Representative: append([]string(nil), c.Representative...),
-			Members:        append([]int(nil), c.Members...),
+// SetView is a consistent point-in-time capture of a Set, taken in
+// O(#clusters) under the shared lock. The expensive O(#stacks) copy and
+// sort happen in ExportState, which needs no lock at all: the view pins
+// slice lengths, and the underlying arrays are append-only (cluster
+// representatives and logged stacks are never mutated in place), so the
+// Set can keep absorbing stacks while a snapshot serializes.
+type SetView struct {
+	threshold int
+	clusters  []clusterView
+	stacks    [][]string
+}
+
+type clusterView struct {
+	rep     []string
+	members []int
+}
+
+// View captures the set for export without blocking writers for the
+// duration of the copy.
+func (s *Set) View() *SetView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := &SetView{threshold: s.Threshold, stacks: s.log}
+	v.clusters = make([]clusterView, len(s.clusters))
+	for i := range s.clusters {
+		v.clusters[i] = clusterView{
+			rep:     s.clusters[i].Representative,
+			members: s.clusters[i].Members,
 		}
 	}
-	for _, b := range s.allByLen {
-		for _, stacks := range b.byFirst {
-			for _, stack := range stacks {
-				st.Stacks = append(st.Stacks, append([]string(nil), stack...))
-			}
+	return v
+}
+
+// ExportState materializes the captured view as a serializable
+// snapshot. Lock-free; see SetView.
+func (v *SetView) ExportState() *SetState {
+	st := &SetState{Threshold: v.threshold}
+	st.Clusters = make([]ClusterState, len(v.clusters))
+	for i, c := range v.clusters {
+		st.Clusters[i] = ClusterState{
+			Representative: append([]string(nil), c.rep...),
+			Members:        append([]int(nil), c.members...),
 		}
+	}
+	for _, stack := range v.stacks {
+		st.Stacks = append(st.Stacks, append([]string(nil), stack...))
 	}
 	sort.Slice(st.Stacks, func(i, j int) bool {
 		return stackKey(st.Stacks[i]) < stackKey(st.Stacks[j])
 	})
 	return st
+}
+
+// ExportState snapshots the set.
+func (s *Set) ExportState() *SetState {
+	return s.View().ExportState()
 }
 
 // NewSetFromState rebuilds a Set from a snapshot. The result clusters

@@ -80,10 +80,15 @@ type Engine struct {
 	// candidate (a presumed-dead executor reporting late) is dropped,
 	// so each candidate folds exactly once. Nil when lease expiry is
 	// off.
-	leases        map[string]leaseRec
-	covered       map[int]struct{}
-	recovered     map[int]struct{}
-	recoverySet   map[int]struct{}
+	leases      map[string]leaseRec
+	covered     map[int]struct{}
+	recovered   map[int]struct{}
+	recoverySet map[int]struct{}
+	// coveredList and recoveredList mirror the maps as append-only
+	// slices: session snapshots capture them as O(1) slice views under
+	// the lock and sort a copy outside it (see sessionViewLocked).
+	coveredList   []int
+	recoveredList []int
 	allStacks     *cluster.Set
 	failClusters  *cluster.Set
 	crashClusters *cluster.Set
@@ -103,8 +108,18 @@ type Engine struct {
 	// seen accumulates every folded scenario key when a store is
 	// attached; snapshots export it (SessionState.Aggregates.SeenKeys)
 	// so a tail restore can seed the novelty filter without re-reading
-	// the whole journal. Nil for store-less sessions.
-	seen map[string]struct{}
+	// the whole journal. Nil for store-less sessions. seenList mirrors
+	// it append-only for O(1) snapshot capture.
+	seen     map[string]struct{}
+	seenList []string
+
+	// snapMu serializes session-snapshot delivery to the store, which
+	// happens outside e.mu so O(session) state serialization no longer
+	// stalls folding. snapSeq is the highest Seq delivered; a snapshot
+	// overtaken by a newer one while waiting its turn is dropped
+	// (latest wins — the store only ever needs the most recent one).
+	snapMu  sync.Mutex
+	snapSeq int
 }
 
 // NewEngine validates cfg and builds an engine. ex overrides the
@@ -247,11 +262,18 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 	// tail-only resume possible; only store-backed sessions pay for it.
 	if cfg.Store != nil {
 		e.seen = make(map[string]struct{}, len(cfg.Seen)+len(e.res.Records))
+		e.seenList = make([]string, 0, len(cfg.Seen)+len(e.res.Records))
 		for k := range cfg.Seen {
 			e.seen[k] = struct{}{}
+			e.seenList = append(e.seenList, k)
 		}
 		for i := range e.res.Records {
-			e.seen[e.res.Records[i].Point.Key()] = struct{}{}
+			k := e.res.Records[i].Point.Key()
+			if _, dup := e.seen[k]; dup {
+				continue
+			}
+			e.seen[k] = struct{}{}
+			e.seenList = append(e.seenList, k)
 		}
 	}
 	e.explorer = ex
@@ -366,24 +388,92 @@ type ExecutedTest struct {
 	C   explore.Candidate
 	Rec Record
 	Out prog.Outcome
+	// Pre carries the precompute stage's output (see Precompute). Nil
+	// entries are precomputed by FoldBatch itself before it takes the
+	// session lock.
+	Pre *FoldPre
 }
 
-// FoldBatch folds a batch of executed tests under a single lock
-// acquisition, feeding the explorer through its batched report fast
-// path. Every executed test folds — observed outcomes are never
-// discarded, even when a Stop condition or the deadline fires mid-batch
-// (stopping only prevents further leases). It returns true when the
-// session should stop.
+// FoldPre is the output of the fold pipeline's precompute stage: the
+// pure, per-test work that commit would otherwise do under the session
+// lock. Executor workers fill it in parallel via Precompute; the commit
+// stage consumes it and re-verifies anything the index may have
+// invalidated in between, so results are identical to folding serially.
+type FoldPre struct {
+	// pointKey is the candidate's scenario key, shared by lease
+	// retirement, the seen tally and the novelty seed within one fold.
+	pointKey string
+	// stackKey is the injection stack's exact-match encoding (injected
+	// outcomes only), shared by the similarity memo and all cluster
+	// adds.
+	stackKey string
+	// sim/simVersion hold the screened MaxSimilarity answer and the
+	// similarity-index version it is exact for (feedback sessions
+	// only); commit extends it over stacks added since via
+	// ResolveSimilarity.
+	sim        float64
+	simVersion int
+	hasSim     bool
+}
+
+// Precompute runs the precompute stage of the fold pipeline for one
+// executed test: scenario keying, injection-stack hashing, and the
+// similarity screen against a read-mostly versioned view of the
+// similarity index (shared-lock only, so any number of workers screen
+// concurrently). It touches no mutable engine state and is safe to call
+// from executor goroutines. FoldBatch precomputes any entry that skipped
+// this stage, so calling it is an optimization, never a requirement.
+func (e *Engine) Precompute(et *ExecutedTest) {
+	pre := &FoldPre{pointKey: et.C.Point.Key()}
+	if et.Out.Injected {
+		pre.stackKey = cluster.StackKey(et.Out.InjectionStack)
+		if e.cfg.Feedback {
+			pre.sim, pre.simVersion = e.allStacks.PeekSimilarity(et.Out.InjectionStack, pre.stackKey)
+			pre.hasSim = true
+		}
+	}
+	et.Pre = pre
+}
+
+// FoldBatch folds a batch of executed tests as a two-phase pipeline:
+// first the precompute stage completes outside the session lock for any
+// entry the executor did not already precompute (scenario keying, stack
+// hashing, similarity screening — the expensive pure work), then the
+// short commit stage runs under one lock acquisition (tally, cluster-ID
+// assignment, explorer feedback, journal enqueue), re-verifying any
+// screened similarity against stacks added since it was screened. The
+// explorer is fed through its batched report fast path. Every executed
+// test folds — observed outcomes are never discarded, even when a Stop
+// condition or the deadline fires mid-batch (stopping only prevents
+// further leases). It returns true when the session should stop.
 //
 // When a Store is attached, each completed record is handed to it in
 // fold order (folds may come from concurrent RPC goroutines, so the
 // session lock is what provides that order). Store implementations only
 // enqueue here — journal encoding and file IO happen on the store's
-// background writer, never on the fold path.
+// background writer, never on the fold path. Periodic session snapshots
+// are captured as O(1) views under the lock and serialized to the store
+// after it is released (see deliverSnapshot).
 func (e *Engine) FoldBatch(batch []ExecutedTest) bool {
 	if len(batch) == 0 {
 		return false
 	}
+	for i := range batch {
+		if batch[i].Pre == nil {
+			e.Precompute(&batch[i])
+		}
+	}
+	stop, view := e.commitBatch(batch)
+	if view != nil {
+		e.deliverSnapshot(view)
+	}
+	return stop
+}
+
+// commitBatch is the fold pipeline's commit stage: everything that
+// mutates session state, under one lock acquisition. It returns the
+// captured session view when this batch crossed the snapshot cadence.
+func (e *Engine) commitBatch(batch []ExecutedTest) (bool, *sessionView) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	feedback := make([]explore.Feedback, 0, len(batch))
@@ -393,17 +483,26 @@ func (e *Engine) FoldBatch(batch []ExecutedTest) bool {
 	// appended no record, fed no explorer, journaled nothing).
 	folded := make([]int, 0, len(batch))
 	stop := false
+	var bs batchSnap
 	for i := range batch {
 		et := &batch[i]
-		if e.duplicateFoldLocked(et.C) {
+		if e.duplicateFoldLocked(et.Pre.pointKey) {
 			continue
 		}
-		stopped, fb := e.foldLocked(et.C, et.Rec, et.Out)
+		stopped, fb := e.foldLocked(et, &bs)
 		feedback = append(feedback, fb)
 		folded = append(folded, i)
 		stop = stop || stopped
 	}
+	// The deadline is checked once per batch (a sequential session folds
+	// batches of one, so its per-fold cadence is unchanged); Lease checks
+	// it too, so a stopped-on-time session also stops handing out work.
+	if !e.stopped && !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.stopped = true
+		stop = true
+	}
 	explore.ReportBatch(e.explorer, feedback)
+	var view *sessionView
 	if e.cfg.Store != nil && len(folded) > 0 {
 		// The completed records are the last len(folded) folds, in order.
 		recs := e.res.Records[len(e.res.Records)-len(folded):]
@@ -411,10 +510,10 @@ func (e *Engine) FoldBatch(batch []ExecutedTest) bool {
 			e.cfg.Store.JournalRecord(batch[i].C, recs[j])
 		}
 		e.sinceSnap += len(folded)
-		// Snapshot assembly is O(session) under the lock, so with the
-		// default cadence the interval scales with session size
-		// (amortized O(1) per fold); an explicit SnapshotEvery is
-		// honored exactly — tests pin it to control resume fidelity.
+		// Snapshot serialization is O(session), so with the default
+		// cadence the interval scales with session size (amortized O(1)
+		// per fold); an explicit SnapshotEvery is honored exactly —
+		// tests pin it to control resume fidelity.
 		threshold := e.cfg.SnapshotEvery
 		if e.adaptiveSnap {
 			if t := e.res.Executed / 8; t > threshold {
@@ -423,20 +522,19 @@ func (e *Engine) FoldBatch(batch []ExecutedTest) bool {
 		}
 		if e.sinceSnap >= threshold {
 			e.sinceSnap = 0
-			e.cfg.Store.SnapshotSession(e.sessionStateLocked())
+			view = e.sessionViewLocked()
 		}
 	}
-	return stop
+	return stop, view
 }
 
 // duplicateFoldLocked reports whether this fold is a duplicate of an
 // already-folded re-leased candidate (lease-expiry mode only) and, when
 // it is not, retires the candidate's lease entry.
-func (e *Engine) duplicateFoldLocked(c explore.Candidate) bool {
+func (e *Engine) duplicateFoldLocked(key string) bool {
 	if e.leases == nil {
 		return false
 	}
-	key := c.Point.Key()
 	if _, outstanding := e.leases[key]; !outstanding {
 		return true
 	}
@@ -444,7 +542,31 @@ func (e *Engine) duplicateFoldLocked(c explore.Candidate) bool {
 	return false
 }
 
-func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcome) (bool, explore.Feedback) {
+// batchSnap lazily caches one Snapshot per fold batch for the Progress
+// and Stop hooks. The expensive part — the portfolio explorer's per-arm
+// statistics — is built at most once per batch: arm state only changes
+// on lease and on the batched feedback report after the folds, so every
+// fold in a batch would see identical Arms anyway. Counters are
+// refreshed on every use.
+type batchSnap struct {
+	snap Snapshot
+	have bool
+}
+
+func (e *Engine) batchSnapshotLocked(bs *batchSnap) Snapshot {
+	if !bs.have {
+		bs.snap = e.snapshotLocked()
+		bs.have = true
+		return bs.snap
+	}
+	arms := bs.snap.Arms
+	bs.snap = e.quickSnapshotLocked()
+	bs.snap.Arms = arms
+	return bs.snap
+}
+
+func (e *Engine) foldLocked(et *ExecutedTest, bs *batchSnap) (bool, explore.Feedback) {
+	c, rec, outcome, pre := et.C, et.Rec, et.Out, et.Pre
 	if e.pending > 0 {
 		e.pending--
 	}
@@ -464,10 +586,14 @@ func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcom
 	for b := range outcome.Blocks {
 		if _, seen := e.covered[b]; !seen {
 			e.covered[b] = struct{}{}
+			e.coveredList = append(e.coveredList, b)
 			rec.NewBlocks++
 		}
 		if _, isRec := e.recoverySet[b]; isRec {
-			e.recovered[b] = struct{}{}
+			if _, have := e.recovered[b]; !have {
+				e.recovered[b] = struct{}{}
+				e.recoveredList = append(e.recoveredList, b)
+			}
 		}
 	}
 
@@ -475,20 +601,32 @@ func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcom
 	rec.Impact, rec.Relevance = e.cfg.Impact.score(outcome, rec.NewBlocks, rec.Plan, rec.TestID)
 
 	// Result-quality feedback (§7.4): scale fitness by dissimilarity to
-	// everything seen so far, then remember this stack.
+	// everything seen so far, then remember this stack. The precompute
+	// stage already screened the similarity against a versioned view of
+	// the index; ResolveSimilarity extends that answer over any stacks
+	// other folds added since the screen, so the value is exactly what a
+	// serial MaxSimilarity would compute here.
 	rec.Fitness = rec.Impact
 	if outcome.Injected {
 		if e.cfg.Feedback {
-			sim := e.allStacks.MaxSimilarity(outcome.InjectionStack)
+			var sim float64
+			if pre.hasSim {
+				sim = e.allStacks.ResolveSimilarity(outcome.InjectionStack, pre.stackKey, pre.sim, pre.simVersion)
+			} else {
+				sim = e.allStacks.MaxSimilarity(outcome.InjectionStack)
+			}
 			rec.Fitness = rec.Impact * cluster.FeedbackWeight(sim)
 		}
-		e.allStacks.Add(rec.ID, outcome.InjectionStack)
+		e.allStacks.AddKeyed(rec.ID, outcome.InjectionStack, pre.stackKey)
 	}
 
 	// Tally and cluster.
 	e.res.Executed++
 	if e.seen != nil {
-		e.seen[rec.Point.Key()] = struct{}{}
+		if _, dup := e.seen[pre.pointKey]; !dup {
+			e.seen[pre.pointKey] = struct{}{}
+			e.seenList = append(e.seenList, pre.pointKey)
+		}
 	}
 	if rec.Skipped {
 		e.res.Holes++
@@ -499,12 +637,12 @@ func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcom
 	newCluster := false
 	if outcome.Injected && outcome.Failed {
 		e.res.Failed++
-		id, isNew := e.failClusters.Add(rec.ID, outcome.InjectionStack)
+		id, isNew := e.failClusters.AddKeyed(rec.ID, outcome.InjectionStack, pre.stackKey)
 		rec.Cluster = id
 		newCluster = isNew
 		if outcome.Crashed {
 			e.res.Crashed++
-			e.crashClusters.Add(rec.ID, outcome.InjectionStack)
+			e.crashClusters.AddKeyed(rec.ID, outcome.InjectionStack, pre.stackKey)
 			if outcome.CrashID != "" {
 				e.res.CrashIDs[outcome.CrashID]++
 			}
@@ -521,13 +659,9 @@ func (e *Engine) foldLocked(c explore.Candidate, rec Record, outcome prog.Outcom
 		e.cfg.Observe(rec)
 	}
 	if e.cfg.Progress != nil && e.res.Executed%e.cfg.ProgressEvery == 0 {
-		e.cfg.Progress(e.snapshotLocked())
+		e.cfg.Progress(e.batchSnapshotLocked(bs))
 	}
-	if e.cfg.Stop != nil && e.cfg.Stop(e.snapshotLocked()) {
-		e.stopped = true
-		return true, fb
-	}
-	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+	if e.cfg.Stop != nil && e.cfg.Stop(e.batchSnapshotLocked(bs)) {
 		e.stopped = true
 		return true, fb
 	}
@@ -583,12 +717,14 @@ func (e *Engine) Snapshot() Snapshot {
 	return e.snapshotLocked()
 }
 
-func (e *Engine) snapshotLocked() Snapshot {
+// quickSnapshotLocked fills the counter fields of a Snapshot — the O(1)
+// part, cheap enough to refresh on every fold.
+func (e *Engine) quickSnapshotLocked() Snapshot {
 	cov := 0.0
 	if e.cfg.Target != nil && e.cfg.Target.NumBlocks > 0 {
 		cov = float64(len(e.covered)) / float64(e.cfg.Target.NumBlocks)
 	}
-	s := Snapshot{
+	return Snapshot{
 		Executed:       e.res.Executed,
 		Injected:       e.res.Injected,
 		Failed:         e.res.Failed,
@@ -599,6 +735,10 @@ func (e *Engine) snapshotLocked() Snapshot {
 		Pending:        e.pending,
 		Coverage:       cov,
 	}
+}
+
+func (e *Engine) snapshotLocked() Snapshot {
+	s := e.quickSnapshotLocked()
 	if e.armStats != nil {
 		s.Arms = e.armStats()
 	}
@@ -608,8 +748,23 @@ func (e *Engine) snapshotLocked() Snapshot {
 // Finish seals and returns the result set: elapsed time, final
 // sensitivities, unique-cluster counts and coverage fractions. It is
 // idempotent; the first call fixes Elapsed and, when a Store is
-// attached, emits the final session snapshot.
+// attached, emits the final session snapshot (serialized outside the
+// session lock, like periodic ones).
 func (e *Engine) Finish() *ResultSet {
+	res, view, runner := e.finishLocked()
+	if view != nil {
+		e.deliverSnapshot(view)
+	}
+	if runner != nil {
+		// Release the execution backend (the process pool waits out its
+		// in-flight subprocesses). Engine executors are not used after
+		// Finish.
+		_ = runner.Close()
+	}
+	return res
+}
+
+func (e *Engine) finishLocked() (*ResultSet, *sessionView, backend.Runner) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	first := !e.finished
@@ -635,16 +790,15 @@ func (e *Engine) Finish() *ResultSet {
 	}
 	e.res.failClusters = e.failClusters
 	e.res.crashClusters = e.crashClusters
+	var view *sessionView
 	if first && e.cfg.Store != nil {
-		e.cfg.Store.SnapshotSession(e.sessionStateLocked())
+		view = e.sessionViewLocked()
 	}
-	if first && e.runner != nil {
-		// Release the execution backend (the process pool waits out its
-		// in-flight subprocesses). Engine executors are not used after
-		// Finish.
-		_ = e.runner.Close()
+	var runner backend.Runner
+	if first {
+		runner = e.runner
 	}
-	return e.res
+	return e.res, view, runner
 }
 
 // LocalExecutor returns the engine's own executor: scenarios convert
@@ -786,9 +940,15 @@ func (e *Engine) runParallel(exec Executor, workers, batch int) {
 					default:
 					}
 					rec, out := exec.Execute(c)
+					// Precompute stage of the fold pipeline: the worker does
+					// the pure per-test work (keying, stack hashing, the
+					// similarity screen) here, in parallel, so the reducer's
+					// commit under the session lock stays short.
+					et := ExecutedTest{C: c, Rec: rec, Out: out}
+					e.Precompute(&et)
 					// Unconditional send: the reducer drains until the
 					// channel closes, so executed outcomes are never lost.
-					results <- ExecutedTest{C: c, Rec: rec, Out: out}
+					results <- et
 				}
 			}
 		}()

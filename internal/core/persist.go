@@ -7,15 +7,22 @@ package core
 // prior journal + snapshot) is applied by NewEngine so a session
 // continues exactly where the previous process stopped.
 //
-// Ordering contract: JournalRecord and SnapshotSession are called under
-// the session lock, in fold order (folds can arrive from concurrent RPC
-// goroutines; the lock is what serializes them). A SnapshotSession(st)
-// call is made only after every record with ID < st.Seq has been passed
-// to JournalRecord, so a store that writes in call order can guarantee
-// snapshot.Seq never runs ahead of the journal. Because these callbacks
-// extend the fold critical section, implementations must only enqueue —
-// internal/store pushes onto an unbounded in-memory queue and does all
-// JSON encoding and file IO on a background writer goroutine.
+// Ordering contract: JournalRecord is called under the session lock, in
+// fold order (folds can arrive from concurrent RPC goroutines; the lock
+// is what serializes them). SnapshotSession is called outside the
+// session lock — the engine captures an O(1) view of session state
+// under the lock and serializes it afterwards, so O(session) snapshot
+// assembly never stalls folding — but calls remain serialized (on their
+// own mutex), monotone in Seq (a snapshot overtaken by a newer one is
+// dropped; latest wins), and each SnapshotSession(st) still happens
+// only after every record with ID < st.Seq has been passed to
+// JournalRecord, so a store that writes in call order can guarantee
+// snapshot.Seq never runs ahead of the journal. Because JournalRecord
+// extends the fold critical section and SnapshotSession may run
+// concurrently with it, implementations must protect their queue and
+// only enqueue — internal/store pushes onto a mutex-guarded in-memory
+// queue and does all JSON encoding and file IO on a background writer
+// goroutine.
 
 import (
 	"fmt"
@@ -26,10 +33,11 @@ import (
 	"afex/internal/explore"
 )
 
-// Store receives the engine's durable output. The engine serializes
-// calls (they happen under the session lock), so implementations need no
-// locking of their own beyond protecting their queue; they must never
-// block on IO.
+// Store receives the engine's durable output. JournalRecord calls are
+// serialized by the session lock; SnapshotSession calls are serialized
+// by the engine's snapshot mutex but may interleave with JournalRecord,
+// so implementations must protect their queue. They must never block on
+// IO.
 type Store interface {
 	// JournalRecord is called once per folded test with the completed
 	// record and the candidate that produced it (the candidate carries
@@ -212,6 +220,16 @@ func (e *Engine) applyRestore(r *Restore) error {
 			}
 		}
 	}
+	// Rebuild the append-only snapshot mirrors of the coverage maps
+	// (order is irrelevant — snapshot assembly sorts a copy).
+	e.coveredList = make([]int, 0, len(e.covered))
+	for b := range e.covered {
+		e.coveredList = append(e.coveredList, b)
+	}
+	e.recoveredList = make([]int, 0, len(e.recovered))
+	for b := range e.recovered {
+		e.recoveredList = append(e.recoveredList, b)
+	}
 	e.prevElapsed = r.Elapsed
 	return nil
 }
@@ -234,49 +252,114 @@ func restoreExplorer(ex explore.Explorer, r *Restore) (explore.Explorer, error) 
 	return ex, nil
 }
 
-// sessionStateLocked builds a consistent snapshot; callers hold e.mu and
-// hand the result to the store after unlocking.
-func (e *Engine) sessionStateLocked() *SessionState {
-	st := &SessionState{
-		Seq:           e.res.Executed,
-		Elapsed:       e.prevElapsed + time.Since(e.start),
-		Covered:       sortedKeys(e.covered),
-		Recovered:     sortedKeys(e.recovered),
-		AllStacks:     e.allStacks.ExportState(),
-		FailClusters:  e.failClusters.ExportState(),
-		CrashClusters: e.crashClusters.ExportState(),
-		Aggregates: &Aggregates{
-			Injected: e.res.Injected,
-			Failed:   e.res.Failed,
-			Crashed:  e.res.Crashed,
-			Hung:     e.res.Hung,
-			Holes:    e.res.Holes,
-		},
+// sessionView is a consistent point-in-time capture of the resumable
+// session state, taken in O(counters + #clusters) under e.mu and
+// materialized into a SessionState outside it. The list fields are
+// views into the engine's append-only mirrors (coveredList,
+// recoveredList, seenList) and the cluster sets' append-only logs: the
+// captured slice headers pin the lengths, and no element behind them is
+// ever mutated in place, so assembling — the O(session) copying and
+// sorting — races with nothing even while folds continue.
+type sessionView struct {
+	seq           int
+	elapsed       time.Duration
+	covered       []int
+	recovered     []int
+	seenKeys      []string
+	allStacks     *cluster.SetView
+	failClusters  *cluster.SetView
+	crashClusters *cluster.SetView
+	explorer      *explore.State
+	injected      int
+	failed        int
+	crashed       int
+	hung          int
+	holes         int
+	crashIDs      map[string]int
+}
+
+// sessionViewLocked captures a snapshot view; callers hold e.mu and
+// hand the result to deliverSnapshot after unlocking.
+func (e *Engine) sessionViewLocked() *sessionView {
+	v := &sessionView{
+		seq:           e.res.Executed,
+		elapsed:       e.prevElapsed + time.Since(e.start),
+		covered:       e.coveredList,
+		recovered:     e.recoveredList,
+		seenKeys:      e.seenList,
+		allStacks:     e.allStacks.View(),
+		failClusters:  e.failClusters.View(),
+		crashClusters: e.crashClusters.View(),
+		injected:      e.res.Injected,
+		failed:        e.res.Failed,
+		crashed:       e.res.Crashed,
+		hung:          e.res.Hung,
+		holes:         e.res.Holes,
 	}
+	// CrashIDs counts mutate in place, so the (small) map is copied here
+	// rather than viewed. The explorer also mutates in place; exporting
+	// its state stays under the lock (it is O(arms + mutation pool), not
+	// O(session)).
 	if len(e.res.CrashIDs) > 0 {
-		st.Aggregates.CrashIDs = make(map[string]int, len(e.res.CrashIDs))
+		v.crashIDs = make(map[string]int, len(e.res.CrashIDs))
 		for id, n := range e.res.CrashIDs {
-			st.Aggregates.CrashIDs[id] = n
+			v.crashIDs[id] = n
 		}
-	}
-	if e.seen != nil {
-		st.Aggregates.SeenKeys = make([]string, 0, len(e.seen))
-		for k := range e.seen {
-			st.Aggregates.SeenKeys = append(st.Aggregates.SeenKeys, k)
-		}
-		sort.Strings(st.Aggregates.SeenKeys)
 	}
 	if se, ok := e.explorer.(explore.StatefulExplorer); ok {
-		st.Explorer = se.ExportState()
+		v.explorer = se.ExportState()
+	}
+	return v
+}
+
+// assemble materializes the view as a serializable SessionState. No
+// locks; see sessionView.
+func (v *sessionView) assemble() *SessionState {
+	st := &SessionState{
+		Seq:           v.seq,
+		Elapsed:       v.elapsed,
+		Covered:       sortedIntCopy(v.covered),
+		Recovered:     sortedIntCopy(v.recovered),
+		AllStacks:     v.allStacks.ExportState(),
+		FailClusters:  v.failClusters.ExportState(),
+		CrashClusters: v.crashClusters.ExportState(),
+		Explorer:      v.explorer,
+		Aggregates: &Aggregates{
+			Injected: v.injected,
+			Failed:   v.failed,
+			Crashed:  v.crashed,
+			Hung:     v.hung,
+			Holes:    v.holes,
+			CrashIDs: v.crashIDs,
+		},
+	}
+	if len(v.seenKeys) > 0 {
+		keys := append([]string(nil), v.seenKeys...)
+		sort.Strings(keys)
+		st.Aggregates.SeenKeys = keys
 	}
 	return st
 }
 
-func sortedKeys(m map[int]struct{}) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+// deliverSnapshot serializes a captured view and hands it to the store,
+// outside the session lock. Delivery is serialized and monotone in Seq:
+// with concurrent fold batches, a view that waited while a newer one
+// was delivered is dropped — the store only ever needs the most recent
+// snapshot, and dropping keeps Seq ordered so a store writing in call
+// order never runs a snapshot ahead of its journal records.
+func (e *Engine) deliverSnapshot(v *sessionView) {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if v.seq < e.snapSeq {
+		return
 	}
+	e.snapSeq = v.seq
+	e.cfg.Store.SnapshotSession(v.assemble())
+}
+
+func sortedIntCopy(s []int) []int {
+	out := make([]int, 0, len(s))
+	out = append(out, s...)
 	sort.Ints(out)
 	return out
 }
