@@ -1,8 +1,12 @@
 package afex
 
 import (
+	"fmt"
+	"time"
+
 	"afex/internal/core"
 	"afex/internal/explore"
+	"afex/internal/faultspace"
 	"afex/internal/rpcnode"
 	"afex/internal/store"
 )
@@ -77,6 +81,103 @@ func NewCoordinatorFor(space *Space, algorithm string, cfg ExploreOptions, budge
 	return rpcnode.NewCoordinatorConfig(core.Config{Space: space, Iterations: budget}, ex, nil)
 }
 
+// CoordinatorOptions configures NewCoordinatorWithOptions — the full
+// surface of a (possibly persistent, possibly peer-sharded)
+// distributed coordinator.
+type CoordinatorOptions struct {
+	// TargetName labels the session (managers load the target itself).
+	TargetName string
+	// Space is the fault space to explore — the full space; when
+	// Peers > 1 the coordinator carves out and explores only its own
+	// region (Space.Shard(Peers)[Peer]).
+	Space *Space
+	// Algorithm selects the exploration strategy ("" = fitness).
+	Algorithm string
+	// Explore tunes it (Seed et al.).
+	Explore ExploreOptions
+	// Budget caps executed tests (0 = until the region is exhausted).
+	Budget int
+	// Shards partitions this coordinator's own space into disjoint
+	// per-strategy regions (within its peer region, when both are set).
+	Shards int
+	// LeaseTimeout re-leases tasks never reported back (0 = never).
+	LeaseTimeout time.Duration
+	// HeartbeatEvery/HeartbeatMisses enable heartbeat-driven liveness:
+	// a manager silent for HeartbeatMisses beats has its leases expired
+	// immediately (see Coordinator.SetHeartbeat). Zero disables.
+	HeartbeatEvery  time.Duration
+	HeartbeatMisses int
+	// StateDir persists the session (empty = in-memory only);
+	// JournalFormat picks the journal encoding for a new directory, and
+	// Resume restores the explorer's search state.
+	StateDir      string
+	JournalFormat string
+	Resume        bool
+	// Peer/Peers place this coordinator in a multi-coordinator hunt:
+	// the space is split across Peers coordinators via Space.Shard and
+	// this one owns region Peer (0-based). The assignment is recorded
+	// in the state directory's meta.json, so each peer can only ever
+	// resume its own region. Peers <= 1 means single-coordinator.
+	Peer  int
+	Peers int
+}
+
+// NewCoordinatorWithOptions builds a distributed coordinator from the
+// full options surface: any registered strategy, optional persistence,
+// lease expiry, heartbeat liveness, and multi-coordinator peer
+// sharding. The returned cleanup flushes and closes the store (a no-op
+// without StateDir); call it after Coordinator.Result.
+func NewCoordinatorWithOptions(o CoordinatorOptions) (*Coordinator, func() error, error) {
+	space := o.Space
+	if o.Peers > 1 {
+		if o.Peer < 0 || o.Peer >= o.Peers {
+			return nil, nil, fmt.Errorf("afex: peer %d out of range for %d peers", o.Peer, o.Peers)
+		}
+		regions := space.Shard(o.Peers)
+		if o.Peer >= len(regions) {
+			return nil, nil, fmt.Errorf("afex: space %q splits into only %d regions, peer %d has none",
+				faultspace.Signature(space), len(regions), o.Peer)
+		}
+		space = regions[o.Peer]
+	}
+	ecfg := core.Config{Space: space, Iterations: o.Budget, Resume: o.Resume}
+	cleanup := func() error { return nil }
+	if o.StateDir != "" {
+		st, err := store.OpenOptions(o.StateDir, store.Options{
+			Format:     o.JournalFormat,
+			TailResume: o.Resume,
+			Peer:       o.Peer,
+			Peers:      o.Peers,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := st.AttachNamed(&ecfg, o.TargetName); err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+		cleanup = st.Close
+	}
+	ex, err := newClusterExplorer(space, o.Algorithm, o.Explore, o.Shards)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	coord, err := rpcnode.NewCoordinatorConfig(ecfg, ex, nil)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	coord.SetTargetName(o.TargetName)
+	if o.LeaseTimeout > 0 {
+		coord.SetLeaseTimeout(o.LeaseTimeout)
+	}
+	if o.HeartbeatEvery > 0 {
+		coord.SetHeartbeat(o.HeartbeatEvery, o.HeartbeatMisses)
+	}
+	return coord, cleanup, nil
+}
+
 // NewPersistentCoordinator is NewCoordinatorFor backed by the
 // persistent exploration store: the coordinator journals every result
 // its managers report under stateDir, snapshots the session state, and —
@@ -91,27 +192,16 @@ func NewCoordinatorFor(space *Space, algorithm string, cfg ExploreOptions, budge
 // The returned cleanup function flushes and closes the store; call it
 // after Coordinator.Result.
 func NewPersistentCoordinator(targetName string, space *Space, algorithm string, cfg ExploreOptions, budget, shards int, stateDir string, resume bool) (*Coordinator, func() error, error) {
-	ecfg := core.Config{Space: space, Iterations: budget, Resume: resume}
-	st, err := store.OpenOptions(stateDir, store.Options{TailResume: resume})
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := st.AttachNamed(&ecfg, targetName); err != nil {
-		st.Close()
-		return nil, nil, err
-	}
-	ex, err := newClusterExplorer(space, algorithm, cfg, shards)
-	if err != nil {
-		st.Close()
-		return nil, nil, err
-	}
-	coord, err := rpcnode.NewCoordinatorConfig(ecfg, ex, nil)
-	if err != nil {
-		st.Close()
-		return nil, nil, err
-	}
-	coord.SetTargetName(targetName)
-	return coord, st.Close, nil
+	return NewCoordinatorWithOptions(CoordinatorOptions{
+		TargetName: targetName,
+		Space:      space,
+		Algorithm:  algorithm,
+		Explore:    cfg,
+		Budget:     budget,
+		Shards:     shards,
+		StateDir:   stateDir,
+		Resume:     resume,
+	})
 }
 
 // ServeCoordinator starts serving the coordinator on addr ("host:port";

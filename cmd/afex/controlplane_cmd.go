@@ -1,0 +1,171 @@
+package main
+
+// The control-plane client subcommands: `afex submit` posts a session
+// spec to a `serve --http` server and prints the session ID; `afex
+// status` renders the server's session statuses — the same wire schema
+// (controlplane.Status) in list, detail, and --json forms.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"afex/internal/controlplane"
+)
+
+// defaultControlAddr is where the client subcommands look for the
+// control plane unless --http says otherwise.
+const defaultControlAddr = "127.0.0.1:8040"
+
+func cmdSubmit(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	httpAddr := fs.String("http", defaultControlAddr, "control-plane server address")
+	spec := controlplane.SessionSpec{}
+	fs.StringVar(&spec.Target, "target", "coreutils", "target system under test: a built-in model or a \"cmd:\" spec")
+	fs.StringVar(&spec.Backend, "backend", "", "execution backend (local sessions; default inferred from the target)")
+	fs.StringVar(&spec.Space, "space", "", "fault-space description (literal or @file); required for cmd: targets")
+	fs.StringVar(&spec.Algorithm, "algorithm", "", "exploration strategy (default fitness)")
+	fs.StringVar(&spec.Algorithm, "algo", "", "alias for --algorithm")
+	fs.IntVar(&spec.Iterations, "iterations", 0, "test budget (0 = until exhausted; coordinator sessions then run until stopped)")
+	fs.Int64Var(&spec.Seed, "seed", 1, "RNG seed")
+	fs.IntVar(&spec.Workers, "workers", 0, "local worker count")
+	fs.IntVar(&spec.Shards, "shards", 0, "partition the session's space into disjoint per-strategy regions")
+	fs.BoolVar(&spec.Feedback, "feedback", false, "enable result-quality feedback")
+	fs.IntVar(&spec.Funcs, "funcs", 0, "function-axis size for profiled spaces (default 19)")
+	fs.IntVar(&spec.CallLo, "call-lo", 0, "callNumber axis lower bound (default 1)")
+	fs.IntVar(&spec.CallHi, "call-hi", 0, "callNumber axis upper bound (default 10)")
+	var testArgs multiFlag
+	fs.Var(&testArgs, "test-args", "process backend: argument row for one testID (repeatable)")
+	fs.StringVar(&spec.Timeout, "timeout", "", "process backend: per-test wall-clock cap (duration)")
+	fs.IntVar(&spec.Procs, "procs", 0, "process backend: max concurrent subprocesses")
+	fs.IntVar(&spec.TestsPerProc, "tests-per-proc", 0, "process backend: tests per warm worker before recycling")
+	fs.StringVar(&spec.TimeBudget, "time-budget", "", "stop the session after this much wall clock (duration)")
+	fs.StringVar(&spec.StateDir, "state-dir", "", "persist the session in this state directory on the server")
+	fs.StringVar(&spec.JournalFormat, "journal-format", "", "journal encoding for a new state directory")
+	fs.BoolVar(&spec.Resume, "resume", false, "restore the explorer's search state from the state directory")
+	fs.StringVar(&spec.Serve, "serve", "", "coordinator mode: serve the manager RPC protocol on this address")
+	fs.StringVar(&spec.LeaseTimeout, "lease-timeout", "", "re-lease unreported tasks after this long (duration)")
+	fs.StringVar(&spec.Heartbeat, "heartbeat", "", "coordinator mode: manager heartbeat interval (duration)")
+	fs.IntVar(&spec.HeartbeatMisses, "heartbeat-misses", 0, "heartbeats a manager may miss before its leases expire")
+	fs.IntVar(&spec.Peer, "peer", 0, "this session's 0-based region among --peers peer coordinators")
+	fs.IntVar(&spec.Peers, "peers", 0, "split the space across this many peer coordinators")
+	wait := fs.Bool("wait", false, "block until the session finishes and print its final progress line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if strings.HasPrefix(spec.Space, "@") {
+		raw, err := os.ReadFile(spec.Space[1:])
+		if err != nil {
+			return err
+		}
+		spec.Space = string(raw)
+	}
+	spec.TestArgs = testArgs
+
+	cl := controlplane.NewClient(*httpAddr)
+	st, err := cl.Submit(spec)
+	if err != nil {
+		return err
+	}
+	// The bare ID is the machine-readable output (ID=$(afex submit …));
+	// everything descriptive goes to stderr.
+	fmt.Fprintln(w, st.ID)
+	if st.Addr != "" {
+		fmt.Fprintf(os.Stderr, "submitted %s session %s (%s); managers connect to %s\n", st.Mode, st.ID, st.Target, st.Addr)
+	} else {
+		fmt.Fprintf(os.Stderr, "submitted %s session %s (%s)\n", st.Mode, st.ID, st.Target)
+	}
+	if !*wait {
+		return nil
+	}
+	final, err := cl.Wait(st.ID, 200*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s\n", final.State, final.Progress)
+	if final.State == controlplane.StateFailed {
+		return fmt.Errorf("session %s failed: %s", final.ID, final.Error)
+	}
+	if final.Snapshot.Failed > 0 {
+		return fmt.Errorf("%d failures in %d clusters: %w",
+			final.Snapshot.Failed, final.Snapshot.UniqueFailures, errFailuresFound)
+	}
+	return nil
+}
+
+// writeStatus renders one session's status in the stable key-value
+// form `afex status <id>` prints (time-free, so golden-testable).
+func writeStatus(w io.Writer, st controlplane.Status) {
+	fmt.Fprintf(w, "session    %s\n", st.ID)
+	fmt.Fprintf(w, "state      %s\n", st.State)
+	fmt.Fprintf(w, "mode       %s\n", st.Mode)
+	fmt.Fprintf(w, "target     %s\n", st.Target)
+	if st.Backend != "" {
+		fmt.Fprintf(w, "backend    %s\n", st.Backend)
+	}
+	fmt.Fprintf(w, "algorithm  %s\n", st.Algorithm)
+	if st.Addr != "" {
+		fmt.Fprintf(w, "addr       %s\n", st.Addr)
+	}
+	if st.Budget > 0 {
+		fmt.Fprintf(w, "budget     %d\n", st.Budget)
+	}
+	if st.Peers > 1 {
+		fmt.Fprintf(w, "peer       %d of %d\n", st.Peer, st.Peers)
+	}
+	if st.StateDir != "" {
+		fmt.Fprintf(w, "state-dir  %s\n", st.StateDir)
+	}
+	fmt.Fprintf(w, "progress   %s\n", st.Progress)
+	for id, n := range st.PerManager {
+		fmt.Fprintf(w, "manager    %s executed %d\n", id, n)
+	}
+	if st.Store != nil {
+		fmt.Fprintf(w, "journal    %s, %d entries, %d runs\n", st.Store.Format, st.Store.Entries, st.Store.Runs)
+	}
+	if st.Error != "" {
+		fmt.Fprintf(w, "error      %s\n", st.Error)
+	}
+}
+
+func cmdStatus(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	httpAddr := fs.String("http", defaultControlAddr, "control-plane server address")
+	asJSON := fs.Bool("json", false, "emit the wire-format status JSON unmodified")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cl := controlplane.NewClient(*httpAddr)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if fs.NArg() == 0 {
+		list, err := cl.List()
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return enc.Encode(list)
+		}
+		if len(list) == 0 {
+			fmt.Fprintln(w, "no sessions")
+			return nil
+		}
+		for _, st := range list {
+			fmt.Fprintf(w, "%-4s %-8s %-11s %-10s %s\n", st.ID, st.State, st.Mode, st.Target, st.Progress)
+		}
+		return nil
+	}
+	st, err := cl.Status(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return enc.Encode(st)
+	}
+	writeStatus(w, st)
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+// Golden coverage for the control-plane client subcommands: one
+// deterministic model session driven through a real in-process server,
+// then `submit` and `status` output pinned byte-for-byte.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"afex/internal/controlplane"
+)
+
+// startControlPlane boots an in-process control-plane server and
+// returns its address.
+func startControlPlane(t *testing.T) string {
+	t.Helper()
+	srv, err := controlplane.Serve("127.0.0.1:0", controlplane.NewManager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+func TestSubmitStatusGolden(t *testing.T) {
+	addr := startControlPlane(t)
+
+	// Submit a deterministic session and wait it out. The model target
+	// finds failures, so --wait exits with the CI-gating status.
+	var submitOut bytes.Buffer
+	err := cmdSubmit([]string{
+		"--http", addr,
+		"--target", "mysqld",
+		"--iterations", "40",
+		"--seed", "5",
+		"--wait",
+	}, &submitOut)
+	if err := noFailures(err); err != nil {
+		t.Fatal(err)
+	}
+	// submit's stdout is the bare session ID — scripting contract.
+	checkGolden(t, "submit.golden", submitOut.Bytes())
+	id := strings.TrimSpace(submitOut.String())
+
+	var detail bytes.Buffer
+	if err := cmdStatus([]string{"--http", addr, id}, &detail); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "status.golden", detail.Bytes())
+
+	var list bytes.Buffer
+	if err := cmdStatus([]string{"--http", addr}, &list); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "status_list.golden", list.Bytes())
+
+	// --json emits the wire document unmodified: decoding it yields
+	// exactly what the client library sees.
+	var rawJSON bytes.Buffer
+	if err := cmdStatus([]string{"--http", addr, "--json", id}, &rawJSON); err != nil {
+		t.Fatal(err)
+	}
+	var fromCmd controlplane.Status
+	if err := json.Unmarshal(rawJSON.Bytes(), &fromCmd); err != nil {
+		t.Fatal(err)
+	}
+	fromClient, err := controlplane.NewClient(addr).Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromCmd, fromClient) {
+		t.Fatalf("status --json %+v != client status %+v", fromCmd, fromClient)
+	}
+	checkGolden(t, "status_json.golden", rawJSON.Bytes())
+}
+
+func TestStatusUnknownSession(t *testing.T) {
+	addr := startControlPlane(t)
+	var buf bytes.Buffer
+	if err := cmdStatus([]string{"--http", addr, "nope"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "no session") {
+		t.Fatalf("err = %v, want no-session error", err)
+	}
+}

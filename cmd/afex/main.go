@@ -41,6 +41,7 @@ import (
 
 	"afex"
 	"afex/internal/backend"
+	"afex/internal/controlplane"
 	"afex/internal/dsl"
 	"afex/internal/inject"
 	"afex/internal/prog"
@@ -71,6 +72,10 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "worker":
 		err = cmdWorker(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:], os.Stdout)
+	case "status":
+		err = cmdStatus(os.Args[2:], os.Stdout)
 	case "targets":
 		err = cmdTargets(os.Args[2:], os.Stdout)
 	case "stats":
@@ -98,8 +103,11 @@ commands:
   explore   search a target's fault space for high-impact faults
   replay    re-inject one scenario — or a journal of recorded failures
   profile   run the suite under tracing; print the fault-space description
-  serve     run an exploration coordinator for remote node managers
+  serve     run an exploration coordinator for remote node managers,
+            or (--http) the control-plane HTTP server hosting many sessions
   worker    join a coordinator as a node manager
+  submit    submit a session to a control-plane server; prints the session ID
+  status    show control-plane sessions: list, one session, or --json
   targets   list built-in targets and registered execution backends
   stats     inspect a state directory: journal format, entries, resume tail
 
@@ -292,9 +300,11 @@ func startProgress(eng *afex.Engine, every time.Duration) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				s := eng.Snapshot()
-				fmt.Fprintf(os.Stderr, "progress: executed=%d failures=%d clusters=%d leases=%d coverage=%.1f%%\n",
-					s.Executed, s.Failed, s.UniqueFailures, s.Pending, 100*s.Coverage)
+				// Summary is the same rendering the control plane's status
+				// endpoint serves, so terminal and API watchers read the
+				// identical line — per-arm portfolio stats and lease waits
+				// included.
+				fmt.Fprintf(os.Stderr, "progress: %s\n", eng.Snapshot().Summary())
 			}
 		}
 	}()
@@ -519,6 +529,7 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	targetName := fs.String("target", "coreutils", "target system under test")
 	addr := fs.String("addr", ":7070", "listen address")
+	httpAddr := fs.String("http", "", "run the control-plane HTTP server on this address instead of a single coordinator; sessions are then submitted via `afex submit` or POST /v1/sessions")
 	iterations := fs.Int("iterations", 500, "test budget (0 = until exhausted)")
 	algorithm := fs.String("algorithm", afex.FitnessGuided, "exploration strategy: "+strings.Join(afex.Algorithms(), " | "))
 	fs.StringVar(algorithm, "algo", afex.FitnessGuided, "alias for --algorithm")
@@ -531,8 +542,23 @@ func cmdServe(args []string) error {
 	resume := fs.Bool("resume", false, "with --state-dir: restore the explorer's search state from the last snapshot")
 	backendName := fs.String("backend", "", "validate that workers will use this execution backend name: "+strings.Join(afex.Backends(), " | ")+" (the backend itself runs on the workers)")
 	leaseTimeout := fs.Duration("lease-timeout", 0, "re-lease tasks a manager never reported back after this long (0 = never; leases then leak if a manager dies)")
+	heartbeat := fs.Duration("heartbeat", 0, "expect manager heartbeats at this interval; a manager missing --heartbeat-misses beats has its leases expired immediately (0 = off)")
+	heartbeatMisses := fs.Int("heartbeat-misses", 0, "heartbeats a manager may miss before being declared dead (0 = default)")
+	peers := fs.Int("peers", 0, "split the space across this many peer coordinators via disjoint sharding; this process serves region --peer")
+	peer := fs.Int("peer", 0, "this coordinator's 0-based region index among --peers")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *httpAddr != "" {
+		m := controlplane.NewManager()
+		srv, err := controlplane.Serve(*httpAddr, m)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("control plane listening on http://%s\n", srv.Addr())
+		fmt.Println("submit sessions with `afex submit --http " + srv.Addr() + " ...`; press Ctrl-C to stop")
+		select {} // serve until killed
 	}
 	if *resume && *stateDir == "" {
 		return fmt.Errorf("--resume requires --state-dir")
@@ -556,23 +582,23 @@ func cmdServe(args []string) error {
 		return err
 	}
 	space := afex.SpaceFor(target, *nFuncs, *callLo, *callHi)
-	var coord *afex.Coordinator
-	cleanup := func() error { return nil }
-	if *stateDir != "" {
-		coord, cleanup, err = afex.NewPersistentCoordinator(target.Name, space, *algorithm,
-			afex.ExploreOptions{Seed: *seed}, *iterations, *shards, *stateDir, *resume)
-		if err != nil {
-			return err
-		}
-	} else {
-		coord, err = afex.NewCoordinatorFor(space, *algorithm, afex.ExploreOptions{Seed: *seed}, *iterations, *shards)
-		if err != nil {
-			return err
-		}
-		coord.SetTargetName(target.Name)
-	}
-	if *leaseTimeout > 0 {
-		coord.SetLeaseTimeout(*leaseTimeout)
+	coord, cleanup, err := afex.NewCoordinatorWithOptions(afex.CoordinatorOptions{
+		TargetName:      target.Name,
+		Space:           space,
+		Algorithm:       *algorithm,
+		Explore:         afex.ExploreOptions{Seed: *seed},
+		Budget:          *iterations,
+		Shards:          *shards,
+		LeaseTimeout:    *leaseTimeout,
+		HeartbeatEvery:  *heartbeat,
+		HeartbeatMisses: *heartbeatMisses,
+		StateDir:        *stateDir,
+		Resume:          *resume,
+		Peer:            *peer,
+		Peers:           *peers,
+	})
+	if err != nil {
+		return err
 	}
 	srv, err := afex.ServeCoordinator(*addr, coord)
 	if err != nil {
@@ -580,7 +606,12 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("coordinator serving %s exploration on %s (budget %d tests)\n", target.Name, srv.Addr(), *iterations)
+	if *peers > 1 {
+		fmt.Printf("coordinator serving %s exploration on %s (budget %d tests, region %d of %d)\n",
+			target.Name, srv.Addr(), *iterations, *peer, *peers)
+	} else {
+		fmt.Printf("coordinator serving %s exploration on %s (budget %d tests)\n", target.Name, srv.Addr(), *iterations)
+	}
 	fmt.Println("press Ctrl-C to stop; stats are printed when the budget is reached")
 	// Poll until the budget is consumed (a restored session counts its
 	// prior runs' tests toward the budget).

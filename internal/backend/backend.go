@@ -95,3 +95,11 @@ type Runner interface {
 	// fixtures); the runner is unusable afterwards. Idempotent.
 	Close() error
 }
+
+// Recycler is the optional capability of runners that maintain a warm
+// worker pool: Recycles reports how many worker processes have been
+// recycled after serving their scenario quota. It must be safe to call
+// concurrently with Run (the engine reads it while snapshotting).
+type Recycler interface {
+	Recycles() int64
+}

@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/exec"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"afex/internal/inject"
@@ -74,10 +75,16 @@ type workerRunner struct {
 	// (spawn lazily on first use). Receiving a slot bounds concurrency
 	// exactly like the cold runner's semaphore.
 	slots chan *worker
+	// recycled counts workers retired after serving their quota
+	// (Recycler capability; shutdown retires are not recycles).
+	recycled atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
 }
+
+// Recycles implements Recycler: quota-driven worker recycles so far.
+func (p *workerRunner) Recycles() int64 { return p.recycled.Load() }
 
 // newWorkerRunner probes the fixture for worker mode and builds the
 // pool, or returns nil when the fixture does not speak it (the caller
@@ -302,6 +309,7 @@ func (p *workerRunner) runScenario(wp **worker, testID int, plan inject.Plan) (p
 				w.served++
 				if w.served >= p.testsPerProc {
 					p.retire(w)
+					p.recycled.Add(1)
 					*wp = nil
 				}
 				return out, ex, true

@@ -1,0 +1,162 @@
+package controlplane
+
+// HTTP client for the control-plane API — the library behind
+// `afex submit` and `afex status`, and the tests' way of driving a
+// server without shelling out to curl.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a control-plane server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at addr ("host:port" or a
+// full http:// URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), http: &http.Client{}}
+}
+
+// decodeError unpacks the server's {"error": ...} body.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s", e.Error)
+	}
+	return fmt.Errorf("controlplane: server returned %s", resp.Status)
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a session spec and returns the new session's status.
+func (c *Client) Submit(spec SessionSpec) (Status, error) {
+	var st Status
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return st, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Status fetches one session's status (store stats included).
+func (c *Client) Status(id string) (Status, error) {
+	var st Status
+	return st, c.getJSON("/v1/sessions/"+id, &st)
+}
+
+// List fetches every session's status.
+func (c *Client) List() ([]Status, error) {
+	var out []Status
+	return out, c.getJSON("/v1/sessions", &out)
+}
+
+// Stop requests a session to stop and returns its status.
+func (c *Client) Stop(id string) (Status, error) {
+	var st Status
+	resp, err := c.http.Post(c.base+"/v1/sessions/"+id+"/stop", "application/json", nil)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Wait polls until the session leaves the running state, returning its
+// final status.
+func (c *Client) Wait(id string, poll time.Duration) (Status, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State != StateRunning {
+			return st, nil
+		}
+		time.Sleep(poll)
+	}
+}
+
+// Journal fetches the session's raw journal bytes.
+func (c *Client) Journal(id string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + "/v1/sessions/" + id + "/journal")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Report fetches the sealed session's top-K report text.
+func (c *Client) Report(id string, top int) (string, error) {
+	url := c.base + "/v1/sessions/" + id + "/report"
+	if top > 0 {
+		url += fmt.Sprintf("?top=%d", top)
+	}
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}
+
+// Metrics fetches the /metrics exposition text.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}

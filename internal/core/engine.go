@@ -66,6 +66,10 @@ type Engine struct {
 	// armStats reads the portfolio explorer's per-arm bandit statistics
 	// (nil for non-portfolio sessions). Called under the session lock.
 	armStats func() []explore.ArmStat
+	// recycles reads the execution backend's warm-worker recycle count
+	// (nil when the backend has no pool). Lock-free on the backend side,
+	// so snapshots may call it under the session lock.
+	recycles func() int64
 	// axisNames caches each subspace's axis names for the slice-based
 	// scenario path (no per-candidate map on the execution hot path).
 	axisNames [][]string
@@ -221,6 +225,9 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 		}
 		e.runner = r
 		e.backendName = bname
+		if rc, ok := r.(backend.Recycler); ok {
+			e.recycles = rc.Recycles
+		}
 	}
 	if cfg.LeaseTimeout > 0 {
 		e.leases = make(map[string]leaseRec)
@@ -702,6 +709,39 @@ func (e *Engine) SetLeaseTimeout(d time.Duration) {
 	}
 }
 
+// LeaseExpiryEnabled reports whether the engine tracks outstanding
+// leases for expiry (Config.LeaseTimeout or SetLeaseTimeout).
+func (e *Engine) LeaseExpiryEnabled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.leases != nil
+}
+
+// ExpireLeases force-expires the tracked leases for the given scenario
+// keys, making their candidates immediately re-leasable without waiting
+// out the wall-clock LeaseTimeout — the liveness path for executors
+// known to be dead (a distributed manager that stopped heartbeating).
+// Keys without an outstanding lease are ignored; it returns how many
+// leases were expired. A late fold from the presumed-dead executor is
+// still exactly-once: whichever fold lands first retires the lease, the
+// other is dropped as a duplicate.
+func (e *Engine) ExpireLeases(keys []string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.leases == nil {
+		return 0
+	}
+	n := 0
+	for _, k := range keys {
+		if lr, ok := e.leases[k]; ok {
+			lr.expires = time.Time{}
+			e.leases[k] = lr
+			n++
+		}
+	}
+	return n
+}
+
 // Stop ends the session: subsequent Lease calls return nil. In-flight
 // tests may still fold.
 func (e *Engine) Stop() {
@@ -724,7 +764,7 @@ func (e *Engine) quickSnapshotLocked() Snapshot {
 	if e.cfg.Target != nil && e.cfg.Target.NumBlocks > 0 {
 		cov = float64(len(e.covered)) / float64(e.cfg.Target.NumBlocks)
 	}
-	return Snapshot{
+	s := Snapshot{
 		Executed:       e.res.Executed,
 		Injected:       e.res.Injected,
 		Failed:         e.res.Failed,
@@ -733,8 +773,13 @@ func (e *Engine) quickSnapshotLocked() Snapshot {
 		NewCrashIDs:    len(e.res.CrashIDs),
 		UniqueFailures: e.failClusters.Len(),
 		Pending:        e.pending,
+		WaitingLeases:  len(e.leases),
 		Coverage:       cov,
 	}
+	if e.recycles != nil {
+		s.PoolRecycles = e.recycles()
+	}
+	return s
 }
 
 func (e *Engine) snapshotLocked() Snapshot {

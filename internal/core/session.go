@@ -197,23 +197,55 @@ type Config struct {
 
 // Snapshot is the running tally handed to Stop conditions and progress
 // logs.
+// The JSON tags are the control plane's status-endpoint schema; local
+// code reads the fields directly.
 type Snapshot struct {
-	Executed    int
-	Injected    int
-	Failed      int
-	Crashed     int
-	Hung        int
-	NewCrashIDs int
+	Executed    int `json:"executed"`
+	Injected    int `json:"injected"`
+	Failed      int `json:"failed"`
+	Crashed     int `json:"crashed"`
+	Hung        int `json:"hung"`
+	NewCrashIDs int `json:"newCrashIDs"`
 	// UniqueFailures is the current number of failure redundancy
 	// clusters.
-	UniqueFailures int
+	UniqueFailures int `json:"uniqueFailures"`
 	// Pending counts candidates leased but not yet folded back — the
 	// outstanding work of in-flight workers or remote managers.
-	Pending  int
-	Coverage float64
+	Pending int `json:"pending"`
+	// WaitingLeases counts the tracked outstanding leases of a
+	// lease-expiry session (Config.LeaseTimeout) — the candidates the
+	// session may still be waiting out before it can drain. Zero when
+	// lease expiry is off.
+	WaitingLeases int `json:"waitingLeases"`
+	// PoolRecycles counts warm worker processes the execution backend
+	// has recycled after serving their scenario quota (process backend
+	// only; zero elsewhere).
+	PoolRecycles int64   `json:"poolRecycles"`
+	Coverage     float64 `json:"coverage"`
 	// Arms is the portfolio explorer's live per-arm bandit statistics
 	// (nil for fixed-strategy sessions).
-	Arms []explore.ArmStat
+	Arms []explore.ArmStat `json:"arms,omitempty"`
+}
+
+// Summary renders the snapshot as the one-line progress synopsis shared
+// by the CLI's --progress ticker and the control plane's session status:
+// the counter tally, the lease picture, coverage, and — for portfolio
+// sessions — the live per-arm pulls and mean reward.
+func (s Snapshot) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "executed=%d failures=%d clusters=%d leases=%d waits=%d coverage=%.1f%%",
+		s.Executed, s.Failed, s.UniqueFailures, s.Pending, s.WaitingLeases, 100*s.Coverage)
+	if len(s.Arms) > 0 {
+		b.WriteString(" arms[")
+		for i, a := range s.Arms {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s=%d/%.3f", a.Name, a.Pulls, a.Mean)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
 }
 
 // Record is one executed fault-injection test.

@@ -117,3 +117,96 @@ func TestNextTestDoneWithoutLeaseTimeout(t *testing.T) {
 		t.Fatalf("exhausted session should be Done, got %+v", task)
 	}
 }
+
+// TestHeartbeatLeaseExpiry: heartbeat-driven liveness beats the
+// wall-clock lease timeout. The session's LeaseTimeout is a deliberately
+// unreachable 60s; the coordinator instead watches heartbeats (10ms
+// interval, 3 misses). A manager that leases a batch and goes silent is
+// declared dead within ~30ms and its leases are expired immediately, so
+// the survivor finishes the whole space long before the wall-clock
+// timeout — with the full ResultSet and no candidate lost or doubled.
+func TestHeartbeatLeaseExpiry(t *testing.T) {
+	space := rpcSpace()
+	coord, err := NewCoordinatorConfig(core.Config{
+		Space:        space,
+		LeaseTimeout: 60 * time.Second, // wall-clock expiry: effectively never
+	}, explore.NewExhaustive(space), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.SetHeartbeat(10*time.Millisecond, 3)
+	srv, err := Serve("127.0.0.1:0", coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The doomed manager leases five tasks (each NextTest doubles as a
+	// heartbeat) and then stops beating without reporting anything.
+	doomed, err := rpc.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leased := make([]Task, 0, 5)
+	for i := 0; i < 5; i++ {
+		var task Task
+		if err := doomed.Call("Coordinator.NextTest", "doomed", &task); err != nil {
+			t.Fatal(err)
+		}
+		if task.Done || task.Retry {
+			t.Fatalf("lease %d: unexpected done/retry %+v", i, task)
+		}
+		leased = append(leased, task)
+	}
+	doomed.Close()
+
+	start := time.Now()
+	mgr, err := Dial(srv.Addr(), "survivor", rpcTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mgr.HeartbeatEvery = 10 * time.Millisecond
+	n, err := mgr.RunUntilDone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	want := int(space.Size())
+	if n != want {
+		t.Fatalf("survivor executed %d tests, want the whole %d-point space", n, want)
+	}
+	// The point of heartbeats: recovery happened on the heartbeat
+	// cutoff (~30ms), not the 60s wall-clock lease timeout.
+	if elapsed > 30*time.Second {
+		t.Fatalf("session took %v — leases were re-issued by wall-clock timeout, not heartbeats", elapsed)
+	}
+
+	res := coord.Result()
+	if res.Executed != want || len(res.Records) != want {
+		t.Fatalf("session executed %d tests (%d records), want %d", res.Executed, len(res.Records), want)
+	}
+	seen := map[string]bool{}
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("point %s executed twice", rec.Point.Key())
+		}
+		seen[rec.Point.Key()] = true
+	}
+	for _, task := range leased {
+		found := false
+		for _, rec := range res.Records {
+			if rec.Scenario == task.Scenario {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("scenario %q leased by the silent manager was never executed", task.Scenario)
+		}
+	}
+	if res.Failed == 0 || res.UniqueFailures == 0 {
+		t.Errorf("full ResultSet expected failure clusters, got %+v", res)
+	}
+}

@@ -115,7 +115,23 @@ type Coordinator struct {
 	seq        int
 	leases     map[int]lease
 	perManager map[string]int
+	// Heartbeat liveness (SetHeartbeat): lastBeat records each
+	// manager's most recent RPC contact; a manager silent for more than
+	// hbMisses×hbEvery has its outstanding leases force-expired on the
+	// engine — re-leasable immediately instead of waiting out the
+	// wall-clock LeaseTimeout. lastBeat is nil while heartbeats are off.
+	lastBeat map[string]time.Time
+	hbEvery  time.Duration
+	hbMisses int
 }
+
+// DefaultHeartbeat is the manager-side beat interval when
+// Manager.HeartbeatEvery is zero.
+const DefaultHeartbeat = time.Second
+
+// DefaultHeartbeatMisses is how many consecutive missed beats declare a
+// manager dead when SetHeartbeat is given a non-positive miss budget.
+const DefaultHeartbeatMisses = 3
 
 // NewCoordinator wraps an explorer. budget caps executed tests (0 = until
 // the explorer exhausts). impact scores a result given the count of newly
@@ -168,10 +184,13 @@ func NewCoordinatorConfig(cfg core.Config, ex explore.Explorer, impact func(Resu
 }
 
 // lease is one outstanding task: the candidate plus its formatted
-// scenario, kept so the report path does not re-marshal it.
+// scenario (kept so the report path does not re-marshal it) and the
+// manager holding it (so heartbeat reaping can expire a dead manager's
+// leases by scenario key).
 type lease struct {
 	cand     explore.Candidate
 	scenario string
+	manager  string
 }
 
 // wireResult reconstructs the wire view of an outcome for custom impact
@@ -197,6 +216,7 @@ func wireResult(out prog.Outcome, testID int) Result {
 // means the session is over; Retry means poll again shortly (the
 // session is waiting out lost leases that will re-lease on expiry).
 func (c *Coordinator) NextTest(managerID string, task *Task) error {
+	c.noteManager(managerID)
 	cands := c.engine.Lease(1)
 	if len(cands) == 0 {
 		if c.engine.Waiting() {
@@ -211,7 +231,7 @@ func (c *Coordinator) NextTest(managerID string, task *Task) error {
 	c.mu.Lock()
 	c.seq++
 	seq := c.seq
-	c.leases[seq] = lease{cand: cand, scenario: scenario}
+	c.leases[seq] = lease{cand: cand, scenario: scenario, manager: managerID}
 	c.mu.Unlock()
 	*task = Task{
 		Seq:      seq,
@@ -225,6 +245,7 @@ func (c *Coordinator) NextTest(managerID string, task *Task) error {
 // ReportResult folds a manager's result back through the engine — the
 // same scoring, coverage and clustering path local sessions use.
 func (c *Coordinator) ReportResult(res Result, ack *bool) error {
+	c.noteManager(res.Manager)
 	c.mu.Lock()
 	ls, ok := c.leases[res.Seq]
 	if !ok {
@@ -290,6 +311,92 @@ func (c *Coordinator) SetTargetName(name string) {
 func (c *Coordinator) SetLeaseTimeout(d time.Duration) {
 	c.engine.SetLeaseTimeout(d)
 }
+
+// SetHeartbeat enables heartbeat-driven liveness before serving:
+// managers beat every `every` (Manager sends Coordinator.Heartbeat on
+// that interval), and one silent for more than misses beats — no
+// heartbeat, lease, or report — has its outstanding leases expired on
+// the engine immediately, so recovery waits on the heartbeat budget,
+// not the wall-clock LeaseTimeout. misses < 1 selects
+// DefaultHeartbeatMisses. Lease tracking is required; when the engine
+// was built without a LeaseTimeout a conservative fallback timeout is
+// installed (heartbeats then drive expiry in practice). Call before
+// the first NextTest.
+//
+// Reaping is lazy — it runs inside the RPC paths rather than on its own
+// timer, so a dead manager is noticed at the next beat or lease call of
+// any surviving manager (a session with no surviving callers has nobody
+// to hand the leases to anyway).
+func (c *Coordinator) SetHeartbeat(every time.Duration, misses int) {
+	if every <= 0 {
+		return
+	}
+	if misses < 1 {
+		misses = DefaultHeartbeatMisses
+	}
+	if !c.engine.LeaseExpiryEnabled() {
+		fallback := 20 * time.Duration(misses) * every
+		if fallback < time.Minute {
+			fallback = time.Minute
+		}
+		c.engine.SetLeaseTimeout(fallback)
+	}
+	c.mu.Lock()
+	c.hbEvery, c.hbMisses = every, misses
+	if c.lastBeat == nil {
+		c.lastBeat = make(map[string]time.Time)
+	}
+	c.mu.Unlock()
+}
+
+// Heartbeat records a manager liveness beat (RPC method). Managers send
+// it on their HeartbeatEvery interval; it also triggers reaping of
+// other managers that have gone silent.
+func (c *Coordinator) Heartbeat(managerID string, ack *bool) error {
+	c.noteManager(managerID)
+	*ack = true
+	return nil
+}
+
+// noteManager marks a manager live and reaps managers that have missed
+// their beat budget: every coordinator lease held by a reaped manager
+// is force-expired on the engine, making the candidates immediately
+// re-leasable. The coordinator's own lease entries stay — a reaped
+// manager that was merely slow can still report, and the engine folds
+// each candidate exactly once either way. No-op while heartbeats are
+// off.
+func (c *Coordinator) noteManager(id string) {
+	c.mu.Lock()
+	if c.lastBeat == nil {
+		c.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	c.lastBeat[id] = now
+	cutoff := time.Duration(c.hbMisses) * c.hbEvery
+	var expired []string
+	for m, t := range c.lastBeat {
+		if now.Sub(t) <= cutoff {
+			continue
+		}
+		delete(c.lastBeat, m)
+		for _, ls := range c.leases {
+			if ls.manager == m {
+				expired = append(expired, ls.cand.Point.Key())
+			}
+		}
+	}
+	c.mu.Unlock()
+	if len(expired) > 0 {
+		c.engine.ExpireLeases(expired)
+	}
+}
+
+// Engine returns the coordinator's underlying execution engine, for
+// callers needing the full core.Snapshot — arms, lease waits, pool
+// recycles — rather than the wire-level Stats (the control plane's
+// status endpoint does).
+func (c *Coordinator) Engine() *core.Engine { return c.engine }
 
 // Stop ends the session; subsequent NextTest calls return Done.
 func (c *Coordinator) Stop() {
@@ -382,6 +489,11 @@ func (s *service) ReportResult(res Result, ack *bool) error {
 	return s.c.ReportResult(res, ack)
 }
 
+// Heartbeat records a manager liveness beat (RPC method).
+func (s *service) Heartbeat(managerID string, ack *bool) error {
+	return s.c.Heartbeat(managerID, ack)
+}
+
 // Manager is a remote node manager: it connects to a coordinator, leases
 // tasks, executes them on its execution backend — its local copy of the
 // program model, or real supervised subprocesses — and reports results,
@@ -394,10 +506,17 @@ type Manager struct {
 	// starting the system, generating workload, tearing down — while the
 	// simulated ones cost microseconds; Work lets experiments emulate a
 	// realistic compute-to-coordination ratio. 0 or 1 runs once.
-	Work   int
-	client *rpc.Client
-	plugin inject.Plugin
-	runner backend.Runner
+	Work int
+	// HeartbeatEvery is the interval between Coordinator.Heartbeat beats
+	// RunUntilDone sends alongside the work loop, so a coordinator with
+	// SetHeartbeat enabled can tell a dead manager from one grinding
+	// through a slow test. Zero selects DefaultHeartbeat; negative
+	// disables beating. Beat errors are ignored — legacy coordinators
+	// lack the method, and transport failures surface on the work loop.
+	HeartbeatEvery time.Duration
+	client         *rpc.Client
+	plugin         inject.Plugin
+	runner         backend.Runner
 }
 
 // Dial connects a manager that executes on the model backend against
@@ -479,9 +598,43 @@ func (m *Manager) RunOne() (done bool, err error) {
 	return false, m.client.Call("Coordinator.ReportResult", res, &ack)
 }
 
-// RunUntilDone loops RunOne until the coordinator reports completion.
-// It returns the number of tests this manager executed.
+// startHeartbeat beats Coordinator.Heartbeat on the manager's interval
+// until the returned stop function is called. net/rpc clients multiplex
+// concurrent calls, so beats ride the work loop's connection.
+func (m *Manager) startHeartbeat() (stop func()) {
+	every := m.HeartbeatEvery
+	if every < 0 {
+		return func() {}
+	}
+	if every == 0 {
+		every = DefaultHeartbeat
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				var ack bool
+				_ = m.client.Call("Coordinator.Heartbeat", m.ID, &ack)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// RunUntilDone loops RunOne until the coordinator reports completion,
+// heartbeating in the background (see HeartbeatEvery). It returns the
+// number of tests this manager executed.
 func (m *Manager) RunUntilDone() (int, error) {
+	stopBeat := m.startHeartbeat()
+	defer stopBeat()
 	n := 0
 	for {
 		done, err := m.RunOne()

@@ -22,6 +22,10 @@ type Stats struct {
 	// Target and Runs come from meta.json.
 	Target string `json:"target,omitempty"`
 	Runs   int    `json:"runs"`
+	// Peer/Peers are the directory's multi-coordinator shard assignment
+	// (region Peer of Peers); zero for single-coordinator directories.
+	Peer  int `json:"peer,omitempty"`
+	Peers int `json:"peers,omitempty"`
 	// Entries counts journaled entries across all segments;
 	// ArchivedEntries and LiveEntries split it for binary directories
 	// (JSONL has a single segment, all live).
@@ -78,6 +82,8 @@ func ReadStats(dir string) (*Stats, error) {
 		Format:       format,
 		Target:       meta.Target,
 		Runs:         meta.Runs,
+		Peer:         meta.Peer,
+		Peers:        meta.Peers,
 		CompactedSeq: meta.CompactedSeq,
 	}
 	if format == FormatBinary {
@@ -103,6 +109,30 @@ func ReadStats(dir string) (*Stats, error) {
 		st.TailEntries = 0
 	}
 	return st, nil
+}
+
+// JournalPath resolves a state directory's live journal file —
+// journal.jsonl or journal.afexj depending on the directory's recorded
+// format — without locking the directory. It is how artifact readers
+// (the control plane's journal endpoint) serve the journal bytes.
+func JournalPath(dir string) (string, error) {
+	var meta Meta
+	haveMeta := false
+	if raw, err := os.ReadFile(filepath.Join(dir, metaName)); err == nil {
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return "", fmt.Errorf("store: corrupt %s: %w", metaName, err)
+		}
+		haveMeta = true
+	}
+	format, err := resolveFormat(dir, meta, "", haveMeta)
+	if err != nil {
+		return "", err
+	}
+	name := journalName
+	if format == FormatBinary {
+		name = binJournalName
+	}
+	return filepath.Join(dir, name), nil
 }
 
 func (st *Stats) scanJSONL(dir string) error {

@@ -108,6 +108,15 @@ type Options struct {
 	// binary journals (0 = DefaultIndexEvery). Smaller intervals mean
 	// finer tail seeks at slightly more journal bytes.
 	IndexEvery int
+	// Peer/Peers record a multi-coordinator shard assignment: this
+	// directory journals peer index Peer of a space split across Peers
+	// coordinators (faultspace.Union.Shard). Recorded in meta.json on
+	// first open and validated on reopen, so each peer always resumes
+	// its own region — opening a peer directory with a different
+	// assignment (or a non-peer directory as a peer) is an error. Zero
+	// values mean "not a peer shard".
+	Peer  int
+	Peers int
 }
 
 // Meta describes a state directory.
@@ -131,6 +140,11 @@ type Meta struct {
 	// entries [0, CompactedSeq) live in archive.afexj, the live journal
 	// holds the rest. Always <= the snapshot's Seq.
 	CompactedSeq int `json:"compactedSeq,omitempty"`
+	// Peer/Peers record the directory's multi-coordinator shard
+	// assignment (Options.Peer/Peers): region Peer of Peers. Absent for
+	// single-coordinator directories.
+	Peer  int `json:"peer,omitempty"`
+	Peers int `json:"peers,omitempty"`
 }
 
 // Entry is one journaled scenario execution: the candidate's coordinates
@@ -376,6 +390,19 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 	default:
 		s.unlockDir()
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	// Peer shard assignment: recorded on first open, immutable after —
+	// a peer coordinator must only ever resume its own region of the
+	// sharded space (the space-signature check would catch a cross-
+	// region resume too, but this names the actual mistake).
+	if haveMeta {
+		if s.meta.Peers != opts.Peers || s.meta.Peer != opts.Peer {
+			s.unlockDir()
+			return nil, fmt.Errorf("store: %s journals peer shard %d of %d, not %d of %d",
+				dir, s.meta.Peer, s.meta.Peers, opts.Peer, opts.Peers)
+		}
+	} else {
+		s.meta.Peer, s.meta.Peers = opts.Peer, opts.Peers
 	}
 	s.format, err = resolveFormat(dir, s.meta, opts.Format, haveMeta)
 	if err != nil {
