@@ -648,6 +648,10 @@ func cmdWorker(args []string) error {
 	testsPerProc := fs.Int("tests-per-proc", 0, "process backend: scenarios a warm worker process serves before being recycled (0 = default, negative = fork/exec per scenario)")
 	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
 	id := fs.String("id", "worker", "manager identity reported to the coordinator")
+	rpcBatch := fs.Int("rpc-batch", 0, "tests leased per RPC round trip: 0 = adaptive (coordinator-sized from measured test latency), 1 = single-task protocol, >1 = fixed batch")
+	rpcConcurrency := fs.Int("rpc-concurrency", 0, "batched mode: leased tests executing at once (0 = backend pool width, or GOMAXPROCS)")
+	rpcFlush := fs.Duration("rpc-flush", 0, "batched mode: max age of buffered results before a report flush (0 = default)")
+	rpcScenario := fs.Bool("rpc-scenario", false, "batched mode: ship the formatted scenario string with every lease (compat/debugging; costs wire bytes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -674,6 +678,10 @@ func cmdWorker(args []string) error {
 		return err
 	}
 	defer mgr.Close()
+	mgr.Batch = *rpcBatch
+	mgr.Concurrency = *rpcConcurrency
+	mgr.FlushEvery = *rpcFlush
+	mgr.CompatScenario = *rpcScenario
 	n, err := mgr.RunUntilDone()
 	fmt.Printf("%s executed %d tests\n", *id, n)
 	return err

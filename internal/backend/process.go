@@ -100,6 +100,9 @@ func newColdProcess(cfg Config) (*processRunner, error) {
 	}, nil
 }
 
+// Parallelism implements Parallel: the pool width (Config.Procs).
+func (p *processRunner) Parallelism() int { return cap(p.sem) }
+
 // wirePlan renders the armed plan in the shim's PlanWire shape.
 func wirePlan(testID, seq int, plan inject.Plan) shim.PlanWire {
 	w := shim.PlanWire{TestID: testID, Seq: seq, Faults: make([]shim.FaultWire, 0, len(plan.Faults))}

@@ -86,6 +86,9 @@ type workerRunner struct {
 // Recycles implements Recycler: quota-driven worker recycles so far.
 func (p *workerRunner) Recycles() int64 { return p.recycled.Load() }
 
+// Parallelism implements Parallel: the pool width (Config.Procs).
+func (p *workerRunner) Parallelism() int { return cap(p.slots) }
+
 // newWorkerRunner probes the fixture for worker mode and builds the
 // pool, or returns nil when the fixture does not speak it (the caller
 // falls back to the cold runner). cold supplies the already-validated

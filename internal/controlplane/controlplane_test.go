@@ -249,6 +249,10 @@ func runCoordinatorSession(t *testing.T, m *controlplane.Manager, spec controlpl
 				return
 			}
 			defer mgr.Close()
+			// Single-task protocol: batched leasing prefetches candidates
+			// ahead of fold feedback, which perturbs the seeded fitness
+			// searches these tests pin cluster for cluster.
+			mgr.Batch = 1
 			_, err = mgr.RunUntilDone()
 			done <- err
 		}(i)

@@ -55,6 +55,8 @@ func (mw *metricWriter) sample(name, help, typ string, labels [][2]string, value
 //	afex_waiting_leases{session=}         tracked outstanding leases
 //	afex_coverage_ratio{session=}         explored fraction of the space
 //	afex_worker_pool_recycles_total{session=} quota-driven worker recycles
+//	afex_avg_test_seconds{session=}       EWMA of per-test execution wall clock
+//	afex_adaptive_batch{session=}         engine-suggested wire-batch size
 //	afex_arm_pulls_total{session=,arm=}   portfolio pulls per strategy
 //	afex_arm_mean_reward{session=,arm=}   portfolio mean reward per strategy
 func writeMetrics(w io.Writer, m *Manager) {
@@ -99,6 +101,10 @@ func writeMetrics(w io.Writer, m *Manager) {
 		func(i int) float64 { return snaps[i].Coverage })
 	perSession("afex_worker_pool_recycles_total", "Worker processes recycled at their test quota.", "counter",
 		func(i int) float64 { return float64(snaps[i].PoolRecycles) })
+	perSession("afex_avg_test_seconds", "EWMA of per-test execution wall clock reported by executors.", "gauge",
+		func(i int) float64 { return float64(snaps[i].AvgTestNS) / 1e9 })
+	perSession("afex_adaptive_batch", "Engine-suggested wire-batch size from measured test latency.", "gauge",
+		func(i int) float64 { return float64(snaps[i].AdaptiveBatch) })
 	for i, s := range sessions {
 		for _, a := range snaps[i].Arms {
 			mw.sample("afex_arm_pulls_total", "Portfolio pulls per strategy arm.", "counter",

@@ -116,6 +116,13 @@ type Engine struct {
 	// it append-only for O(1) snapshot capture.
 	seen     map[string]struct{}
 	seenList []string
+	// latEWMA tracks per-test execution wall clock (nanoseconds) as an
+	// exponentially weighted moving average of executor observations
+	// (ObserveLatency). Adaptive wire batching divides a target round
+	// duration by it: slow targets get small lease batches (lease-expiry
+	// responsiveness), fast ones large batches (round-trip
+	// amortization). Zero until the first observation.
+	latEWMA float64
 
 	// snapMu serializes session-snapshot delivery to the store, which
 	// happens outside e.mu so O(session) state serialization no longer
@@ -709,6 +716,62 @@ func (e *Engine) SetLeaseTimeout(d time.Duration) {
 	}
 }
 
+// Wire-batch sizing: an adaptive lease batch targets WireBatchRound of
+// execution wall clock per round trip, between 1 (a test slower than
+// the round — expiry responsiveness wins) and MaxWireBatch (fast
+// model/warm tests — amortization wins). DefaultWireBatch is the size
+// before any latency has been observed.
+const (
+	WireBatchRound   = 250 * time.Millisecond
+	DefaultWireBatch = 32
+	MaxWireBatch     = 512
+)
+
+// latencyAlpha is the EWMA smoothing factor for ObserveLatency: recent
+// batches dominate, so a target that warms up (or degrades) re-sizes
+// batches within a few rounds.
+const latencyAlpha = 0.2
+
+// ObserveLatency folds one executor-measured per-test execution wall
+// clock into the engine's latency average, steering AdaptiveBatch.
+// Distributed coordinators call it with the managers' self-reported
+// averages; non-positive observations are ignored.
+func (e *Engine) ObserveLatency(perTest time.Duration) {
+	if perTest <= 0 {
+		return
+	}
+	e.mu.Lock()
+	if e.latEWMA == 0 {
+		e.latEWMA = float64(perTest)
+	} else {
+		e.latEWMA += latencyAlpha * (float64(perTest) - e.latEWMA)
+	}
+	e.mu.Unlock()
+}
+
+// AdaptiveBatch suggests how many candidates one lease round trip
+// should carry given the observed per-test latency (DefaultWireBatch
+// before any observation).
+func (e *Engine) AdaptiveBatch() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.adaptiveBatchLocked()
+}
+
+func (e *Engine) adaptiveBatchLocked() int {
+	if e.latEWMA <= 0 {
+		return DefaultWireBatch
+	}
+	n := int(float64(WireBatchRound) / e.latEWMA)
+	if n < 1 {
+		return 1
+	}
+	if n > MaxWireBatch {
+		return MaxWireBatch
+	}
+	return n
+}
+
 // LeaseExpiryEnabled reports whether the engine tracks outstanding
 // leases for expiry (Config.LeaseTimeout or SetLeaseTimeout).
 func (e *Engine) LeaseExpiryEnabled() bool {
@@ -778,6 +841,10 @@ func (e *Engine) quickSnapshotLocked() Snapshot {
 	}
 	if e.recycles != nil {
 		s.PoolRecycles = e.recycles()
+	}
+	if e.latEWMA > 0 {
+		s.AvgTestNS = int64(e.latEWMA)
+		s.AdaptiveBatch = e.adaptiveBatchLocked()
 	}
 	return s
 }

@@ -222,6 +222,13 @@ type Snapshot struct {
 	// only; zero elsewhere).
 	PoolRecycles int64   `json:"poolRecycles"`
 	Coverage     float64 `json:"coverage"`
+	// AvgTestNS is the EWMA of per-test execution wall clock reported
+	// by executors (Engine.ObserveLatency) and AdaptiveBatch the
+	// engine's current suggested wire-batch size derived from it. Both
+	// stay zero until an executor reports latency — today only
+	// distributed batched managers do.
+	AvgTestNS     int64 `json:"avgTestNs,omitempty"`
+	AdaptiveBatch int   `json:"adaptiveBatch,omitempty"`
 	// Arms is the portfolio explorer's live per-arm bandit statistics
 	// (nil for fixed-strategy sessions).
 	Arms []explore.ArmStat `json:"arms,omitempty"`

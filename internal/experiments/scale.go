@@ -97,10 +97,27 @@ type ScaleResult struct {
 	// overhead, not test execution, the bottleneck — the opposite of the
 	// deployment the paper describes).
 	WorkFactor int
+	// SingleTask reports which wire protocol the managers ran: the seed
+	// one-task-per-round-trip protocol, or (false) the batched
+	// pipelined one.
+	SingleTask bool
 }
 
-// Scalability runs a local TCP cluster with 1..max managers.
+// Scalability runs a local TCP cluster with 1..max managers on the
+// batched wire protocol. ScalabilitySingleTask is the same experiment
+// pinned to the seed protocol — the pair quantifies how much of the
+// distributed ceiling is coordination round trips.
 func Scalability(o Opts, nodeCounts []int, testsPerRun, workFactor int) ScaleResult {
+	return scalability(o, nodeCounts, testsPerRun, workFactor, false)
+}
+
+// ScalabilitySingleTask is Scalability over the seed single-task
+// protocol (each manager pins Batch = 1).
+func ScalabilitySingleTask(o Opts, nodeCounts []int, testsPerRun, workFactor int) ScaleResult {
+	return scalability(o, nodeCounts, testsPerRun, workFactor, true)
+}
+
+func scalability(o Opts, nodeCounts []int, testsPerRun, workFactor int, singleTask bool) ScaleResult {
 	o = o.withDefaults()
 	if len(nodeCounts) == 0 {
 		nodeCounts = []int{1, 2, 4, 8, 14}
@@ -113,7 +130,7 @@ func Scalability(o Opts, nodeCounts []int, testsPerRun, workFactor int) ScaleRes
 	}
 	p := targets.Coreutils()
 	space := CoreutilsSpace()
-	res := ScaleResult{Tests: testsPerRun, WorkFactor: workFactor}
+	res := ScaleResult{Tests: testsPerRun, WorkFactor: workFactor, SingleTask: singleTask}
 
 	for _, n := range nodeCounts {
 		ex := explore.NewFitnessGuided(space, explore.Config{Seed: o.Seed})
@@ -134,6 +151,9 @@ func Scalability(o Opts, nodeCounts []int, testsPerRun, workFactor int) ScaleRes
 				}
 				defer mgr.Close()
 				mgr.Work = workFactor
+				if singleTask {
+					mgr.Batch = 1
+				}
 				mgr.RunUntilDone()
 			}(m)
 		}
@@ -173,7 +193,11 @@ func ExplorerThroughput(o Opts) float64 {
 // String renders the scalability table.
 func (r ScaleResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "§7.7 — scalability (%d tests per run, work factor %d)\n", r.Tests, r.WorkFactor)
+	proto := "batched"
+	if r.SingleTask {
+		proto = "single-task"
+	}
+	fmt.Fprintf(&b, "§7.7 — scalability (%d tests per run, work factor %d, %s protocol)\n", r.Tests, r.WorkFactor, proto)
 	fmt.Fprintf(&b, "  %-8s %12s %14s %10s\n", "nodes", "elapsed", "tests/sec", "speedup")
 	base := 0.0
 	for i, n := range r.Nodes {

@@ -1,0 +1,440 @@
+package rpcnode
+
+import (
+	"net"
+	"net/rpc"
+	"reflect"
+	"sort"
+	"testing"
+
+	"afex/internal/core"
+	"afex/internal/explore"
+	"afex/internal/store"
+	"afex/internal/xrand"
+)
+
+func TestBlocksCodecRoundTrip(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		want := make(map[int]struct{})
+		for i := 0; i < rng.Intn(40); i++ {
+			want[rng.Intn(100000)] = struct{}{}
+		}
+		got := decodeBlocks(encodeBlocks(want))
+		if len(want) == 0 {
+			if got != nil {
+				t.Fatalf("empty set decoded to %v", got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip diverged: got %v want %v", got, want)
+		}
+	}
+	if encodeBlocks(nil) != nil {
+		t.Error("nil set must encode to nil")
+	}
+}
+
+func TestStackHashSensitivity(t *testing.T) {
+	a := stackHash([]string{"m!f", "m!g"})
+	if b := stackHash([]string{"m!f", "m!g"}); b != a {
+		t.Error("hash not stable")
+	}
+	if b := stackHash([]string{"m!fm", "!g"}); b == a {
+		t.Error("hash ignores frame boundaries")
+	}
+	if b := stackHash([]string{"m!g", "m!f"}); b == a {
+		t.Error("hash ignores frame order")
+	}
+}
+
+// TestBatchedMatchesSingleTaskAndLocal is the wire-protocol parity
+// contract: one ordered batched manager (Concurrency 1) must produce
+// the identical ResultSet — tallies, per-record scenarios, impacts,
+// cluster ids — as the seed single-task protocol and as a local
+// sequential run, because all three fold the same candidates in the
+// same order through the same engine.
+func TestBatchedMatchesSingleTaskAndLocal(t *testing.T) {
+	target := rpcTarget()
+
+	local, err := core.Run(core.Config{
+		Target:    target,
+		Space:     rpcSpace(),
+		Algorithm: "exhaustive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runDistributed := func(batch int) *core.ResultSet {
+		space := rpcSpace()
+		coord := NewCoordinator(space, explore.NewExhaustive(space), 0, nil)
+		srv, err := Serve("127.0.0.1:0", coord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		mgr, err := Dial(srv.Addr(), "solo", target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		mgr.Batch = batch
+		mgr.Concurrency = 1
+		if _, err := mgr.RunUntilDone(); err != nil {
+			t.Fatal(err)
+		}
+		return coord.Result()
+	}
+
+	single := runDistributed(1) // pins the seed single-task protocol
+	batched := runDistributed(0)
+
+	for _, tc := range []struct {
+		name string
+		got  *core.ResultSet
+	}{{"single-task", single}, {"batched", batched}} {
+		if tc.got.Executed != local.Executed || tc.got.Failed != local.Failed ||
+			tc.got.Crashed != local.Crashed || tc.got.Hung != local.Hung ||
+			tc.got.Injected != local.Injected || tc.got.Holes != local.Holes {
+			t.Errorf("%s tallies diverge from local: got executed=%d failed=%d crashed=%d injected=%d",
+				tc.name, tc.got.Executed, tc.got.Failed, tc.got.Crashed, tc.got.Injected)
+		}
+		if tc.got.UniqueFailures != local.UniqueFailures || tc.got.UniqueCrashes != local.UniqueCrashes {
+			t.Errorf("%s clusters diverge: %d/%d unique, local %d/%d",
+				tc.name, tc.got.UniqueFailures, tc.got.UniqueCrashes, local.UniqueFailures, local.UniqueCrashes)
+		}
+		if len(tc.got.Records) != len(local.Records) {
+			t.Fatalf("%s kept %d records, local %d", tc.name, len(tc.got.Records), len(local.Records))
+		}
+		for i := range tc.got.Records {
+			d, l := tc.got.Records[i], local.Records[i]
+			if d.Scenario != l.Scenario || d.Impact != l.Impact || d.Cluster != l.Cluster ||
+				d.Plan.String() != l.Plan.String() {
+				t.Errorf("%s record %d diverges: {%q %.1f c%d %q} vs local {%q %.1f c%d %q}",
+					tc.name, i, d.Scenario, d.Impact, d.Cluster, d.Plan, l.Scenario, l.Impact, l.Cluster, l.Plan)
+			}
+		}
+	}
+}
+
+// TestBatchedClusterParityFourManagers is the acceptance-criteria
+// cluster check: a 4-manager batched pipelined session over a fully
+// swept space finds exactly the unique-failure clusters the
+// single-task protocol does at equal budget. (Fold order differs
+// between concurrent managers, so the comparison is set-shaped:
+// tallies, cluster counts and crash identities.)
+func TestBatchedClusterParityFourManagers(t *testing.T) {
+	target := rpcTarget()
+	run := func(batch int) *core.ResultSet {
+		space := rpcSpace()
+		coord := NewCoordinator(space, explore.NewExhaustive(space), 0, nil)
+		srv, err := Serve("127.0.0.1:0", coord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		done := make(chan error, 4)
+		for i := 0; i < 4; i++ {
+			go func(id int) {
+				mgr, err := Dial(srv.Addr(), "m", target)
+				if err != nil {
+					done <- err
+					return
+				}
+				defer mgr.Close()
+				mgr.Batch = batch
+				_, err = mgr.RunUntilDone()
+				done <- err
+			}(i)
+		}
+		for i := 0; i < 4; i++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+		return coord.Result()
+	}
+
+	single := run(1)
+	batched := run(0)
+	if batched.Executed != single.Executed || batched.Failed != single.Failed ||
+		batched.Crashed != single.Crashed || batched.Injected != single.Injected {
+		t.Errorf("tallies diverge: batched executed=%d failed=%d crashed=%d, single executed=%d failed=%d crashed=%d",
+			batched.Executed, batched.Failed, batched.Crashed, single.Executed, single.Failed, single.Crashed)
+	}
+	if batched.UniqueFailures != single.UniqueFailures || batched.UniqueCrashes != single.UniqueCrashes {
+		t.Errorf("unique clusters diverge: batched %d/%d, single %d/%d",
+			batched.UniqueFailures, batched.UniqueCrashes, single.UniqueFailures, single.UniqueCrashes)
+	}
+	if !reflect.DeepEqual(batched.CrashIDs, single.CrashIDs) {
+		t.Errorf("crash identities diverge: %v vs %v", batched.CrashIDs, single.CrashIDs)
+	}
+}
+
+// TestBatchedPersistentJournalEquivalence: a persistent batched session
+// journals the same entries as a persistent single-task one —
+// scenario, outcome, plan, backend — record for record (ordered
+// managers fold in candidate order, so even the order matches; the
+// sort below only de-flakes the comparison contract to "modulo fold
+// order", which is all concurrent sessions promise).
+func TestBatchedPersistentJournalEquivalence(t *testing.T) {
+	target := rpcTarget()
+	journal := func(batch int) []store.Entry {
+		dir := t.TempDir()
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Config{
+			Target:    target,
+			Space:     rpcSpace(),
+			Algorithm: "exhaustive",
+		}
+		if err := st.AttachNamed(&cfg, "rpc"); err != nil {
+			t.Fatal(err)
+		}
+		coord, err := NewCoordinatorConfig(cfg, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Serve("127.0.0.1:0", coord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		mgr, err := Dial(srv.Addr(), "solo", target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		mgr.Batch = batch
+		mgr.Concurrency = 1
+		if _, err := mgr.RunUntilDone(); err != nil {
+			t.Fatal(err)
+		}
+		coord.Result()
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		path, err := store.JournalPath(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := store.ReadJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Key() < entries[j].Key() })
+		return entries
+	}
+
+	single := journal(1)
+	batched := journal(0)
+	if len(single) != len(batched) {
+		t.Fatalf("journal lengths diverge: single %d, batched %d", len(single), len(batched))
+	}
+	for i := range single {
+		s, b := single[i].Record(), batched[i].Record()
+		if s.Scenario != b.Scenario || s.Skipped != b.Skipped ||
+			s.Outcome.Failed != b.Outcome.Failed || s.Outcome.Crashed != b.Outcome.Crashed ||
+			s.Outcome.CrashID != b.Outcome.CrashID || s.Plan.String() != b.Plan.String() ||
+			s.Backend != b.Backend || s.Impact != b.Impact || s.Cluster != b.Cluster {
+			t.Errorf("journal entry %d diverges:\n  single  %+v\n  batched %+v", i, s, b)
+		}
+	}
+}
+
+// legacyService mimics a seed-era coordinator: the single-task RPCs
+// only, no Hello/NextBatch/ReportBatch.
+type legacyService struct{ c *Coordinator }
+
+func (s *legacyService) NextTest(managerID string, task *Task) error {
+	return s.c.NextTest(managerID, task)
+}
+
+func (s *legacyService) ReportResult(res Result, ack *bool) error {
+	return s.c.ReportResult(res, ack)
+}
+
+func (s *legacyService) Heartbeat(managerID string, ack *bool) error {
+	return s.c.Heartbeat(managerID, ack)
+}
+
+// TestLegacyCoordinatorFallback: a manager dialing a coordinator that
+// predates the batched protocol (Hello errors as an unknown method)
+// falls back to the single-task protocol and still completes the
+// session.
+func TestLegacyCoordinatorFallback(t *testing.T) {
+	space := rpcSpace()
+	coord := NewCoordinator(space, explore.NewExhaustive(space), 0, nil)
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Coordinator", &legacyService{c: coord}); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+
+	mgr, err := Dial(lis.Addr().String(), "modern", rpcTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if mgr.proto != protoSingle {
+		t.Fatalf("negotiated proto %d against a legacy coordinator, want %d", mgr.proto, protoSingle)
+	}
+	n, err := mgr.RunUntilDone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(space.Size()); n != want {
+		t.Fatalf("executed %d tests, want %d", n, want)
+	}
+	st := coord.Snapshot()
+	if st.Failed != 6 || st.Crashed != 2 {
+		t.Errorf("stats = %+v, want failed=6 crashed=2", st)
+	}
+}
+
+// TestReportBatchDropsUnknownLeases: stale seqs in a batch are dropped
+// (not errors), and the ack reports only the folded count.
+func TestReportBatchDropsUnknownLeases(t *testing.T) {
+	space := rpcSpace()
+	coord := NewCoordinator(space, explore.NewExhaustive(space), 0, nil)
+	var ack BatchAck
+	if err := coord.ReportBatch(ResultBatch{
+		Manager: "m",
+		Results: []ResultWire{{Seq: 99}, {Seq: 100}},
+	}, &ack); err != nil {
+		t.Fatalf("stale batch must not error: %v", err)
+	}
+	if ack.Folded != 0 {
+		t.Errorf("folded %d results from stale seqs, want 0", ack.Folded)
+	}
+	if coord.Snapshot().Executed != 0 {
+		t.Error("stale results inflated the executed count")
+	}
+}
+
+// TestRetryBackoffGrowsAndResets: consecutive empty polls grow the
+// suggested backoff up to the cap; a successful lease resets it.
+func TestRetryBackoffGrowsAndResets(t *testing.T) {
+	space := rpcSpace()
+	coord := NewCoordinator(space, explore.NewExhaustive(space), 0, nil)
+	got := make([]int, 0, 8)
+	for i := 0; i < 8; i++ {
+		got = append(got, coord.retryAfter("m"))
+	}
+	want := []int{5, 10, 20, 40, 80, 160, 160, 160}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("backoff growth = %v, want %v", got, want)
+	}
+	for _, ms := range got {
+		if ms > maxSuggestRetryMS {
+			t.Fatalf("suggested backoff %dms above the %dms cap", ms, maxSuggestRetryMS)
+		}
+	}
+	var task Task
+	if err := coord.NextTest("m", &task); err != nil || task.Done || task.Retry {
+		t.Fatalf("lease failed: %v %+v", err, task)
+	}
+	if ms := coord.retryAfter("m"); ms != 5 {
+		t.Errorf("backoff after a successful lease = %dms, want reset to 5ms", ms)
+	}
+}
+
+// TestAdaptiveBatchSizing: the engine's suggested batch tracks observed
+// latency — large for microsecond tests, 1 for tests slower than the
+// round target — and surfaces in the snapshot.
+func TestAdaptiveBatchSizing(t *testing.T) {
+	space := rpcSpace()
+	coord := NewCoordinator(space, explore.NewExhaustive(space), 0, nil)
+	eng := coord.Engine()
+	if got := eng.AdaptiveBatch(); got != core.DefaultWireBatch {
+		t.Errorf("cold batch = %d, want %d", got, core.DefaultWireBatch)
+	}
+	for i := 0; i < 50; i++ {
+		eng.ObserveLatency(10 * 1000) // 10µs tests
+	}
+	if got := eng.AdaptiveBatch(); got != core.MaxWireBatch {
+		t.Errorf("fast-target batch = %d, want cap %d", got, core.MaxWireBatch)
+	}
+	for i := 0; i < 200; i++ {
+		eng.ObserveLatency(2 * 1000 * 1000 * 1000) // 2s tests
+	}
+	if got := eng.AdaptiveBatch(); got != 1 {
+		t.Errorf("slow-target batch = %d, want 1", got)
+	}
+	snap := eng.Snapshot()
+	if snap.AdaptiveBatch != 1 || snap.AvgTestNS == 0 {
+		t.Errorf("snapshot lacks adaptive sizing: %+v", snap)
+	}
+}
+
+// TestStackInterningAcrossBatches: a manager ships a stack's frames
+// once; later results with the same stack carry only the hash, and the
+// coordinator resolves them from its intern table — clustering output
+// is unchanged.
+func TestStackInterningAcrossBatches(t *testing.T) {
+	space := rpcSpace()
+	coord := NewCoordinator(space, explore.NewExhaustive(space), 0, nil)
+	srv, err := Serve("127.0.0.1:0", coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mgr, err := Dial(srv.Addr(), "solo", rpcTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mgr.Batch = 2 // several batches over the 8-point space
+	if _, err := mgr.RunUntilDone(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr.sentStacks) == 0 {
+		t.Fatal("manager interned no stacks over an injecting sweep")
+	}
+	if len(coord.stacks) != len(mgr.sentStacks) {
+		t.Errorf("coordinator interned %d stacks, manager sent %d", len(coord.stacks), len(mgr.sentStacks))
+	}
+	res := coord.Result()
+	if res.UniqueFailures == 0 {
+		t.Error("interned session lost its failure clusters")
+	}
+	// Interning must not have corrupted clustering: same ground truth
+	// as the end-to-end test.
+	if res.Failed != 6 || res.Crashed != 2 || res.Injected != 6 {
+		t.Errorf("tallies = failed=%d crashed=%d injected=%d, want 6/2/6", res.Failed, res.Crashed, res.Injected)
+	}
+}
+
+// TestBatchedWireLeaner measures real on-the-wire bytes per test and
+// asserts the batched protocol beats the single-task one, and that
+// dropping the Scenario string (the default) beats the compat mode
+// that keeps it.
+func TestBatchedWireLeaner(t *testing.T) {
+	single, _ := measureWireBytes(t, 1, false)
+	batched, _ := measureWireBytes(t, 0, false)
+	compat, _ := measureWireBytes(t, 0, true)
+	t.Logf("bytes/test: single-task %.0f, batched %.0f, batched+scenario %.0f", single, batched, compat)
+	if batched >= single {
+		t.Errorf("batched protocol costs %.0f bytes/test, single-task %.0f — no wire win", batched, single)
+	}
+	if batched >= compat {
+		t.Errorf("dropping the scenario string saved nothing: %.0f vs %.0f bytes/test", batched, compat)
+	}
+}

@@ -94,6 +94,107 @@ func TestManagerCrashMidLease(t *testing.T) {
 	}
 }
 
+// TestManagerCrashMidBatch is TestHeartbeatLeaseExpiry at the batched
+// protocol level: a manager leases a whole batch in one NextBatch call
+// and goes silent mid-batch. The heartbeat reaper expires the batch's
+// leases exactly once, a surviving batched manager re-executes them,
+// and — the exactly-once half — a late partial ReportBatch from the
+// "dead" manager resolves its seqs but folds nothing: every candidate
+// already executed, so the engine drops each as a duplicate and no
+// point is counted twice.
+func TestManagerCrashMidBatch(t *testing.T) {
+	space := rpcSpace()
+	coord, err := NewCoordinatorConfig(core.Config{
+		Space:        space,
+		LeaseTimeout: 60 * time.Second, // wall-clock expiry: effectively never
+	}, explore.NewExhaustive(space), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.SetHeartbeat(10*time.Millisecond, 3)
+	srv, err := Serve("127.0.0.1:0", coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The doomed manager leases five tasks in ONE round trip, then goes
+	// silent — connection open, no heartbeats, nothing reported.
+	doomed, err := rpc.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer doomed.Close()
+	var hello HelloReply
+	if err := doomed.Call("Coordinator.Hello", Hello{Manager: "doomed", Proto: protoBatched}, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Proto != protoBatched {
+		t.Fatalf("negotiated proto %d, want %d", hello.Proto, protoBatched)
+	}
+	var batch TaskBatch
+	if err := doomed.Call("Coordinator.NextBatch", BatchRequest{Manager: "doomed", Max: 5}, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Done || batch.Retry || len(batch.Tasks) != 5 {
+		t.Fatalf("batched lease: got %+v, want 5 tasks", batch)
+	}
+
+	start := time.Now()
+	mgr, err := Dial(srv.Addr(), "survivor", rpcTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mgr.HeartbeatEvery = 10 * time.Millisecond
+	n, err := mgr.RunUntilDone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("session took %v — the batch expired by wall-clock timeout, not heartbeats", elapsed)
+	}
+	want := int(space.Size())
+	if n != want {
+		t.Fatalf("survivor executed %d tests, want the whole %d-point space", n, want)
+	}
+
+	// The late partial report: the "dead" manager wakes up and reports
+	// three of its five leased tasks. The seqs still resolve, but every
+	// candidate was re-executed after expiry, so each fold is a
+	// duplicate and the tallies must not move.
+	before := coord.Snapshot()
+	late := ResultBatch{Manager: "doomed"}
+	for _, tw := range batch.Tasks[:3] {
+		late.Results = append(late.Results, ResultWire{
+			Seq: tw.Seq, TestID: 0, Failed: true, Injected: true,
+		})
+	}
+	var ack BatchAck
+	if err := doomed.Call("Coordinator.ReportBatch", late, &ack); err != nil {
+		t.Fatalf("late partial ReportBatch must not error: %v", err)
+	}
+	after := coord.Snapshot()
+	if after.Executed != before.Executed || after.Failed != before.Failed {
+		t.Fatalf("late report moved the tallies: %+v -> %+v", before, after)
+	}
+
+	res := coord.Result()
+	if res.Executed != want || len(res.Records) != want {
+		t.Fatalf("session executed %d tests (%d records), want %d", res.Executed, len(res.Records), want)
+	}
+	seen := map[string]bool{}
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("point %s executed twice", rec.Point.Key())
+		}
+		seen[rec.Point.Key()] = true
+	}
+	if res.Failed != 6 || res.Crashed != 2 || res.Injected != 6 {
+		t.Errorf("tallies = failed=%d crashed=%d injected=%d, want 6/2/6", res.Failed, res.Crashed, res.Injected)
+	}
+}
+
 // TestNextTestDoneWithoutLeaseTimeout: the Retry protocol is strictly
 // opt-in — without Config.LeaseTimeout an exhausted session reports
 // Done even with leases outstanding, exactly the seed behaviour.

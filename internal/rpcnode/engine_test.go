@@ -36,6 +36,10 @@ func TestDistributedMatchesLocalSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mgr.Close()
+	// One ordered manager: batched leasing with Concurrency 1 folds in
+	// exact candidate order, like the sequential local run. (Concurrent
+	// fan-out reorders folds the same way a local parallel pool does.)
+	mgr.Concurrency = 1
 	if _, err := mgr.RunUntilDone(); err != nil {
 		t.Fatal(err)
 	}

@@ -4,13 +4,16 @@
 // to 14 nodes in Amazon EC2 and verified that the number of tests
 // performed scales linearly").
 //
-// The protocol is deliberately minimal, built on stdlib net/rpc: a
-// manager calls Coordinator.NextTest to lease a candidate, executes it
-// locally against its copy of the target, and calls
-// Coordinator.ReportResult with the measured outcome. The explorer's own
-// work (selecting the next test) is tiny compared to executing one — §7.7
-// measures the explorer at thousands of generated tests per second — so a
-// single coordinator keeps many managers busy.
+// The protocol is built on stdlib net/rpc in two generations, selected
+// per connection by a dial-time handshake (Coordinator.Hello). The seed
+// protocol leases and reports one task per round trip
+// (Coordinator.NextTest / Coordinator.ReportResult, still registered
+// for legacy managers); the batched protocol (batch.go) moves many
+// tasks per round trip, pipelines leasing against execution, and
+// compacts the wire format (wire.go). The explorer's own work
+// (selecting the next test) is tiny compared to executing one — §7.7
+// measures the explorer at thousands of generated tests per second — so
+// a single coordinator keeps many managers busy.
 //
 // The coordinator is a thin protocol adapter over the shared execution
 // engine (core.Engine): it owns only wire concerns — lease sequence
@@ -27,6 +30,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"afex/internal/backend"
@@ -55,6 +59,11 @@ type Task struct {
 	// may yet expire and be re-leased (Config.LeaseTimeout). The
 	// manager polls again shortly instead of exiting.
 	Retry bool
+	// RetryAfterMS is the coordinator-suggested poll backoff
+	// accompanying Retry, growing with the manager's consecutive empty
+	// polls. Zero (a legacy coordinator) leaves the manager to back off
+	// by itself.
+	RetryAfterMS int
 }
 
 // Result is a manager's report for one executed task.
@@ -115,6 +124,15 @@ type Coordinator struct {
 	seq        int
 	leases     map[int]lease
 	perManager map[string]int
+	// stacks interns reported injection stacks by content hash: a
+	// manager ships a stack's frames once and the 8-byte hash
+	// thereafter (ResultWire.StackHash). Content addressing lets all
+	// managers share one table. Lazily allocated.
+	stacks map[uint64][]string
+	// idle counts each manager's consecutive empty polls, growing the
+	// suggested Retry backoff (retryAfter); a successful lease resets
+	// it. Lazily allocated.
+	idle map[string]int
 	// Heartbeat liveness (SetHeartbeat): lastBeat records each
 	// manager's most recent RPC contact; a manager silent for more than
 	// hbMisses×hbEvery has its outstanding leases force-expired on the
@@ -184,12 +202,13 @@ func NewCoordinatorConfig(cfg core.Config, ex explore.Explorer, impact func(Resu
 }
 
 // lease is one outstanding task: the candidate plus its formatted
-// scenario (kept so the report path does not re-marshal it) and the
-// manager holding it (so heartbeat reaping can expire a dead manager's
-// leases by scenario key).
+// scenario and axis values (kept so the report path re-marshals and
+// re-parses nothing) and the manager holding it (so heartbeat reaping
+// can expire a dead manager's leases by scenario key).
 type lease struct {
 	cand     explore.Candidate
 	scenario string
+	vals     []string
 	manager  string
 }
 
@@ -221,17 +240,20 @@ func (c *Coordinator) NextTest(managerID string, task *Task) error {
 	if len(cands) == 0 {
 		if c.engine.Waiting() {
 			task.Retry = true
+			task.RetryAfterMS = c.retryAfter(managerID)
 			return nil
 		}
 		task.Done = true
 		return nil
 	}
 	cand := cands[0]
-	scenario := dsl.FormatPairs(c.axisNames[cand.Point.Sub], dsl.ValuesFor(c.space, cand.Point))
+	vals := dsl.ValuesFor(c.space, cand.Point)
+	scenario := dsl.FormatPairs(c.axisNames[cand.Point.Sub], vals)
 	c.mu.Lock()
+	delete(c.idle, managerID)
 	c.seq++
 	seq := c.seq
-	c.leases[seq] = lease{cand: cand, scenario: scenario, manager: managerID}
+	c.leases[seq] = lease{cand: cand, scenario: scenario, vals: vals, manager: managerID}
 	c.mu.Unlock()
 	*task = Task{
 		Seq:      seq,
@@ -270,32 +292,38 @@ func (c *Coordinator) ReportResult(res Result, ack *bool) error {
 			out.Blocks[b] = struct{}{}
 		}
 	}
+	bname := res.Backend
+	if bname == "" {
+		// Legacy managers predate the backend field; they run the model.
+		bname = backend.Model
+	}
+	et := c.foldInput(ls, res.TestID, res.Skipped, out, bname, res.ExitStatus, res.DurationNS)
+	c.engine.Fold(et.C, et.Rec, et.Out)
+	*ack = true
+	return nil
+}
+
+// foldInput assembles the engine fold inputs from a retired lease and
+// the reported outcome. The armed plan is rebuilt from the lease's
+// axis values (the wire carries only the outcome) so a persistent
+// session's journal can replay the failure without re-searching the
+// space — straight from coordinates, no scenario re-parse.
+func (c *Coordinator) foldInput(ls lease, testID int, skipped bool, out prog.Outcome, bname, exitStatus string, durNS int64) core.ExecutedTest {
 	rec := core.Record{
 		Point:      ls.cand.Point,
 		Scenario:   ls.scenario,
-		TestID:     res.TestID,
-		Skipped:    res.Skipped,
-		Backend:    res.Backend,
-		ExitStatus: res.ExitStatus,
-		Duration:   time.Duration(res.DurationNS),
+		TestID:     testID,
+		Skipped:    skipped,
+		Backend:    bname,
+		ExitStatus: exitStatus,
+		Duration:   time.Duration(durNS),
 	}
-	if rec.Backend == "" {
-		// Legacy managers predate the backend field; they run the model.
-		rec.Backend = backend.Model
-	}
-	// Rebuild the armed plan from the scenario (the wire Result carries
-	// only the outcome), so a persistent session's journal can replay
-	// this failure without re-searching the space.
-	if !res.Skipped {
-		if sc, err := dsl.ParseScenario(ls.scenario); err == nil {
-			if _, plan, err := c.plugin.Convert(sc); err == nil {
-				rec.Plan = plan
-			}
+	if !skipped {
+		if _, plan, err := c.plugin.ConvertValues(c.axisNames[ls.cand.Point.Sub], ls.vals); err == nil {
+			rec.Plan = plan
 		}
 	}
-	c.engine.Fold(ls.cand, rec, out)
-	*ack = true
-	return nil
+	return core.ExecutedTest{C: ls.cand, Rec: rec, Out: out}
 }
 
 // SetTargetName labels the session's result set with the system under
@@ -514,9 +542,41 @@ type Manager struct {
 	// disables beating. Beat errors are ignored — legacy coordinators
 	// lack the method, and transport failures surface on the work loop.
 	HeartbeatEvery time.Duration
-	client         *rpc.Client
-	plugin         inject.Plugin
-	runner         backend.Runner
+	// Batch controls wire batching against coordinators speaking the
+	// batched protocol: 0 leases adaptively (the coordinator sizes each
+	// batch from measured test latency), 1 forces the seed single-task
+	// protocol, >1 fixes the lease size. Moot against a legacy
+	// coordinator, where only the single-task protocol exists.
+	Batch int
+	// Concurrency caps how many leased tests execute at once in batched
+	// mode. 0 sizes the fan-out from the backend's own pool width
+	// (process backends' Config.Procs) or GOMAXPROCS.
+	Concurrency int
+	// FlushEvery bounds how long executed results may buffer before a
+	// ReportBatch flush (they also flush by size — half the batch).
+	// Zero selects DefaultFlushEvery.
+	FlushEvery time.Duration
+	// CompatScenario asks the coordinator to ship the formatted
+	// scenario string with every batched lease, for managers that still
+	// parse scenarios instead of converting coordinates. Costs wire
+	// bytes; only useful for debugging or foreign managers.
+	CompatScenario bool
+
+	client      *rpc.Client
+	plugin      inject.Plugin
+	runner      backend.Runner
+	backendName string
+	// proto is the dial-negotiated protocol generation (negotiate);
+	// axisNames the coordinator's per-subspace axis names, delivered
+	// once in the Hello reply so batched tasks convert from coordinates.
+	proto      int
+	axisNames  [][]string
+	sentStacks map[uint64]bool
+	// latSumNS/latN accumulate measured per-test wall clock across the
+	// execution workers; their ratio rides every lease request as the
+	// adaptive-sizing signal.
+	latSumNS atomic.Int64
+	latN     atomic.Int64
 }
 
 // Dial connects a manager that executes on the model backend against
@@ -535,12 +595,24 @@ func DialBackend(addr, id, name string, bcfg backend.Config) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpcnode: %w", err)
 	}
+	if name == "" {
+		name = backend.Model // the registry's own default
+	}
 	client, err := rpc.Dial("tcp", addr)
 	if err != nil {
 		r.Close()
 		return nil, fmt.Errorf("rpcnode: dial %s: %w", addr, err)
 	}
-	return &Manager{ID: id, Target: bcfg.Target, client: client, runner: r}, nil
+	m := &Manager{
+		ID:          id,
+		Target:      bcfg.Target,
+		client:      client,
+		runner:      r,
+		backendName: name,
+		sentStacks:  make(map[uint64]bool),
+	}
+	m.negotiate()
+	return m, nil
 }
 
 // Close releases the manager's connection and its execution backend.
@@ -559,6 +631,7 @@ func (m *Manager) Close() error {
 // waiting out expirable lost leases) are polled through internally.
 func (m *Manager) RunOne() (done bool, err error) {
 	var task Task
+	attempts := 0
 	for {
 		task = Task{}
 		if err := m.client.Call("Coordinator.NextTest", m.ID, &task); err != nil {
@@ -567,7 +640,7 @@ func (m *Manager) RunOne() (done bool, err error) {
 		if !task.Retry {
 			break
 		}
-		time.Sleep(20 * time.Millisecond)
+		sleepRetry(task.RetryAfterMS, &attempts)
 	}
 	if task.Done {
 		return true, nil
@@ -629,12 +702,23 @@ func (m *Manager) startHeartbeat() (stop func()) {
 	return func() { close(done); wg.Wait() }
 }
 
-// RunUntilDone loops RunOne until the coordinator reports completion,
-// heartbeating in the background (see HeartbeatEvery). It returns the
-// number of tests this manager executed.
+// RunUntilDone executes leased tests until the coordinator reports
+// completion, heartbeating in the background (see HeartbeatEvery), and
+// returns the number of tests this manager executed. Against a batched
+// coordinator it runs the pipelined batch loop (runBatched) unless
+// Batch pins the single-task protocol; against a legacy coordinator it
+// loops RunOne.
 func (m *Manager) RunUntilDone() (int, error) {
 	stopBeat := m.startHeartbeat()
 	defer stopBeat()
+	if m.proto >= protoBatched && m.Batch != 1 {
+		n, err := m.runBatched()
+		if err != nil && errors.Is(err, rpc.ErrShutdown) {
+			// A closed coordinator mid-shutdown is a normal way to end.
+			return n, nil
+		}
+		return n, err
+	}
 	n := 0
 	for {
 		done, err := m.RunOne()
