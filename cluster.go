@@ -102,6 +102,13 @@ type CoordinatorOptions struct {
 	Shards int
 	// LeaseTimeout re-leases tasks never reported back (0 = never).
 	LeaseTimeout time.Duration
+	// Prefetch enables the engine's asynchronous candidate prefetch
+	// ring (Options.PrefetchDepth): NextBatch rounds are then served
+	// from pre-generated candidates under the narrow lease lock instead
+	// of running the explorer under the session lock. Positive fixes
+	// the ring capacity, PrefetchAdaptive (-1) tracks ~2× the adaptive
+	// wire batch, 0 keeps the synchronous path.
+	Prefetch int
 	// HeartbeatEvery/HeartbeatMisses enable heartbeat-driven liveness:
 	// a manager silent for HeartbeatMisses beats has its leases expired
 	// immediately (see Coordinator.SetHeartbeat). Zero disables.
@@ -140,7 +147,7 @@ func NewCoordinatorWithOptions(o CoordinatorOptions) (*Coordinator, func() error
 		}
 		space = regions[o.Peer]
 	}
-	ecfg := core.Config{Space: space, Iterations: o.Budget, Resume: o.Resume}
+	ecfg := core.Config{Space: space, Iterations: o.Budget, Resume: o.Resume, PrefetchDepth: o.Prefetch}
 	cleanup := func() error { return nil }
 	if o.StateDir != "" {
 		st, err := store.OpenOptions(o.StateDir, store.Options{

@@ -7,9 +7,10 @@
 //
 //	afex explore --target mysqld [--algo fitness|random|exhaustive|genetic|portfolio]
 //	             [--backend model|process] [--iterations 1000] [--seed 1]
-//	             [--feedback] [--workers 4] [--batch 16] [--shards 4]
+//	             [--feedback] [--workers 4] [--batch 16] [--prefetch -1] [--shards 4]
 //	             [--funcs 19] [--call-lo 1] [--call-hi 100] [--top 10]
 //	             [--repro] [--state-dir DIR] [--resume] [--progress 5s]
+//	             [--pprof localhost:6060]
 //	afex explore --backend process --target "cmd:./crashy {test}" \
 //	             --space "testID : [ 0 , 3 ]  function : { open , read }  callNumber : [ 1 , 3 ] ;" \
 //	             [--timeout 5s] [--procs 4] [--test-args "row0"] [--test-args "row1"]
@@ -18,6 +19,7 @@
 //	afex profile --target coreutils [--funcs 19]
 //	afex serve   --target coreutils --addr :7070 [--iterations 500] [--shards 4]
 //	             [--algo portfolio] [--state-dir DIR] [--resume] [--lease-timeout 30s]
+//	             [--prefetch -1] [--pprof localhost:6060]
 //	afex worker  --target coreutils --addr host:7070 --id mgr01
 //	afex worker  --backend process --target "cmd:./crashy {test}" --addr host:7070 --id mgr02
 //	afex targets [--json]
@@ -35,6 +37,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -114,6 +119,26 @@ commands:
 exit status 3 means the exploration found failure-inducing scenarios.`)
 }
 
+// startPprof serves net/http/pprof on addr for the lifetime of the
+// process — the --pprof flag's backing. An explicit mux keeps the
+// profiler off http.DefaultServeMux, which other subsystems never use
+// either.
+func startPprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("--pprof: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+	go http.Serve(ln, mux)
+	return nil
+}
+
 // multiFlag collects a repeatable string flag (e.g. --test-args).
 type multiFlag []string
 
@@ -150,6 +175,7 @@ func cmdExplore(args []string) error {
 	feedback := fs.Bool("feedback", false, "enable redundancy feedback (§7.4)")
 	workers := fs.Int("workers", 1, "concurrent node managers")
 	batch := fs.Int("batch", 0, "candidates leased per worker coordination round (0 = default; parallel mode only)")
+	prefetch := fs.Int("prefetch", 0, "candidate prefetch ring depth: >0 fixed capacity, -1 adaptive (~2x the adaptive batch), 0 synchronous leasing")
 	shards := fs.Int("shards", 0, "partition the space into this many disjoint regions, one fitness search each (0/1 = unsharded)")
 	nFuncs := fs.Int("funcs", 19, "function-axis size")
 	callLo := fs.Int("call-lo", 1, "callNumber axis lower bound (0 adds a no-injection point)")
@@ -166,11 +192,17 @@ func cmdExplore(args []string) error {
 	journalFormat := fs.String("journal-format", "", "with --state-dir: journal format for a NEW directory, "+afex.JournalJSONL+" (default) or "+afex.JournalBinary+" (indexed binary segments; existing directories keep their format)")
 	resume := fs.Bool("resume", false, "with --state-dir: restore the explorer's search state and continue where the previous run stopped")
 	progress := fs.Duration("progress", 0, "print engine stats (tests run, failures, clusters, leases) on this interval (0 = off)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof profiles on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *stateDir == "" {
 		return fmt.Errorf("--resume requires --state-dir")
+	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr); err != nil {
+			return err
+		}
 	}
 	// A cmd: target runs on the process backend; built-in model targets
 	// default to the model backend. An explicit --backend must agree
@@ -233,6 +265,7 @@ func cmdExplore(args []string) error {
 		Iterations:    *iterations,
 		Workers:       *workers,
 		Batch:         *batch,
+		PrefetchDepth: *prefetch,
 		Shards:        *shards,
 		Feedback:      *feedback,
 		TimeBudget:    *budget,
@@ -542,12 +575,19 @@ func cmdServe(args []string) error {
 	resume := fs.Bool("resume", false, "with --state-dir: restore the explorer's search state from the last snapshot")
 	backendName := fs.String("backend", "", "validate that workers will use this execution backend name: "+strings.Join(afex.Backends(), " | ")+" (the backend itself runs on the workers)")
 	leaseTimeout := fs.Duration("lease-timeout", 0, "re-lease tasks a manager never reported back after this long (0 = never; leases then leak if a manager dies)")
+	prefetch := fs.Int("prefetch", 0, "candidate prefetch ring depth: >0 fixed capacity, -1 adaptive (~2x the adaptive batch), 0 synchronous leasing")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof profiles on this address (e.g. localhost:6060)")
 	heartbeat := fs.Duration("heartbeat", 0, "expect manager heartbeats at this interval; a manager missing --heartbeat-misses beats has its leases expired immediately (0 = off)")
 	heartbeatMisses := fs.Int("heartbeat-misses", 0, "heartbeats a manager may miss before being declared dead (0 = default)")
 	peers := fs.Int("peers", 0, "split the space across this many peer coordinators via disjoint sharding; this process serves region --peer")
 	peer := fs.Int("peer", 0, "this coordinator's 0-based region index among --peers")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr); err != nil {
+			return err
+		}
 	}
 	if *httpAddr != "" {
 		m := controlplane.NewManager()
@@ -590,6 +630,7 @@ func cmdServe(args []string) error {
 		Budget:          *iterations,
 		Shards:          *shards,
 		LeaseTimeout:    *leaseTimeout,
+		Prefetch:        *prefetch,
 		HeartbeatEvery:  *heartbeat,
 		HeartbeatMisses: *heartbeatMisses,
 		StateDir:        *stateDir,

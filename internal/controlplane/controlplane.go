@@ -78,6 +78,11 @@ type SessionSpec struct {
 	Shards int `json:"shards,omitempty"`
 	// Feedback enables §7.4 result-quality feedback.
 	Feedback bool `json:"feedback,omitempty"`
+	// Prefetch enables the engine's asynchronous candidate prefetch
+	// ring (core.Config.PrefetchDepth): positive fixes the ring
+	// capacity, -1 sizes it adaptively, 0 keeps the synchronous lease
+	// path.
+	Prefetch int `json:"prefetch,omitempty"`
 	// TestArgs are the process backend's per-test argument rows
 	// (row i serves testID i), each row whitespace-split.
 	TestArgs []string `json:"testArgs,omitempty"`
@@ -345,7 +350,7 @@ func (m *Manager) build(spec SessionSpec) (*Session, error) {
 		// Coordinator mode: serve the rpcnode protocol, remote managers
 		// execute. The engine runs nothing locally.
 		s.mode = "coordinator"
-		ecfg := core.Config{Space: space, Iterations: spec.Iterations, Resume: spec.Resume}
+		ecfg := core.Config{Space: space, Iterations: spec.Iterations, Resume: spec.Resume, PrefetchDepth: spec.Prefetch}
 		if err := openStore(&ecfg, spec.Target); err != nil {
 			return nil, err
 		}
@@ -396,6 +401,7 @@ func (m *Manager) build(spec SessionSpec) (*Session, error) {
 		Workers:       spec.Workers,
 		Shards:        spec.Shards,
 		Feedback:      spec.Feedback,
+		PrefetchDepth: spec.Prefetch,
 		TimeBudget:    timeBudget,
 		LeaseTimeout:  leaseTimeout,
 		Resume:        spec.Resume,

@@ -57,6 +57,8 @@ func (mw *metricWriter) sample(name, help, typ string, labels [][2]string, value
 //	afex_worker_pool_recycles_total{session=} quota-driven worker recycles
 //	afex_avg_test_seconds{session=}       EWMA of per-test execution wall clock
 //	afex_adaptive_batch{session=}         engine-suggested wire-batch size
+//	afex_prefetch_depth{session=}         prefetch ring capacity target
+//	afex_prefetch_ready{session=}         pre-generated candidates buffered
 //	afex_arm_pulls_total{session=,arm=}   portfolio pulls per strategy
 //	afex_arm_mean_reward{session=,arm=}   portfolio mean reward per strategy
 func writeMetrics(w io.Writer, m *Manager) {
@@ -105,6 +107,10 @@ func writeMetrics(w io.Writer, m *Manager) {
 		func(i int) float64 { return float64(snaps[i].AvgTestNS) / 1e9 })
 	perSession("afex_adaptive_batch", "Engine-suggested wire-batch size from measured test latency.", "gauge",
 		func(i int) float64 { return float64(snaps[i].AdaptiveBatch) })
+	perSession("afex_prefetch_depth", "Candidate prefetch ring capacity target (0 = synchronous leasing).", "gauge",
+		func(i int) float64 { return float64(snaps[i].PrefetchDepth) })
+	perSession("afex_prefetch_ready", "Pre-generated candidates buffered in the prefetch ring.", "gauge",
+		func(i int) float64 { return float64(snaps[i].PrefetchReady) })
 	for i, s := range sessions {
 		for _, a := range snaps[i].Arms {
 			mw.sample("afex_arm_pulls_total", "Portfolio pulls per strategy arm.", "counter",

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"time"
@@ -34,6 +35,9 @@ type Server struct {
 //	GET  /v1/sessions/{id}/report  the sealed result's report text
 //	POST /v1/sessions/{id}/stop    request the session to stop
 //	GET  /metrics                  Prometheus text exposition
+//	GET  /debug/pprof/             net/http/pprof profiles (CPU, heap,
+//	                               mutex, goroutine, …) for the whole
+//	                               control-plane process
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
@@ -71,6 +75,13 @@ func NewHandler(m *Manager) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, m)
 	})
+	// Profiling endpoints: the default pprof handlers, mounted
+	// explicitly (the control plane never uses http.DefaultServeMux).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"afex/internal/backend"
@@ -74,17 +75,60 @@ type Engine struct {
 	// scenario path (no per-candidate map on the execution hot path).
 	axisNames [][]string
 
+	// mu is the session lock: fold state (counters, coverage, clusters,
+	// records, hooks). Lease bookkeeping and the explorer have their own
+	// narrower locks below; lock order is mu → {leaseMu, exMu, latMu},
+	// and leaseMu/exMu are never held together.
 	mu sync.Mutex
-	// pending counts candidates handed out but not yet folded back, so
-	// the session does not overshoot Iterations.
-	pending int
-	// leases tracks outstanding candidates by scenario key when
-	// Config.LeaseTimeout is set: expired entries are re-leased by
-	// Lease, and a fold removes its entry — a second fold of the same
-	// candidate (a presumed-dead executor reporting late) is dropped,
-	// so each candidate folds exactly once. Nil when lease expiry is
-	// off.
-	leases      map[string]leaseRec
+
+	// leaseMu guards lease bookkeeping: the pending/committed budget
+	// counters, the lease-expiry heap, and the prefetch ring. It is
+	// deliberately narrow — never held across explorer calls or fold
+	// work — so the prefetched Lease path stays near-O(batch).
+	leaseMu sync.Mutex
+	// pending counts candidates handed out but not yet folded back.
+	// committed counts every claim against the Iterations budget:
+	// executed + pending + candidates buffered in the prefetch ring.
+	// The remaining budget is Iterations - committed, so concurrent
+	// lease paths and the generator never overshoot.
+	pending   int
+	committed int
+	// lq tracks outstanding candidates in an expiry-ordered min-heap
+	// when lease expiry is on (Config.LeaseTimeout/SetLeaseTimeout):
+	// expired entries are re-leased oldest-first — deterministically,
+	// unlike the map walk it replaced — and a fold retires its entry,
+	// so a late duplicate fold from a presumed-dead executor is
+	// dropped and each candidate folds exactly once. Nil when lease
+	// expiry is off. leaseTimeout mirrors cfg.LeaseTimeout under
+	// leaseMu (SetLeaseTimeout may change it after construction).
+	lq           *leaseQueue
+	leaseTimeout time.Duration
+	// The prefetch pipeline (see prefetch.go). prefetchDepth is the
+	// resolved Config.PrefetchDepth (0 = synchronous, immutable);
+	// ring/flags/channels are the generator's shared state. sealed
+	// means no further candidates will ever be handed out from or
+	// admitted to the ring; exhausted means the explorer ran dry.
+	ring              candRing
+	ringStarted       bool
+	ringSealed        bool
+	ringExhausted     bool
+	ringWake          chan struct{}
+	ringStop          chan struct{}
+	prefetchGenerated int
+	prefetchDepth     int
+	// genReserved is the generator's in-flight budget reservation: the
+	// candidates it is generating right now, already counted in
+	// committed but not yet in the ring. Waiting reports it so workers
+	// poll instead of quitting when the tail of the budget is still in
+	// the generator's hands.
+	genReserved int
+
+	// exMu guards all explorer access — BatchNext, ReportBatch, state
+	// export, sensitivities, arm statistics — preserving the Explorer
+	// contract ("Next and Report may be called from one goroutine
+	// only") now that generation no longer serializes on mu.
+	exMu sync.Mutex
+
 	covered     map[int]struct{}
 	recovered   map[int]struct{}
 	recoverySet map[int]struct{}
@@ -97,10 +141,12 @@ type Engine struct {
 	failClusters  *cluster.Set
 	crashClusters *cluster.Set
 	res           *ResultSet
-	stopped       bool
-	deadline      time.Time
-	start         time.Time
-	finished      bool
+	// stopped flips once and is read on every Lease, so it is atomic
+	// rather than lock-bound; deadline is immutable after NewEngine.
+	stopped  atomic.Bool
+	deadline time.Time
+	start    time.Time
+	finished bool
 	// prevElapsed accumulates wall clock from prior runs of a restored
 	// session; sinceSnap counts folds since the last periodic snapshot.
 	// adaptiveSnap (set when SnapshotEvery was defaulted) grows the
@@ -116,12 +162,15 @@ type Engine struct {
 	// it append-only for O(1) snapshot capture.
 	seen     map[string]struct{}
 	seenList []string
-	// latEWMA tracks per-test execution wall clock (nanoseconds) as an
-	// exponentially weighted moving average of executor observations
-	// (ObserveLatency). Adaptive wire batching divides a target round
-	// duration by it: slow targets get small lease batches (lease-expiry
-	// responsiveness), fast ones large batches (round-trip
-	// amortization). Zero until the first observation.
+	// latMu guards latEWMA, which tracks per-test execution wall clock
+	// (nanoseconds) as an exponentially weighted moving average of
+	// executor observations (ObserveLatency). Adaptive wire batching
+	// divides a target round duration by it: slow targets get small
+	// lease batches (lease-expiry responsiveness), fast ones large
+	// batches (round-trip amortization). Zero until the first
+	// observation. Its own lock so latency reports and the prefetch
+	// generator's adaptive sizing never touch the session lock.
+	latMu   sync.Mutex
 	latEWMA float64
 
 	// snapMu serializes session-snapshot delivery to the store, which
@@ -236,8 +285,9 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 			e.recycles = rc.Recycles
 		}
 	}
+	e.leaseTimeout = cfg.LeaseTimeout
 	if cfg.LeaseTimeout > 0 {
-		e.leases = make(map[string]leaseRec)
+		e.lq = newLeaseQueue()
 	}
 	if cfg.Space != nil {
 		e.res.SpaceSize = cfg.Space.Size()
@@ -292,6 +342,19 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 	}
 	e.explorer = ex
 	e.adaptiveSnap = adaptiveSnap
+	// The committed budget counter starts at what the restored journal
+	// already spent; every lease and ring refill claims against it.
+	e.committed = e.res.Executed
+	// The asynchronous prefetch pipeline (prefetch.go) requires the
+	// explorer stack to tolerate batch-boundary feedback reordering;
+	// explorers declare that via explore.Prefetchable. Anything else —
+	// notably third-party explorers handed to NewEngine — keeps the
+	// synchronous path regardless of the knob.
+	if cfg.PrefetchDepth != 0 && explore.IsPrefetchable(ex) {
+		e.prefetchDepth = cfg.PrefetchDepth
+		e.ringWake = make(chan struct{}, 1)
+		e.ringStop = make(chan struct{})
+	}
 	e.start = time.Now()
 	if cfg.TimeBudget > 0 {
 		e.deadline = e.start.Add(cfg.TimeBudget)
@@ -299,76 +362,92 @@ func NewEngine(cfg Config, ex explore.Explorer) (*Engine, error) {
 	return e, nil
 }
 
-// leaseRec is one outstanding lease-expiry entry: the candidate and
-// the instant after which it may be handed out again.
-type leaseRec struct {
-	c       explore.Candidate
-	expires time.Time
-}
-
-// Lease hands out up to max candidates under one lock acquisition,
-// bounded by the remaining Iterations budget (counting outstanding
-// leases, so the session never overshoots). It returns nil once the
-// session is stopped, the deadline has passed, the budget is committed,
-// or the explorer is exhausted.
+// Lease hands out up to max candidates, bounded by the remaining
+// Iterations budget (counting outstanding leases and prefetched
+// candidates, so the session never overshoots). It returns nil once
+// the session is stopped, the deadline has passed, the budget is
+// committed, or the explorer is exhausted.
 //
 // With Config.LeaseTimeout set, candidates leased but not folded back
 // within the timeout — a dead distributed manager, a killed worker —
-// are handed out again before any fresh candidates, outside the
-// Iterations arithmetic (their budget was committed at first lease), so
-// a session whose whole remaining budget is stuck on lost leases drains
-// instead of stalling until Finish.
+// are handed out again before any fresh candidates, oldest expiry
+// first, outside the Iterations arithmetic (their budget was committed
+// at first lease), so a session whose whole remaining budget is stuck
+// on lost leases drains instead of stalling until Finish.
+//
+// With Config.PrefetchDepth enabled, candidates come from the
+// asynchronous prefetch ring under the narrow lease lock (never the
+// session lock); at depth 0 this is the synchronous path — the whole
+// call under the session lock, generation included — preserving the
+// exact pre-pipeline serialization and journals.
 func (e *Engine) Lease(max int) []explore.Candidate {
 	if max <= 0 {
 		max = 1
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.stopped {
+	if e.stopped.Load() {
 		return nil
 	}
+	// One clock read serves the deadline check, the expiry scan and
+	// fresh-lease stamping for the whole call.
+	now := time.Now()
 	// Check the deadline here too, not only when folding: a session with
 	// slow tests (or none finishing) must stop handing out work the
 	// moment the TimeBudget elapses, not at the next fold.
-	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
-		e.stopped = true
+	if !e.deadline.IsZero() && now.After(e.deadline) {
+		e.Stop()
+		return nil
+	}
+	if e.prefetchEnabled() {
+		return e.leasePrefetched(max, now)
+	}
+	return e.leaseSync(max, now)
+}
+
+// leaseSync is the synchronous (depth-0) lease path: everything under
+// one session-lock acquisition, exactly as before the prefetch
+// pipeline existed, so sequential sessions keep their bit-for-bit
+// Next/Report interleaving.
+func (e *Engine) leaseSync(max int, now time.Time) []explore.Candidate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped.Load() {
 		return nil
 	}
 	var cands []explore.Candidate
-	if e.leases != nil {
-		now := time.Now()
-		for key, lr := range e.leases {
-			if len(cands) >= max {
-				break
-			}
-			if now.After(lr.expires) {
-				lr.expires = now.Add(e.cfg.LeaseTimeout)
-				e.leases[key] = lr
-				cands = append(cands, lr.c)
-			}
-		}
+	e.leaseMu.Lock()
+	timeout := e.leaseTimeout
+	if e.lq != nil {
+		cands = e.lq.takeExpired(now, max, timeout)
 		if len(cands) == max {
+			e.leaseMu.Unlock()
 			return cands
 		}
 	}
 	fresh := max - len(cands)
 	if e.cfg.Iterations > 0 {
-		remaining := e.cfg.Iterations - e.res.Executed - e.pending
+		remaining := e.cfg.Iterations - e.committed
 		if remaining <= 0 {
+			e.leaseMu.Unlock()
 			return cands
 		}
 		if fresh > remaining {
 			fresh = remaining
 		}
 	}
+	e.leaseMu.Unlock()
+	e.exMu.Lock()
 	next := explore.BatchNext(e.explorer, fresh)
+	e.exMu.Unlock()
+	e.leaseMu.Lock()
 	e.pending += len(next)
-	if e.leases != nil {
-		expires := time.Now().Add(e.cfg.LeaseTimeout)
+	e.committed += len(next)
+	if e.lq != nil {
+		expires := now.Add(timeout)
 		for _, c := range next {
-			e.leases[c.Point.Key()] = leaseRec{c: c, expires: expires}
+			e.lq.add(c.Point.Key(), c, expires)
 		}
 	}
+	e.leaseMu.Unlock()
 	return append(cands, next...)
 }
 
@@ -378,15 +457,16 @@ func (e *Engine) Lease(max int) []explore.Candidate {
 // budget-committed and re-lease on expiry instead of being lost to the
 // session.
 func (e *Engine) Unlease(n int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.leases != nil {
+	e.leaseMu.Lock()
+	defer e.leaseMu.Unlock()
+	if e.lq != nil {
 		return
 	}
-	e.pending -= n
-	if e.pending < 0 {
-		e.pending = 0
+	if n > e.pending {
+		n = e.pending
 	}
+	e.pending -= n
+	e.committed -= n
 }
 
 // Fold folds one executed test back into shared state and the explorer:
@@ -491,19 +571,36 @@ func (e *Engine) commitBatch(batch []ExecutedTest) (bool, *sessionView) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	feedback := make([]explore.Feedback, 0, len(batch))
-	// folded indexes the batch entries that actually folded: under
-	// Config.LeaseTimeout a candidate folds exactly once, so a late
-	// duplicate from a presumed-dead executor is dropped here (it
-	// appended no record, fed no explorer, journaled nothing).
+	// Lease bookkeeping for the whole batch under one short lease-lock
+	// acquisition: duplicate detection, lease retirement and the pending
+	// decrement. Under Config.LeaseTimeout a candidate folds exactly
+	// once, so a late duplicate from a presumed-dead executor is dropped
+	// (it appends no record, feeds no explorer, journals nothing).
+	var dup []bool
+	folding := len(batch)
+	e.leaseMu.Lock()
+	if e.lq != nil {
+		dup = make([]bool, len(batch))
+		for i := range batch {
+			if !e.lq.retire(batch[i].Pre.pointKey) {
+				dup[i] = true
+				folding--
+			}
+		}
+	}
+	if folding > e.pending {
+		folding = e.pending
+	}
+	e.pending -= folding
+	e.leaseMu.Unlock()
 	folded := make([]int, 0, len(batch))
 	stop := false
 	var bs batchSnap
 	for i := range batch {
-		et := &batch[i]
-		if e.duplicateFoldLocked(et.Pre.pointKey) {
+		if dup != nil && dup[i] {
 			continue
 		}
-		stopped, fb := e.foldLocked(et, &bs)
+		stopped, fb := e.foldLocked(&batch[i], &bs)
 		feedback = append(feedback, fb)
 		folded = append(folded, i)
 		stop = stop || stopped
@@ -511,11 +608,20 @@ func (e *Engine) commitBatch(batch []ExecutedTest) (bool, *sessionView) {
 	// The deadline is checked once per batch (a sequential session folds
 	// batches of one, so its per-fold cadence is unchanged); Lease checks
 	// it too, so a stopped-on-time session also stops handing out work.
-	if !e.stopped && !e.deadline.IsZero() && time.Now().After(e.deadline) {
-		e.stopped = true
+	if !e.stopped.Load() && !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.stopped.Store(true)
 		stop = true
 	}
+	// Explorer feedback at the batch boundary, under the explorer lock
+	// alone: the prefetch generator blocks only for this report — the
+	// bounded-staleness window — and feedback order remains commit
+	// order.
+	e.exMu.Lock()
 	explore.ReportBatch(e.explorer, feedback)
+	e.exMu.Unlock()
+	if stop {
+		e.sealPrefetch()
+	}
 	var view *sessionView
 	if e.cfg.Store != nil && len(folded) > 0 {
 		// The completed records are the last len(folded) folds, in order.
@@ -540,20 +646,6 @@ func (e *Engine) commitBatch(batch []ExecutedTest) (bool, *sessionView) {
 		}
 	}
 	return stop, view
-}
-
-// duplicateFoldLocked reports whether this fold is a duplicate of an
-// already-folded re-leased candidate (lease-expiry mode only) and, when
-// it is not, retires the candidate's lease entry.
-func (e *Engine) duplicateFoldLocked(key string) bool {
-	if e.leases == nil {
-		return false
-	}
-	if _, outstanding := e.leases[key]; !outstanding {
-		return true
-	}
-	delete(e.leases, key)
-	return false
 }
 
 // batchSnap lazily caches one Snapshot per fold batch for the Progress
@@ -581,10 +673,6 @@ func (e *Engine) batchSnapshotLocked(bs *batchSnap) Snapshot {
 
 func (e *Engine) foldLocked(et *ExecutedTest, bs *batchSnap) (bool, explore.Feedback) {
 	c, rec, outcome, pre := et.C, et.Rec, et.Out, et.Pre
-	if e.pending > 0 {
-		e.pending--
-	}
-
 	rec.ID = e.res.Executed
 	rec.Outcome = outcome
 	rec.Cluster = -1
@@ -676,10 +764,10 @@ func (e *Engine) foldLocked(et *ExecutedTest, bs *batchSnap) (bool, explore.Feed
 		e.cfg.Progress(e.batchSnapshotLocked(bs))
 	}
 	if e.cfg.Stop != nil && e.cfg.Stop(e.batchSnapshotLocked(bs)) {
-		e.stopped = true
+		e.stopped.Store(true)
 		return true, fb
 	}
-	return e.stopped, fb
+	return e.stopped.Load(), fb
 }
 
 // SetTargetName labels the result set for engines whose target runs
@@ -691,16 +779,24 @@ func (e *Engine) SetTargetName(name string) {
 	e.mu.Unlock()
 }
 
-// Waiting reports whether the session is merely waiting on outstanding
-// leases that may yet expire and be re-leased (lease-expiry mode only):
-// Lease just returned nothing, but the session is not over — an
-// executor should poll again shortly rather than quit. Always false
-// without Config.LeaseTimeout, where outstanding leases are trusted to
-// fold.
+// Waiting reports whether the session is merely waiting on work that
+// may yet become leasable — outstanding leases that can expire and
+// re-lease (lease-expiry mode), or budget the prefetch generator is
+// still materializing into the ring: Lease just returned nothing, but
+// the session is not over — an executor should poll again shortly
+// rather than quit. Always false without Config.LeaseTimeout or
+// prefetching, where outstanding leases are trusted to fold and
+// generation is synchronous.
 func (e *Engine) Waiting() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.leases != nil && !e.stopped && len(e.leases) > 0
+	if e.stopped.Load() {
+		return false
+	}
+	e.leaseMu.Lock()
+	defer e.leaseMu.Unlock()
+	if e.lq != nil && e.lq.Len() > 0 {
+		return true
+	}
+	return !e.ringSealed && (e.genReserved > 0 || e.ring.n > 0)
 }
 
 // SetLeaseTimeout enables lease expiry on an engine built without
@@ -708,11 +804,11 @@ func (e *Engine) Waiting() bool {
 // before the first Lease: leases handed out earlier are untracked, and
 // their folds would be dropped as duplicates.
 func (e *Engine) SetLeaseTimeout(d time.Duration) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.cfg.LeaseTimeout = d
-	if d > 0 && e.leases == nil {
-		e.leases = make(map[string]leaseRec)
+	e.leaseMu.Lock()
+	defer e.leaseMu.Unlock()
+	e.leaseTimeout = d
+	if d > 0 && e.lq == nil {
+		e.lq = newLeaseQueue()
 	}
 }
 
@@ -740,24 +836,26 @@ func (e *Engine) ObserveLatency(perTest time.Duration) {
 	if perTest <= 0 {
 		return
 	}
-	e.mu.Lock()
+	e.latMu.Lock()
 	if e.latEWMA == 0 {
 		e.latEWMA = float64(perTest)
 	} else {
 		e.latEWMA += latencyAlpha * (float64(perTest) - e.latEWMA)
 	}
-	e.mu.Unlock()
+	e.latMu.Unlock()
 }
 
 // AdaptiveBatch suggests how many candidates one lease round trip
 // should carry given the observed per-test latency (DefaultWireBatch
 // before any observation).
 func (e *Engine) AdaptiveBatch() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.latMu.Lock()
+	defer e.latMu.Unlock()
 	return e.adaptiveBatchLocked()
 }
 
+// adaptiveBatchLocked computes the suggested wire batch; callers hold
+// e.latMu.
 func (e *Engine) adaptiveBatchLocked() int {
 	if e.latEWMA <= 0 {
 		return DefaultWireBatch
@@ -775,9 +873,9 @@ func (e *Engine) adaptiveBatchLocked() int {
 // LeaseExpiryEnabled reports whether the engine tracks outstanding
 // leases for expiry (Config.LeaseTimeout or SetLeaseTimeout).
 func (e *Engine) LeaseExpiryEnabled() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.leases != nil
+	e.leaseMu.Lock()
+	defer e.leaseMu.Unlock()
+	return e.lq != nil
 }
 
 // ExpireLeases force-expires the tracked leases for the given scenario
@@ -789,28 +887,20 @@ func (e *Engine) LeaseExpiryEnabled() bool {
 // still exactly-once: whichever fold lands first retires the lease, the
 // other is dropped as a duplicate.
 func (e *Engine) ExpireLeases(keys []string) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.leases == nil {
+	e.leaseMu.Lock()
+	defer e.leaseMu.Unlock()
+	if e.lq == nil {
 		return 0
 	}
-	n := 0
-	for _, k := range keys {
-		if lr, ok := e.leases[k]; ok {
-			lr.expires = time.Time{}
-			e.leases[k] = lr
-			n++
-		}
-	}
-	return n
+	return e.lq.expire(keys)
 }
 
-// Stop ends the session: subsequent Lease calls return nil. In-flight
-// tests may still fold.
+// Stop ends the session: subsequent Lease calls return nil and the
+// prefetch ring is sealed (buffered candidates return their budget).
+// In-flight tests may still fold.
 func (e *Engine) Stop() {
-	e.mu.Lock()
-	e.stopped = true
-	e.mu.Unlock()
+	e.stopped.Store(true)
+	e.sealPrefetch()
 }
 
 // Snapshot returns the running tally.
@@ -835,24 +925,36 @@ func (e *Engine) quickSnapshotLocked() Snapshot {
 		Hung:           e.res.Hung,
 		NewCrashIDs:    len(e.res.CrashIDs),
 		UniqueFailures: e.failClusters.Len(),
-		Pending:        e.pending,
-		WaitingLeases:  len(e.leases),
 		Coverage:       cov,
 	}
+	e.leaseMu.Lock()
+	s.Pending = e.pending
+	if e.lq != nil {
+		s.WaitingLeases = e.lq.Len()
+	}
+	if e.prefetchEnabled() {
+		s.PrefetchDepth = e.prefetchTargetLocked()
+		s.PrefetchReady = e.ring.n
+	}
+	e.leaseMu.Unlock()
 	if e.recycles != nil {
 		s.PoolRecycles = e.recycles()
 	}
+	e.latMu.Lock()
 	if e.latEWMA > 0 {
 		s.AvgTestNS = int64(e.latEWMA)
 		s.AdaptiveBatch = e.adaptiveBatchLocked()
 	}
+	e.latMu.Unlock()
 	return s
 }
 
 func (e *Engine) snapshotLocked() Snapshot {
 	s := e.quickSnapshotLocked()
 	if e.armStats != nil {
+		e.exMu.Lock()
 		s.Arms = e.armStats()
+		e.exMu.Unlock()
 	}
 	return s
 }
@@ -863,6 +965,10 @@ func (e *Engine) snapshotLocked() Snapshot {
 // attached, emits the final session snapshot (serialized outside the
 // session lock, like periodic ones).
 func (e *Engine) Finish() *ResultSet {
+	// Seal the prefetch pipeline first: the generator goroutine exits
+	// and buffered (never-leased) candidates return their budget, so
+	// nothing generates or journals after the seal.
+	e.sealPrefetch()
 	res, view, runner := e.finishLocked()
 	if view != nil {
 		e.deliverSnapshot(view)
@@ -884,6 +990,7 @@ func (e *Engine) finishLocked() (*ResultSet, *sessionView, backend.Runner) {
 		e.finished = true
 		e.res.Elapsed = e.prevElapsed + time.Since(e.start)
 	}
+	e.exMu.Lock()
 	if s, ok := e.explorer.(explore.Sensitive); ok && e.cfg.Space != nil && len(e.cfg.Space.Spaces) > 0 {
 		if sens := s.Sensitivities(0); sens != nil {
 			e.res.Sensitivities = sens
@@ -892,6 +999,7 @@ func (e *Engine) finishLocked() (*ResultSet, *sessionView, backend.Runner) {
 	if e.armStats != nil {
 		e.res.Arms = e.armStats()
 	}
+	e.exMu.Unlock()
 	e.res.UniqueFailures = e.failClusters.Len()
 	e.res.UniqueCrashes = e.crashClusters.Len()
 	if e.cfg.Target != nil && e.cfg.Target.NumBlocks > 0 {

@@ -138,6 +138,102 @@ func TestLeaseExpiryDropsDuplicateFold(t *testing.T) {
 	}
 }
 
+// TestLeaseExpiryDeterministicOrder: expired leases re-lease in their
+// original lease order — oldest first out of the expiry heap — and two
+// identically configured engines agree on it. The map walk the heap
+// replaced handed expired leases out in random map-iteration order.
+func TestLeaseExpiryDeterministicOrder(t *testing.T) {
+	reLease := func() []string {
+		eng := leaseExpiryEngine(t, 0)
+		first := eng.Lease(6)
+		if len(first) != 6 {
+			t.Fatalf("leased %d candidates, want 6", len(first))
+		}
+		want := make([]string, len(first))
+		for i, c := range first {
+			want[i] = c.Point.Key()
+		}
+		time.Sleep(testLeaseTimeout + 10*time.Millisecond)
+		// One at a time, so each call must pick the single oldest expiry.
+		var got []string
+		for range want {
+			re := eng.Lease(1)
+			if len(re) != 1 {
+				t.Fatalf("re-lease handed out %d candidates, want 1", len(re))
+			}
+			got = append(got, re[0].Point.Key())
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("re-lease order diverged at %d: got %q, want original lease order %q", i, got[i], want[i])
+			}
+		}
+		return got
+	}
+	a := reLease()
+	b := reLease()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("two identical engines re-leased in different orders at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestUnleaseWithLeaseTimeoutIsNoop: with expiry tracking on, Unlease
+// must not discard candidates — they stay committed and re-lease on
+// expiry, so the session still covers the whole space.
+func TestUnleaseWithLeaseTimeoutIsNoop(t *testing.T) {
+	eng := leaseExpiryEngine(t, 0)
+	batch := eng.Lease(4)
+	if len(batch) != 4 {
+		t.Fatalf("leased %d candidates, want 4", len(batch))
+	}
+	eng.Unlease(len(batch)) // a worker shutting down mid-batch
+	drain(t, eng)
+	res := eng.Finish()
+	if want := int(sessionSpace().Size()); res.Executed != want {
+		t.Fatalf("executed %d tests, want the whole %d-point space — Unlease dropped tracked leases", res.Executed, want)
+	}
+}
+
+// TestUnleaseReturnsBudgetWithoutTimeout: without expiry tracking,
+// Unlease refunds the Iterations budget, so a session whose worker died
+// mid-batch still executes the full budget on other candidates.
+func TestUnleaseReturnsBudgetWithoutTimeout(t *testing.T) {
+	const budget = 10
+	eng, err := NewEngine(Config{
+		Target:     sessionTarget(),
+		Space:      sessionSpace(),
+		Algorithm:  "exhaustive",
+		Iterations: budget,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := eng.Lease(4)
+	if len(dropped) != 4 {
+		t.Fatalf("leased %d candidates, want 4", len(dropped))
+	}
+	eng.Unlease(len(dropped))
+	exec := eng.LocalExecutor()
+	for {
+		cands := eng.Lease(3)
+		if len(cands) == 0 {
+			break
+		}
+		for _, c := range cands {
+			rec, out := exec.Execute(c)
+			eng.Fold(c, rec, out)
+		}
+	}
+	res := eng.Finish()
+	// Without the refund only budget-4 tests could run; the 16-point
+	// space leaves plenty of fresh candidates to spend the refund on.
+	if res.Executed != budget {
+		t.Fatalf("executed %d, want the full budget %d after Unlease refund", res.Executed, budget)
+	}
+}
+
 // TestLeaseExpiryOffTrustsExecutors: without LeaseTimeout nothing is
 // tracked — Lease never re-hands a candidate and Waiting is always
 // false — preserving the seed semantics for every existing session.

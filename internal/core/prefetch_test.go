@@ -1,0 +1,315 @@
+package core
+
+// Tests for the asynchronous candidate prefetch pipeline: parity with
+// the synchronous path (the pipeline must be invisible in results),
+// exact Iterations accounting while the generator runs ahead of demand,
+// and the seal contract — no candidate generated after the ring seals
+// may leak budget or journal entries.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"afex/internal/explore"
+)
+
+// countingStore counts journal and snapshot deliveries — enough to
+// assert that sealed ring contents never reach the journal.
+type countingStore struct {
+	mu      sync.Mutex
+	records int
+	snaps   int
+}
+
+func (s *countingStore) JournalRecord(c explore.Candidate, rec Record) {
+	s.mu.Lock()
+	s.records++
+	s.mu.Unlock()
+}
+
+func (s *countingStore) SnapshotSession(st *SessionState) {
+	s.mu.Lock()
+	s.snaps++
+	s.mu.Unlock()
+}
+
+func (s *countingStore) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// prefetchRun drives one full session at the given worker count and
+// prefetch depth; everything else is pinned so runs differ only in the
+// knobs under test.
+func prefetchRun(t *testing.T, workers, depth, iterations int) *ResultSet {
+	t.Helper()
+	res, err := Run(Config{
+		Target:        sessionTarget(),
+		Space:         feedbackParitySpace(),
+		Algorithm:     "random",
+		Iterations:    iterations,
+		Workers:       workers,
+		Batch:         8,
+		Feedback:      true,
+		PrefetchDepth: depth,
+		Explore:       explore.Config{Seed: 23},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func scenarioSet(r *ResultSet) map[string]bool {
+	m := make(map[string]bool, len(r.Records))
+	for _, rec := range r.Records {
+		m[rec.Scenario] = true
+	}
+	return m
+}
+
+// TestPrefetchSequentialParity: a sequential session with the pipeline
+// enabled must execute exactly the same scenarios as the synchronous
+// depth-0 session — same count, same set, same tallies and cluster
+// counts. (Per-record order may differ: the ring and the underflow
+// fallback can interleave, which is the same reordering any parallel
+// session exhibits.)
+func TestPrefetchSequentialParity(t *testing.T) {
+	const iterations = 150
+	off := prefetchRun(t, 1, 0, iterations)
+	for _, depth := range []int{16, PrefetchAdaptive} {
+		on := prefetchRun(t, 1, depth, iterations)
+		if on.Executed != iterations || len(on.Records) != iterations {
+			t.Fatalf("depth %d: executed %d tests (%d records), want exactly %d",
+				depth, on.Executed, len(on.Records), iterations)
+		}
+		os, fs := scenarioSet(on), scenarioSet(off)
+		if len(os) != len(on.Records) {
+			t.Fatalf("depth %d: %d records but %d distinct scenarios — a point executed twice",
+				depth, len(on.Records), len(os))
+		}
+		for s := range fs {
+			if !os[s] {
+				t.Errorf("depth %d: prefetched run missed scenario %q", depth, s)
+			}
+		}
+		if on.Injected != off.Injected || on.Failed != off.Failed ||
+			on.Crashed != off.Crashed || on.Hung != off.Hung {
+			t.Errorf("depth %d: tallies diverge: prefetch inj=%d fail=%d crash=%d hung=%d, sync inj=%d fail=%d crash=%d hung=%d",
+				depth, on.Injected, on.Failed, on.Crashed, on.Hung,
+				off.Injected, off.Failed, off.Crashed, off.Hung)
+		}
+		if on.UniqueFailures != off.UniqueFailures || on.UniqueCrashes != off.UniqueCrashes {
+			t.Errorf("depth %d: cluster counts diverge: %d/%d vs %d/%d",
+				depth, on.UniqueFailures, on.UniqueCrashes, off.UniqueFailures, off.UniqueCrashes)
+		}
+	}
+}
+
+// TestPrefetchParallelParity: a parallel feedback session leased from
+// the ring must match the sequential synchronous session on everything
+// independent of fold arrival order — the same contract the fold
+// pipeline's parity test asserts for depth 0.
+func TestPrefetchParallelParity(t *testing.T) {
+	const iterations = 150
+	seq := prefetchRun(t, 1, 0, iterations)
+	par := prefetchRun(t, 8, PrefetchAdaptive, iterations)
+	if par.Executed != iterations || len(par.Records) != iterations {
+		t.Fatalf("parallel prefetched run executed %d tests (%d records), want exactly %d",
+			par.Executed, len(par.Records), iterations)
+	}
+	seen := map[string]bool{}
+	for _, rec := range par.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("point %v executed twice", rec.Point)
+		}
+		seen[rec.Point.Key()] = true
+	}
+	if par.Injected != seq.Injected || par.Failed != seq.Failed ||
+		par.Crashed != seq.Crashed || par.Hung != seq.Hung {
+		t.Errorf("tallies diverge: parallel inj=%d fail=%d crash=%d hung=%d, sequential inj=%d fail=%d crash=%d hung=%d",
+			par.Injected, par.Failed, par.Crashed, par.Hung,
+			seq.Injected, seq.Failed, seq.Crashed, seq.Hung)
+	}
+	if par.UniqueFailures != seq.UniqueFailures || par.UniqueCrashes != seq.UniqueCrashes {
+		t.Errorf("cluster counts diverge: parallel %d/%d, sequential %d/%d",
+			par.UniqueFailures, par.UniqueCrashes, seq.UniqueFailures, seq.UniqueCrashes)
+	}
+	ps, ss := scenarioSet(par), scenarioSet(seq)
+	for s := range ss {
+		if !ps[s] {
+			t.Errorf("parallel prefetched run missed scenario %q", s)
+		}
+	}
+}
+
+// TestPrefetchBudgetExact: the reserve-then-refund arithmetic must land
+// a prefetched parallel session on exactly Iterations executed tests —
+// the generator running ahead of demand may neither overshoot the
+// budget nor strand its tail in the ring.
+func TestPrefetchBudgetExact(t *testing.T) {
+	for _, depth := range []int{4, 32, PrefetchAdaptive} {
+		res := prefetchRun(t, 4, depth, 60)
+		if res.Executed != 60 || len(res.Records) != 60 {
+			t.Errorf("depth %d: executed %d tests (%d records), want exactly 60",
+				depth, res.Executed, len(res.Records))
+		}
+	}
+}
+
+// TestPrefetchRingDrainOnStop: sealing mid-session (Stop) must drop the
+// ring's pre-generated candidates without a trace — every journal entry
+// corresponds to an executed test, nothing stays pending, and the ring
+// reads empty afterwards.
+func TestPrefetchRingDrainOnStop(t *testing.T) {
+	st := &countingStore{}
+	eng, err := NewEngine(Config{
+		Target:        sessionTarget(),
+		Space:         feedbackParitySpace(),
+		Algorithm:     "random",
+		Iterations:    100,
+		PrefetchDepth: 32,
+		Store:         st,
+		SnapshotEvery: 1 << 30,
+		Explore:       explore.Config{Seed: 7},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := eng.LocalExecutor()
+	cands := eng.Lease(8)
+	if len(cands) != 8 {
+		t.Fatalf("leased %d candidates, want 8", len(cands))
+	}
+	// Let the generator fill the ring so the seal has something to drop.
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Snapshot().PrefetchReady == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("generator never filled the ring")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eng.Stop()
+	if got := eng.Lease(8); got != nil {
+		t.Fatalf("Lease after Stop handed out %d candidates", len(got))
+	}
+	// In-flight tests still fold after the stop, like a real shutdown.
+	for _, c := range cands {
+		rec, out := exec.Execute(c)
+		eng.Fold(c, rec, out)
+	}
+	res := eng.Finish()
+	if res.Executed != 8 {
+		t.Fatalf("executed %d, want the 8 leased before the stop", res.Executed)
+	}
+	if n := st.count(); n != 8 {
+		t.Fatalf("journaled %d records, want 8 — sealed ring contents leaked into the journal", n)
+	}
+	snap := eng.Snapshot()
+	if snap.Pending != 0 {
+		t.Fatalf("pending %d after drain, want 0", snap.Pending)
+	}
+	if snap.PrefetchReady != 0 {
+		t.Fatalf("ring still holds %d candidates after seal", snap.PrefetchReady)
+	}
+}
+
+// TestPrefetchDeadlineSealsRing: the lease-path deadline check must
+// seal the pipeline just like an explicit Stop — no hand-outs, an empty
+// ring.
+func TestPrefetchDeadlineSealsRing(t *testing.T) {
+	eng, err := NewEngine(Config{
+		Target:        sessionTarget(),
+		Space:         feedbackParitySpace(),
+		Algorithm:     "random",
+		Iterations:    100,
+		PrefetchDepth: 16,
+		TimeBudget:    time.Nanosecond,
+		Explore:       explore.Config{Seed: 7},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	if got := eng.Lease(8); got != nil {
+		t.Fatalf("Lease past the deadline handed out %d candidates", len(got))
+	}
+	if snap := eng.Snapshot(); snap.PrefetchReady != 0 {
+		t.Fatalf("ring holds %d candidates after the deadline seal", snap.PrefetchReady)
+	}
+	if res := eng.Finish(); res.Executed != 0 {
+		t.Fatalf("executed %d with an expired deadline, want 0", res.Executed)
+	}
+}
+
+// TestPrefetchWithLeaseExpiry: the ring path and the expiry heap
+// compose — a batch lost to a dead manager re-leases and the session
+// still executes every point of the space exactly once.
+func TestPrefetchWithLeaseExpiry(t *testing.T) {
+	eng, err := NewEngine(Config{
+		Target:        sessionTarget(),
+		Space:         sessionSpace(),
+		Algorithm:     "exhaustive",
+		LeaseTimeout:  testLeaseTimeout,
+		PrefetchDepth: 8,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := eng.Lease(5) // never folded
+	if len(lost) != 5 {
+		t.Fatalf("leased %d candidates, want 5", len(lost))
+	}
+	drain(t, eng)
+	res := eng.Finish()
+	if want := int(sessionSpace().Size()); res.Executed != want {
+		t.Fatalf("executed %d tests, want the whole %d-point space", res.Executed, want)
+	}
+	seen := map[string]bool{}
+	for _, rec := range res.Records {
+		if seen[rec.Point.Key()] {
+			t.Fatalf("point %s executed twice", rec.Point.Key())
+		}
+		seen[rec.Point.Key()] = true
+	}
+}
+
+// plainExplorer wraps an explorer while hiding every optional
+// interface, Prefetchable included — the shape of a third-party
+// explorer handed to NewEngine.
+type plainExplorer struct{ inner explore.Explorer }
+
+func (p *plainExplorer) Next() (explore.Candidate, bool) { return p.inner.Next() }
+func (p *plainExplorer) Report(c explore.Candidate, impact, fit float64) {
+	p.inner.Report(c, impact, fit)
+}
+
+// TestPrefetchRequiresOptIn: an explorer that does not declare
+// Prefetchable keeps the synchronous path no matter the knob.
+func TestPrefetchRequiresOptIn(t *testing.T) {
+	inner, err := explore.New("random", sessionSpace(), explore.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		Target:        sessionTarget(),
+		Space:         sessionSpace(),
+		Iterations:    10,
+		PrefetchDepth: 16,
+	}, &plainExplorer{inner: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.prefetchEnabled() {
+		t.Fatal("pipeline enabled for an explorer that never opted in")
+	}
+	if snap := eng.Snapshot(); snap.PrefetchDepth != 0 {
+		t.Fatalf("snapshot advertises prefetch depth %d for a synchronous session", snap.PrefetchDepth)
+	}
+	res := eng.RunLocal()
+	if res.Executed != 10 {
+		t.Fatalf("fallback path executed %d, want 10", res.Executed)
+	}
+}

@@ -122,6 +122,18 @@ type Config struct {
 	// DefaultBatch. Sequential sessions always lease one candidate at a
 	// time, so Batch never affects their determinism.
 	Batch int
+	// PrefetchDepth enables the asynchronous candidate prefetch
+	// pipeline (see prefetch.go): a generator stage batch-calls the
+	// explorer ahead of demand into a bounded ring, so Lease becomes a
+	// near-O(batch) dequeue off the session lock and candidate
+	// generation overlaps fold commits. Positive values fix the ring
+	// capacity; PrefetchAdaptive (-1) tracks ~2× the adaptive wire
+	// batch. 0 (the default) keeps today's synchronous path —
+	// generation under the session lock, strict Next/Report
+	// alternation, bit-for-bit sequential journals. Silently ignored
+	// (treated as 0) when the explorer does not implement
+	// explore.Prefetchable.
+	PrefetchDepth int
 	// Feedback enables the §7.4 result-quality feedback loop: the
 	// fitness of a new result is weighted by (1 - max similarity) to all
 	// previously seen injection stacks.
@@ -229,6 +241,13 @@ type Snapshot struct {
 	// distributed batched managers do.
 	AvgTestNS     int64 `json:"avgTestNs,omitempty"`
 	AdaptiveBatch int   `json:"adaptiveBatch,omitempty"`
+	// PrefetchDepth is the prefetch ring's current capacity target and
+	// PrefetchReady the number of pre-generated candidates buffered in
+	// it, awaiting lease. Both zero when the prefetch pipeline is off
+	// (Config.PrefetchDepth 0). Ring candidates are not counted in
+	// Pending — they have not been handed out yet.
+	PrefetchDepth int `json:"prefetchDepth,omitempty"`
+	PrefetchReady int `json:"prefetchReady,omitempty"`
 	// Arms is the portfolio explorer's live per-arm bandit statistics
 	// (nil for fixed-strategy sessions).
 	Arms []explore.ArmStat `json:"arms,omitempty"`

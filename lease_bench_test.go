@@ -1,0 +1,145 @@
+package afex
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"afex/internal/core"
+)
+
+// Lease-path benchmarks: the asynchronous candidate prefetch pipeline
+// against the synchronous lease path it replaces. Run with:
+//
+//	go test -bench BenchmarkLeaseFoldContention -benchtime=1x
+//
+// and write the machine-readable report with:
+//
+//	AFEX_BENCH_JSON=$PWD/BENCH_lease.json go test -run TestWriteLeaseBenchJSON -count=1 .
+//
+// The workload is the engine's worst case for lease/fold contention:
+// every worker alternates between leasing a small batch and folding its
+// own results into a feedback-enabled session, so lease rounds and fold
+// commits fight over the engine continuously. Synchronously, candidate
+// generation runs under the same session lock fold commits take; with
+// the pipeline, Lease dequeues pre-generated candidates under the
+// narrow lease lock while the generator refills the ring concurrently
+// with commits.
+
+const (
+	leaseBenchIterations = 12000
+	leaseBenchBatch      = 4
+)
+
+// measureLeaseFoldThroughput runs one session to completion with the
+// mixed Lease/FoldBatch worker shape and returns scenarios/sec. depth
+// is Options.PrefetchDepth: 0 measures the synchronous path.
+func measureLeaseFoldThroughput(tb testing.TB, workers, depth int, seed int64) float64 {
+	eng, err := NewEngine(Options{
+		Target:        benchTarget(),
+		Space:         feedbackBenchSpace(),
+		Algorithm:     Portfolio,
+		Iterations:    leaseBenchIterations,
+		Workers:       workers,
+		Feedback:      true,
+		PrefetchDepth: depth,
+		Explore:       ExploreOptions{Seed: seed},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// The pool is sized so candidate generation and fold commit cost
+	// about the same per test: that is the regime where overlapping the
+	// two stages pays the most, and it keeps clustering (Precompute)
+	// cheap enough that the benchmark stays lock-bound, not CPU-bound.
+	pool := benchStackPool(43, 400, 5, 9)
+	exec := &stackedExecutor{inner: eng.LocalExecutor(), pool: pool}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				cands := eng.Lease(leaseBenchBatch)
+				if len(cands) == 0 {
+					if eng.Waiting() {
+						time.Sleep(100 * time.Microsecond)
+						continue
+					}
+					return
+				}
+				batch := make([]core.ExecutedTest, 0, len(cands))
+				for _, c := range cands {
+					rec, out := exec.Execute(c)
+					et := core.ExecutedTest{C: c, Rec: rec, Out: out}
+					eng.Precompute(&et)
+					batch = append(batch, et)
+				}
+				eng.FoldBatch(batch)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := eng.Finish()
+	if res.Executed != leaseBenchIterations {
+		tb.Fatalf("executed %d, want %d", res.Executed, leaseBenchIterations)
+	}
+	return float64(res.Executed) / elapsed.Seconds()
+}
+
+func BenchmarkLeaseFoldContention(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		for _, mode := range []struct {
+			name  string
+			depth int
+		}{{"sync", 0}, {"prefetch", PrefetchAdaptive}} {
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.ReportMetric(measureLeaseFoldThroughput(b, workers, mode.depth, int64(i+1)), "scenarios/sec")
+				}
+			})
+		}
+	}
+}
+
+// TestWriteLeaseBenchJSON writes the machine-readable lease-pipeline
+// report (scenarios/sec sync vs prefetched at 1/4/16 workers). Skipped
+// unless AFEX_BENCH_JSON names the output file.
+func TestWriteLeaseBenchJSON(t *testing.T) {
+	path := os.Getenv("AFEX_BENCH_JSON")
+	if path == "" {
+		t.Skip("set AFEX_BENCH_JSON to write the lease-pipeline benchmark report")
+	}
+	perWorkers := map[string]any{}
+	for _, workers := range []int{1, 4, 16} {
+		off := measureLeaseFoldThroughput(t, workers, 0, 1)
+		on := measureLeaseFoldThroughput(t, workers, PrefetchAdaptive, 1)
+		perWorkers[fmt.Sprintf("%d", workers)] = map[string]any{
+			"sync_scenarios_per_sec":     off,
+			"prefetch_scenarios_per_sec": on,
+			"speedup":                    on / off,
+		}
+	}
+	report := map[string]any{
+		"lease_pipeline": map[string]any{
+			"iterations":  leaseBenchIterations,
+			"lease_batch": leaseBenchBatch,
+			"cores":       runtime.GOMAXPROCS(0),
+			"per_workers": perWorkers,
+		},
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", path, blob)
+}
